@@ -1,0 +1,134 @@
+// Command experiments regenerates the paper's evaluation figures:
+//
+//	-fig 6    coverage by router type for the four case-study suites (6a–6d)
+//	-fig 7    coverage improvement across test-suite iterations
+//	-fig 8    overhead of coverage tracking on fat-trees of growing size
+//	-fig 9    time to compute each metric from the coverage trace
+//	-fig all  everything
+//
+// Fat-tree sizes for figures 8 and 9 are controlled with -k (comma
+// separated); the defaults finish in seconds. See EXPERIMENTS.md for the
+// paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"yardstick/internal/experiments"
+	"yardstick/internal/report"
+	"yardstick/internal/topogen"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "all", "figure to regenerate: 6, 6a..6d, 7, 8, 9, mutation, all")
+		kArg       = flag.String("k", "4,6,8,10", "fat-tree arities for figures 8 and 9")
+		pathBudget = flag.Int("pathbudget", 500000, "path budget for figure 9 (0 = unlimited)")
+		skipPaths  = flag.Bool("nopaths", false, "skip the path metric in figure 9")
+		mutations  = flag.Int("mutations", 60, "faults to inject in the mutation study")
+		subnets    = flag.Int("subnets", 1, "host subnets per ToR in the regional network (raise toward the paper's Figure 6d ToR interface numbers)")
+	)
+	flag.Parse()
+
+	ks, err := parseKs(*kArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	want := func(name string) bool {
+		return *fig == "all" || *fig == name || (len(name) == 2 && *fig == name[:1])
+	}
+
+	if want("6a") || want("6b") || want("6c") || want("6d") || *fig == "6" {
+		rg := mustRegional(*subnets)
+		for _, panel := range experiments.Figure6All(rg) {
+			if !(want(panel.Panel) || *fig == "6" || *fig == "all") {
+				continue
+			}
+			fmt.Printf("=== Figure %s: suite %v ===\n", panel.Panel, panel.Suite)
+			report.RenderTable(os.Stdout, panel.Rows)
+			fmt.Println()
+		}
+	}
+
+	if want("7") {
+		rg := mustRegional(*subnets)
+		res := experiments.Figure7(rg)
+		fmt.Println("=== Figure 7: coverage improvement with test suite iterations ===")
+		rows := make([]report.Metrics, 0, len(res.Rows))
+		for _, r := range res.Rows {
+			rows = append(rows, r.Metrics)
+		}
+		report.RenderTable(os.Stdout, rows)
+		fmt.Printf("\nheadline: +%.0f%% rule coverage, +%.0f%% interface coverage (paper: +89%% rules, +17%% interfaces)\n\n",
+			res.Improvement.RulePct, res.Improvement.IfacePct)
+	}
+
+	if want("8") {
+		fmt.Println("=== Figure 8: overhead of coverage tracking ===")
+		rows, err := experiments.Figure8(ks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderFigure8(rows))
+		fmt.Println()
+	}
+
+	if want("mutation") {
+		rg := mustRegional(*subnets)
+		res, err := experiments.MutationStudy(rg, *mutations, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println("=== Mutation study: coverage vs bug-finding ===")
+		fmt.Print(experiments.RenderMutation(res))
+		fmt.Println()
+	}
+
+	if want("9") {
+		fmt.Println("=== Figure 9: time to compute coverage metrics ===")
+		rows, err := experiments.Figure9(ks, experiments.Figure9Opts{
+			PathBudget: *pathBudget, SkipPaths: *skipPaths,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderFigure9(rows))
+	}
+}
+
+func mustRegional(subnetsPerToR int) *topogen.Regional {
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{SubnetsPerToR: subnetsPerToR})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	return rg
+}
+
+func parseKs(arg string) ([]int, error) {
+	var ks []int
+	for _, s := range strings.Split(arg, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		k, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad k %q", s)
+		}
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("no fat-tree sizes given")
+	}
+	return ks, nil
+}

@@ -1,0 +1,98 @@
+// Command netgen generates one of the built-in network families — the
+// paper's Figure 1 example, a k-ary fat-tree (§8), or the regional
+// case-study network (§7.1) — runs the eBGP control-plane simulation, and
+// writes the resulting network (topology plus forwarding state) as JSON
+// for consumption by the yardstick tool.
+//
+// Example:
+//
+//	netgen -topology fattree -k 8 -o fattree8.json
+//	netgen -topology example -bug | yardstick -net /dev/stdin -suite default
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"yardstick"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "fattree", "example, fattree, or regional")
+		k        = flag.Int("k", 8, "fat-tree arity")
+		bug      = flag.Bool("bug", false, "inject the §2 null-routed default on b2 (example)")
+		leaves   = flag.Int("leaves", 3, "leaf count (example)")
+		dcs      = flag.Int("dcs", 2, "data centers (regional)")
+		pods     = flag.Int("pods", 2, "pods per DC (regional)")
+		tors     = flag.Int("tors", 4, "ToRs per pod (regional)")
+		aggs     = flag.Int("aggs", 2, "aggregation routers per pod (regional)")
+		spines   = flag.Int("spines", 4, "spines per DC (regional)")
+		hubs     = flag.Int("hubs", 4, "regional hubs (regional)")
+		wanHubs  = flag.Int("wanhubs", 3, "WAN-connected hubs (regional)")
+		ipv6     = flag.Bool("ipv6", false, "build the IPv6 twin (regional)")
+		out      = flag.String("o", "", "output file (default stdout)")
+		format   = flag.String("format", "json", "output format: json or text")
+	)
+	flag.Parse()
+
+	var net *yardstick.Network
+	var err error
+	switch *topology {
+	case "example":
+		var ex *yardstick.ExampleNet
+		ex, err = yardstick.BuildExample(yardstick.ExampleOpts{BugNullRoute: *bug, Leaves: *leaves})
+		if err == nil {
+			net = ex.Net
+		}
+	case "fattree":
+		var ft *yardstick.FatTreeNet
+		ft, err = yardstick.BuildFatTree(*k)
+		if err == nil {
+			net = ft.Net
+		}
+	case "regional":
+		var rg *yardstick.RegionalNet
+		rg, err = yardstick.BuildRegional(yardstick.RegionalOpts{
+			DCs: *dcs, PodsPerDC: *pods, ToRsPerPod: *tors, AggsPerPod: *aggs,
+			SpinesPerDC: *spines, Hubs: *hubs, WANHubs: *wanHubs, IPv6: *ipv6,
+		})
+		if err == nil {
+			net = rg.Net
+		}
+	default:
+		err = fmt.Errorf("unknown topology %q", *topology)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = net.EncodeJSON(w)
+	case "text":
+		err = net.EncodeText(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+	st := net.Stats()
+	fmt.Fprintf(os.Stderr, "netgen: %d devices, %d interfaces, %d links, %d rules\n",
+		st.Devices, st.Ifaces, st.Links, st.Rules)
+}

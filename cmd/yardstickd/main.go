@@ -1,0 +1,84 @@
+// Command yardstickd serves Yardstick over HTTP — the deployment shape
+// of §7, where testing tools report coverage to a service and engineers
+// read metrics and gap reports from it.
+//
+//	yardstickd -listen :8080 -topology regional
+//	curl -X POST 'localhost:8080/run?suite=default,internal'
+//	curl localhost:8080/coverage
+//	curl localhost:8080/gaps
+//
+// Remote testing tools report coverage by POSTing trace fragments (the
+// JSON written by the library's CoverageTrace.EncodeJSON) to /trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"yardstick"
+	"yardstick/internal/service"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:8080", "listen address")
+		topology = flag.String("topology", "", "preload a generated network: example, fattree, or regional (empty = start without one)")
+		netFile  = flag.String("net", "", "preload a network from a JSON or text file")
+		k        = flag.Int("k", 8, "fat-tree arity")
+	)
+	flag.Parse()
+
+	srv := service.New()
+	switch {
+	case *netFile != "":
+		f, err := os.Open(*netFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yardstickd:", err)
+			os.Exit(1)
+		}
+		var net *yardstick.Network
+		if len(*netFile) > 4 && (*netFile)[len(*netFile)-4:] == ".txt" {
+			net, err = yardstick.ParseNetworkText(f)
+		} else {
+			net, err = yardstick.DecodeNetworkJSON(f)
+		}
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yardstickd:", err)
+			os.Exit(1)
+		}
+		srv = service.WithNetwork(net)
+	case *topology == "example":
+		ex, err := yardstick.BuildExample(yardstick.ExampleOpts{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yardstickd:", err)
+			os.Exit(1)
+		}
+		srv = service.WithNetwork(ex.Net)
+	case *topology == "fattree":
+		ft, err := yardstick.BuildFatTree(*k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yardstickd:", err)
+			os.Exit(1)
+		}
+		srv = service.WithNetwork(ft.Net)
+	case *topology == "regional":
+		rg, err := yardstick.BuildRegional(yardstick.RegionalOpts{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yardstickd:", err)
+			os.Exit(1)
+		}
+		srv = service.WithNetwork(rg.Net)
+	case *topology != "":
+		fmt.Fprintf(os.Stderr, "yardstickd: unknown topology %q\n", *topology)
+		os.Exit(1)
+	}
+
+	fmt.Printf("yardstickd listening on %s\n", *listen)
+	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "yardstickd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Casestudy replays the paper's §7 deployment story on the synthetic
+// regional network: compute coverage for the original test suite, read
+// the testing gaps out of the report, add the two tests the engineers
+// wrote (InternalRouteCheck, ConnectedRouteCheck), and quantify the
+// improvement — the Figure 6/7 narrative end to end.
+//
+//	go run ./examples/casestudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"yardstick"
+)
+
+func caseStudyRoles() []yardstick.Role {
+	return []yardstick.Role{yardstick.RoleToR, yardstick.RoleAgg, yardstick.RoleSpine, yardstick.RoleHub}
+}
+
+func runAndReport(rg *yardstick.RegionalNet, label string, suite yardstick.Suite) yardstick.Metrics {
+	trace := yardstick.NewTrace()
+	for _, res := range suite.Run(rg.Net, trace) {
+		if !res.Pass() {
+			log.Fatalf("%s failed: %+v", res.Name, res.Failures[0])
+		}
+	}
+	cov := yardstick.NewCoverage(rg.Net, trace)
+	fmt.Printf("--- %s ---\n", label)
+	rows := yardstick.ReportByRole(cov, caseStudyRoles())
+	total := yardstick.ReportTotal(cov, "TOTAL")
+	yardstick.RenderTable(os.Stdout, append(rows, total))
+	fmt.Println()
+	return total
+}
+
+func main() {
+	rg, err := yardstick.BuildRegional(yardstick.RegionalOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := rg.Net.Stats()
+	fmt.Printf("regional network: %d devices, %d links, %d rules\n\n", st.Devices, st.Links, st.Rules)
+
+	// The original suite (§7.2): DefaultRouteCheck + AggCanReachTorLoopback.
+	original := yardstick.Suite{yardstick.DefaultRouteCheck{}, yardstick.AggCanReachTorLoopback{}}
+	before := runAndReport(rg, "original test suite (Figure 6a)", original)
+
+	// Drill-down: which rules are untested, by category? This is the
+	// analysis that surfaced the three §7.2 gaps.
+	trace := yardstick.NewTrace()
+	original.Run(rg.Net, trace)
+	cov := yardstick.NewCoverage(rg.Net, trace)
+	fmt.Println("testing gaps (untested rules by origin and role):")
+	yardstick.RenderGaps(os.Stdout, yardstick.ReportGaps(cov))
+	fmt.Print(`
+gap 1: internal routes  -> write InternalRouteCheck (local symbolic contracts)
+gap 2: connected routes -> write ConnectedRouteCheck (state inspection)
+gap 3: wide-area routes -> no spec for WAN routes yet; left open (as in the paper)
+
+`)
+
+	// The improved suites (§7.3).
+	runAndReport(rg, "InternalRouteCheck alone (Figure 6b)",
+		yardstick.Suite{yardstick.InternalRouteCheck{}})
+	runAndReport(rg, "ConnectedRouteCheck alone (Figure 6c)",
+		yardstick.Suite{yardstick.ConnectedRouteCheck{}})
+	after := runAndReport(rg, "final test suite (Figure 6d)",
+		append(original, yardstick.InternalRouteCheck{}, yardstick.ConnectedRouteCheck{}))
+
+	d := yardstick.Improvement(before, after)
+	fmt.Printf("improvement (Figure 7): +%.0f%% rule coverage, +%.0f%% interface coverage\n",
+		d.RulePct, d.IfacePct)
+	fmt.Println("(the paper reports +89% rules and +17% interfaces for its production month)")
+	fmt.Println("\nremaining gaps, as in the paper: wide-area routes on spines/hubs and")
+	fmt.Println("host-facing ToR interfaces are still untested.")
+}

@@ -1,0 +1,3 @@
+module yardstick
+
+go 1.22

@@ -1,0 +1,640 @@
+// Package bdd implements reduced ordered binary decision diagrams (BDDs).
+//
+// BDDs canonically represent boolean functions over a fixed, ordered set of
+// variables. Yardstick uses them to encode packet sets: a packet is an
+// assignment to the header bits, and a set of packets is the boolean
+// function that is true exactly on the packets in the set (see
+// internal/hdr). The design follows the classic hash-consed unique-table
+// construction: every node is unique, so semantic equality of functions is
+// pointer (index) equality, and set equality checks are O(1).
+//
+// A Manager owns all nodes. Managers are not safe for concurrent use;
+// analyses that need parallelism should use one Manager per goroutine.
+// Nodes are never garbage collected — the working set of a dataplane
+// analysis is bounded by the forwarding state, and callers can observe
+// growth with Size and start fresh with a new Manager.
+package bdd
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Node is a reference to a BDD node owned by a Manager. The zero Node is
+// invalid; the constant terminals are False (0) and True (1).
+type Node int32
+
+// Terminal nodes. They belong to every Manager.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+// node is the internal representation: a decision on variable level with
+// low (variable=0) and high (variable=1) branches.
+type node struct {
+	level uint32
+	low   Node
+	high  Node
+}
+
+// opcodes for the operation cache.
+const (
+	opAnd = iota + 1
+	opOr
+	opXor
+	opDiff
+	opNot
+	opExists
+	opIte
+)
+
+// cacheEntry is one slot of the direct-mapped operation cache.
+type cacheEntry struct {
+	op      uint32
+	a, b, c Node
+	result  Node
+}
+
+const defaultCacheSize = 1 << 16 // slots; must be a power of two
+
+// Manager owns a universe of BDD nodes over a fixed number of variables.
+type Manager struct {
+	numVars int
+	nodes   []node
+	unique  map[uint64]Node
+	cache   []cacheEntry
+
+	// satFrac memoizes SatFraction per node.
+	satFrac map[Node]float64
+	// satCount memoizes exact model counts per node (level-adjusted to
+	// the node's own level; see satCountRec).
+	satCount map[Node]*big.Int
+}
+
+// New returns a Manager over numVars boolean variables, ordered by index:
+// variable 0 is tested first (top of the diagram).
+func New(numVars int) *Manager {
+	if numVars < 0 || numVars > 1<<20 {
+		panic(fmt.Sprintf("bdd: invalid variable count %d", numVars))
+	}
+	m := &Manager{
+		numVars: numVars,
+		// Terminal nodes occupy indices 0 and 1. Their level is one
+		// past the last variable so ordering invariants hold.
+		nodes: []node{
+			{level: uint32(numVars)},
+			{level: uint32(numVars)},
+		},
+		unique:   make(map[uint64]Node, 1024),
+		cache:    make([]cacheEntry, defaultCacheSize),
+		satFrac:  map[Node]float64{False: 0, True: 1},
+		satCount: make(map[Node]*big.Int),
+	}
+	return m
+}
+
+// NumVars returns the number of variables in the manager's universe.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// Size returns the total number of allocated nodes, including the two
+// terminals.
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// Stats reports manager health for observability: allocated nodes and
+// memoization-table sizes. Analyses that watch Nodes grow without bound
+// should start a fresh Manager (nodes are never garbage collected).
+type Stats struct {
+	Nodes          int
+	UniqueEntries  int
+	SatFracEntries int
+	SatCntEntries  int
+}
+
+// Stats returns current counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Nodes:          len(m.nodes),
+		UniqueEntries:  len(m.unique),
+		SatFracEntries: len(m.satFrac),
+		SatCntEntries:  len(m.satCount),
+	}
+}
+
+// level returns the decision level of n.
+func (m *Manager) level(n Node) uint32 { return m.nodes[n].level }
+
+// mk returns the canonical node (level, low, high), applying the two
+// reduction rules: redundant tests collapse, and structurally equal nodes
+// share storage.
+func (m *Manager) mk(level uint32, low, high Node) Node {
+	if low == high {
+		return low
+	}
+	// The unique table is keyed by a 64-bit hash of (level, low, high);
+	// collisions (different triples, same hash) fall back to a salted
+	// probe chain, so lookups always compare the full triple.
+	key := mix(uint64(level), uint64(uint32(low)), uint64(uint32(high)))
+	if n, ok := m.unique[key]; ok {
+		nd := m.nodes[n]
+		if nd.level == level && nd.low == low && nd.high == high {
+			return n
+		}
+		// Hash collision: fall back to linear scan with salted keys.
+		for salt := uint64(1); ; salt++ {
+			k2 := key ^ mix(salt, salt<<7, salt<<13)
+			n2, ok2 := m.unique[k2]
+			if !ok2 {
+				return m.insert(k2, level, low, high)
+			}
+			nd2 := m.nodes[n2]
+			if nd2.level == level && nd2.low == low && nd2.high == high {
+				return n2
+			}
+		}
+	}
+	return m.insert(key, level, low, high)
+}
+
+func (m *Manager) insert(key uint64, level uint32, low, high Node) Node {
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, low: low, high: high})
+	m.unique[key] = n
+	return n
+}
+
+// mix folds three words into a well-distributed 64-bit key
+// (splitmix64-style finalizer).
+func mix(a, b, c uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b*0xbf58476d1ce4e5b9 + c*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Var returns the function that is true iff variable v is 1.
+func (m *Manager) Var(v int) Node {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+	}
+	return m.mk(uint32(v), False, True)
+}
+
+// NVar returns the function that is true iff variable v is 0.
+func (m *Manager) NVar(v int) Node {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+	}
+	return m.mk(uint32(v), True, False)
+}
+
+// cacheLookup consults the direct-mapped operation cache.
+func (m *Manager) cacheLookup(op uint32, a, b, c Node) (Node, bool) {
+	slot := &m.cache[mix(uint64(op), uint64(uint32(a)), mix(uint64(uint32(b)), uint64(uint32(c)), 0))&(defaultCacheSize-1)]
+	if slot.op == op && slot.a == a && slot.b == b && slot.c == c {
+		return slot.result, true
+	}
+	return 0, false
+}
+
+func (m *Manager) cacheStore(op uint32, a, b, c, result Node) {
+	slot := &m.cache[mix(uint64(op), uint64(uint32(a)), mix(uint64(uint32(b)), uint64(uint32(c)), 0))&(defaultCacheSize-1)]
+	*slot = cacheEntry{op: op, a: a, b: b, c: c, result: result}
+}
+
+// And returns the conjunction a ∧ b.
+func (m *Manager) And(a, b Node) Node {
+	switch {
+	case a == b:
+		return a
+	case a == False || b == False:
+		return False
+	case a == True:
+		return b
+	case b == True:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if r, ok := m.cacheLookup(opAnd, a, b, 0); ok {
+		return r
+	}
+	al, ah, bl, bh, level := m.cofactors(a, b)
+	r := m.mk(level, m.And(al, bl), m.And(ah, bh))
+	m.cacheStore(opAnd, a, b, 0, r)
+	return r
+}
+
+// Or returns the disjunction a ∨ b.
+func (m *Manager) Or(a, b Node) Node {
+	switch {
+	case a == b:
+		return a
+	case a == True || b == True:
+		return True
+	case a == False:
+		return b
+	case b == False:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if r, ok := m.cacheLookup(opOr, a, b, 0); ok {
+		return r
+	}
+	al, ah, bl, bh, level := m.cofactors(a, b)
+	r := m.mk(level, m.Or(al, bl), m.Or(ah, bh))
+	m.cacheStore(opOr, a, b, 0, r)
+	return r
+}
+
+// Xor returns the exclusive or a ⊕ b.
+func (m *Manager) Xor(a, b Node) Node {
+	switch {
+	case a == b:
+		return False
+	case a == False:
+		return b
+	case b == False:
+		return a
+	case a == True:
+		return m.Not(b)
+	case b == True:
+		return m.Not(a)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if r, ok := m.cacheLookup(opXor, a, b, 0); ok {
+		return r
+	}
+	al, ah, bl, bh, level := m.cofactors(a, b)
+	r := m.mk(level, m.Xor(al, bl), m.Xor(ah, bh))
+	m.cacheStore(opXor, a, b, 0, r)
+	return r
+}
+
+// Diff returns the difference a ∧ ¬b.
+func (m *Manager) Diff(a, b Node) Node {
+	switch {
+	case a == b || a == False:
+		return False
+	case b == False:
+		return a
+	case b == True:
+		return False
+	case a == True:
+		return m.Not(b)
+	}
+	if r, ok := m.cacheLookup(opDiff, a, b, 0); ok {
+		return r
+	}
+	al, ah, bl, bh, level := m.cofactors(a, b)
+	r := m.mk(level, m.Diff(al, bl), m.Diff(ah, bh))
+	m.cacheStore(opDiff, a, b, 0, r)
+	return r
+}
+
+// Not returns the complement ¬a.
+func (m *Manager) Not(a Node) Node {
+	switch a {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	if r, ok := m.cacheLookup(opNot, a, 0, 0); ok {
+		return r
+	}
+	nd := m.nodes[a]
+	r := m.mk(nd.level, m.Not(nd.low), m.Not(nd.high))
+	m.cacheStore(opNot, a, 0, 0, r)
+	return r
+}
+
+// Ite returns if-then-else: (f ∧ g) ∨ (¬f ∧ h).
+func (m *Manager) Ite(f, g, h Node) Node {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	case g == False && h == True:
+		return m.Not(f)
+	}
+	if r, ok := m.cacheLookup(opIte, f, g, h); ok {
+		return r
+	}
+	level := m.level(f)
+	if l := m.level(g); l < level {
+		level = l
+	}
+	if l := m.level(h); l < level {
+		level = l
+	}
+	fl, fh := m.cofactorAt(f, level)
+	gl, gh := m.cofactorAt(g, level)
+	hl, hh := m.cofactorAt(h, level)
+	r := m.mk(level, m.Ite(fl, gl, hl), m.Ite(fh, gh, hh))
+	m.cacheStore(opIte, f, g, h, r)
+	return r
+}
+
+// cofactors returns the co-factors of a and b with respect to the smaller
+// of their top levels, plus that level.
+func (m *Manager) cofactors(a, b Node) (al, ah, bl, bh Node, level uint32) {
+	la, lb := m.level(a), m.level(b)
+	level = la
+	if lb < level {
+		level = lb
+	}
+	al, ah = m.cofactorAt(a, level)
+	bl, bh = m.cofactorAt(b, level)
+	return
+}
+
+// cofactorAt returns the co-factors of n with respect to level. If n's top
+// variable is below level, n is independent of it and both co-factors are n.
+func (m *Manager) cofactorAt(n Node, level uint32) (low, high Node) {
+	nd := m.nodes[n]
+	if nd.level != level {
+		return n, n
+	}
+	return nd.low, nd.high
+}
+
+// Exists existentially quantifies away every variable for which vars[v] is
+// true: the result is true on an assignment iff some setting of the
+// quantified variables makes a true.
+func (m *Manager) Exists(a Node, vars []bool) Node {
+	if len(vars) != m.numVars {
+		panic(fmt.Sprintf("bdd: Exists var mask length %d, want %d", len(vars), m.numVars))
+	}
+	// The cache key folds the identity of the mask via a cube node: build
+	// the conjunction of quantified variables once and use it as operand b.
+	cube := True
+	for v := m.numVars - 1; v >= 0; v-- {
+		if vars[v] {
+			cube = m.mk(uint32(v), False, cube)
+		}
+	}
+	return m.existsRec(a, cube)
+}
+
+// ExistsCube is like Exists but takes the variables as a positive cube
+// (a conjunction of variables, e.g. built with Cube).
+func (m *Manager) ExistsCube(a, cube Node) Node {
+	return m.existsRec(a, cube)
+}
+
+func (m *Manager) existsRec(a, cube Node) Node {
+	if a == False || a == True || cube == True {
+		return a
+	}
+	// Skip cube variables above a's level.
+	for cube != True && m.level(cube) < m.level(a) {
+		cube = m.nodes[cube].high
+	}
+	if cube == True {
+		return a
+	}
+	if r, ok := m.cacheLookup(opExists, a, cube, 0); ok {
+		return r
+	}
+	nd := m.nodes[a]
+	var r Node
+	if nd.level == m.level(cube) {
+		// Quantify this variable: OR the branches.
+		low := m.existsRec(nd.low, m.nodes[cube].high)
+		high := m.existsRec(nd.high, m.nodes[cube].high)
+		r = m.Or(low, high)
+	} else {
+		low := m.existsRec(nd.low, cube)
+		high := m.existsRec(nd.high, cube)
+		r = m.mk(nd.level, low, high)
+	}
+	m.cacheStore(opExists, a, cube, 0, r)
+	return r
+}
+
+// Cube returns the conjunction of the given variables (each set to 1).
+func (m *Manager) Cube(vars []int) Node {
+	r := True
+	for i := len(vars) - 1; i >= 0; i-- {
+		v := vars[i]
+		if v < 0 || v >= m.numVars {
+			panic(fmt.Sprintf("bdd: variable %d out of range", v))
+		}
+		r = m.And(r, m.Var(v))
+	}
+	return r
+}
+
+// Restrict fixes variable v to the given value in a.
+func (m *Manager) Restrict(a Node, v int, value bool) Node {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", v))
+	}
+	return m.restrictRec(a, uint32(v), value)
+}
+
+func (m *Manager) restrictRec(a Node, level uint32, value bool) Node {
+	nd := m.nodes[a]
+	if nd.level > level {
+		return a
+	}
+	if nd.level == level {
+		if value {
+			return nd.high
+		}
+		return nd.low
+	}
+	// No operation cache here: restriction is rare and shallow in our
+	// workloads (single-field rewrites).
+	low := m.restrictRec(nd.low, level, value)
+	high := m.restrictRec(nd.high, level, value)
+	return m.mk(nd.level, low, high)
+}
+
+// SatFraction returns the fraction of all 2^numVars assignments that
+// satisfy a, as a float64 in [0,1]. Under the uniform measure this is
+// exact up to float64 rounding and independent of skipped levels:
+// frac(n) = (frac(low)+frac(high))/2.
+func (m *Manager) SatFraction(a Node) float64 {
+	if f, ok := m.satFrac[a]; ok {
+		return f
+	}
+	nd := m.nodes[a]
+	f := (m.SatFraction(nd.low) + m.SatFraction(nd.high)) / 2
+	m.satFrac[a] = f
+	return f
+}
+
+// SatCount returns the exact number of satisfying assignments of a over
+// the full variable universe.
+func (m *Manager) SatCount(a Node) *big.Int {
+	c := m.satCountRec(a)
+	// satCountRec counts assignments of variables at or below a's level;
+	// scale by the variables above it.
+	return new(big.Int).Lsh(c, uint(m.level(a)))
+}
+
+// satCountRec returns the number of satisfying assignments of the
+// variables from a's level (inclusive) to numVars (exclusive).
+func (m *Manager) satCountRec(a Node) *big.Int {
+	if a == False {
+		return big.NewInt(0)
+	}
+	if a == True {
+		return big.NewInt(1)
+	}
+	if c, ok := m.satCount[a]; ok {
+		return c
+	}
+	nd := m.nodes[a]
+	lo := m.satCountRec(nd.low)
+	hi := m.satCountRec(nd.high)
+	c := new(big.Int).Lsh(lo, uint(m.level(nd.low)-nd.level-1))
+	t := new(big.Int).Lsh(hi, uint(m.level(nd.high)-nd.level-1))
+	c.Add(c, t)
+	m.satCount[a] = c
+	return c
+}
+
+// AnySat returns one satisfying assignment of a as a full-width assignment
+// (len = NumVars); unconstrained variables are reported as false. The
+// second result is false when a is unsatisfiable.
+func (m *Manager) AnySat(a Node) ([]bool, bool) {
+	if a == False {
+		return nil, false
+	}
+	assign := make([]bool, m.numVars)
+	for a != True {
+		nd := m.nodes[a]
+		if nd.low != False {
+			a = nd.low
+		} else {
+			assign[nd.level] = true
+			a = nd.high
+		}
+	}
+	return assign, true
+}
+
+// AllSat invokes fn for every satisfying cube of a. A cube is reported as
+// a slice of ternary values: 0 (variable is 0), 1 (variable is 1),
+// 2 (don't care). The slice is reused between calls; callers must copy it
+// to retain it. fn returning false stops the iteration early.
+func (m *Manager) AllSat(a Node, fn func(cube []byte) bool) {
+	cube := make([]byte, m.numVars)
+	for i := range cube {
+		cube[i] = 2
+	}
+	m.allSatRec(a, cube, fn)
+}
+
+func (m *Manager) allSatRec(a Node, cube []byte, fn func([]byte) bool) bool {
+	if a == False {
+		return true
+	}
+	if a == True {
+		return fn(cube)
+	}
+	nd := m.nodes[a]
+	cube[nd.level] = 0
+	if !m.allSatRec(nd.low, cube, fn) {
+		cube[nd.level] = 2
+		return false
+	}
+	cube[nd.level] = 1
+	if !m.allSatRec(nd.high, cube, fn) {
+		cube[nd.level] = 2
+		return false
+	}
+	cube[nd.level] = 2
+	return true
+}
+
+// Support returns the set of variables a depends on, in increasing order.
+func (m *Manager) Support(a Node) []int {
+	seen := make(map[Node]bool)
+	vars := make(map[int]bool)
+	var walk func(Node)
+	walk = func(n Node) {
+		if n == False || n == True || seen[n] {
+			return
+		}
+		seen[n] = true
+		nd := m.nodes[n]
+		vars[int(nd.level)] = true
+		walk(nd.low)
+		walk(nd.high)
+	}
+	walk(a)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	// Insertion sort: support sets are small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Eval evaluates a under a full assignment.
+func (m *Manager) Eval(a Node, assign []bool) bool {
+	if len(assign) != m.numVars {
+		panic(fmt.Sprintf("bdd: Eval assignment length %d, want %d", len(assign), m.numVars))
+	}
+	for a != False && a != True {
+		nd := m.nodes[a]
+		if assign[nd.level] {
+			a = nd.high
+		} else {
+			a = nd.low
+		}
+	}
+	return a == True
+}
+
+// NodeCount returns the number of distinct nodes reachable from a,
+// excluding terminals — a measure of the representation size of one set.
+func (m *Manager) NodeCount(a Node) int {
+	seen := make(map[Node]bool)
+	var walk func(Node)
+	walk = func(n Node) {
+		if n == False || n == True || seen[n] {
+			return
+		}
+		seen[n] = true
+		walk(m.nodes[n].low)
+		walk(m.nodes[n].high)
+	}
+	walk(a)
+	return len(seen)
+}
+
+// SatFractionOf is a convenience returning the fraction of b's assignments
+// that also satisfy a, i.e. |a∧b| / |b|. Returns 0 when b is empty.
+func (m *Manager) SatFractionOf(a, b Node) float64 {
+	fb := m.SatFraction(b)
+	if fb == 0 {
+		return 0
+	}
+	f := m.SatFraction(m.And(a, b)) / fb
+	// Guard against float rounding pushing the ratio out of [0,1].
+	return math.Min(1, math.Max(0, f))
+}

@@ -1,0 +1,508 @@
+package bdd
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminals(t *testing.T) {
+	m := New(4)
+	if m.SatFraction(False) != 0 {
+		t.Errorf("SatFraction(False) = %v, want 0", m.SatFraction(False))
+	}
+	if m.SatFraction(True) != 1 {
+		t.Errorf("SatFraction(True) = %v, want 1", m.SatFraction(True))
+	}
+	if got := m.SatCount(True); got.Cmp(big.NewInt(16)) != 0 {
+		t.Errorf("SatCount(True) = %v, want 16", got)
+	}
+	if got := m.SatCount(False); got.Sign() != 0 {
+		t.Errorf("SatCount(False) = %v, want 0", got)
+	}
+}
+
+func TestVarBasics(t *testing.T) {
+	m := New(4)
+	x := m.Var(0)
+	if m.SatFraction(x) != 0.5 {
+		t.Errorf("SatFraction(x0) = %v, want 0.5", m.SatFraction(x))
+	}
+	if m.And(x, m.Not(x)) != False {
+		t.Error("x ∧ ¬x should be False")
+	}
+	if m.Or(x, m.Not(x)) != True {
+		t.Error("x ∨ ¬x should be True")
+	}
+	if m.NVar(0) != m.Not(x) {
+		t.Error("NVar(0) should equal Not(Var(0))")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New(4)
+	// Build the same function two ways; canonical form means equal nodes.
+	a := m.And(m.Var(0), m.Var(1))
+	b := m.Not(m.Or(m.Not(m.Var(0)), m.Not(m.Var(1))))
+	if a != b {
+		t.Errorf("De Morgan: got distinct nodes %d and %d for same function", a, b)
+	}
+}
+
+// randomNode builds a random function over numVars variables with the given
+// number of combining operations.
+func randomNode(m *Manager, rng *rand.Rand, ops int) Node {
+	n := m.Var(rng.Intn(m.NumVars()))
+	if rng.Intn(2) == 0 {
+		n = m.Not(n)
+	}
+	for i := 0; i < ops; i++ {
+		other := m.Var(rng.Intn(m.NumVars()))
+		if rng.Intn(2) == 0 {
+			other = m.Not(other)
+		}
+		switch rng.Intn(4) {
+		case 0:
+			n = m.And(n, other)
+		case 1:
+			n = m.Or(n, other)
+		case 2:
+			n = m.Xor(n, other)
+		case 3:
+			n = m.Diff(n, other)
+		}
+	}
+	return n
+}
+
+func TestPropertyInvolution(t *testing.T) {
+	m := New(8)
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		a := randomNode(m, rng, 6)
+		return m.Not(m.Not(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	m := New(8)
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		a := randomNode(m, rng, 5)
+		b := randomNode(m, rng, 5)
+		lhs := m.Not(m.And(a, b))
+		rhs := m.Or(m.Not(a), m.Not(b))
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAbsorptionIdempotence(t *testing.T) {
+	m := New(8)
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		a := randomNode(m, rng, 5)
+		b := randomNode(m, rng, 5)
+		return m.And(a, a) == a &&
+			m.Or(a, a) == a &&
+			m.And(a, m.Or(a, b)) == a &&
+			m.Or(a, m.And(a, b)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyInclusionExclusion(t *testing.T) {
+	m := New(10)
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		a := randomNode(m, rng, 5)
+		b := randomNode(m, rng, 5)
+		union := m.SatFraction(m.Or(a, b))
+		inter := m.SatFraction(m.And(a, b))
+		sum := m.SatFraction(a) + m.SatFraction(b)
+		return math.Abs(union+inter-sum) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDiffXor(t *testing.T) {
+	m := New(8)
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		a := randomNode(m, rng, 5)
+		b := randomNode(m, rng, 5)
+		if m.Diff(a, b) != m.And(a, m.Not(b)) {
+			return false
+		}
+		// a ⊕ b = (a∖b) ∨ (b∖a)
+		return m.Xor(a, b) == m.Or(m.Diff(a, b), m.Diff(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyIte(t *testing.T) {
+	m := New(8)
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		a := randomNode(m, rng, 4)
+		b := randomNode(m, rng, 4)
+		c := randomNode(m, rng, 4)
+		return m.Ite(a, b, c) == m.Or(m.And(a, b), m.And(m.Not(a), c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSatCountBruteForce verifies exact model counts against enumeration.
+func TestSatCountBruteForce(t *testing.T) {
+	const nv = 6
+	m := New(nv)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a := randomNode(m, rng, 8)
+		want := 0
+		assign := make([]bool, nv)
+		for bits := 0; bits < 1<<nv; bits++ {
+			for v := 0; v < nv; v++ {
+				assign[v] = bits&(1<<v) != 0
+			}
+			if m.Eval(a, assign) {
+				want++
+			}
+		}
+		if got := m.SatCount(a); got.Cmp(big.NewInt(int64(want))) != 0 {
+			t.Fatalf("trial %d: SatCount = %v, want %d", trial, got, want)
+		}
+		frac := m.SatFraction(a)
+		if math.Abs(frac-float64(want)/(1<<nv)) > 1e-12 {
+			t.Fatalf("trial %d: SatFraction = %v, want %v", trial, frac, float64(want)/(1<<nv))
+		}
+	}
+}
+
+func TestExists(t *testing.T) {
+	m := New(4)
+	// f = x0 ∧ x1. ∃x0.f = x1.
+	f := m.And(m.Var(0), m.Var(1))
+	mask := make([]bool, 4)
+	mask[0] = true
+	if got := m.Exists(f, mask); got != m.Var(1) {
+		t.Errorf("∃x0.(x0∧x1) = node %d, want x1 node %d", got, m.Var(1))
+	}
+	// ∃x0,x1.f = True.
+	mask[1] = true
+	if got := m.Exists(f, mask); got != True {
+		t.Errorf("∃x0x1.(x0∧x1) = %d, want True", got)
+	}
+	// Quantifying an unused variable is identity.
+	mask = make([]bool, 4)
+	mask[3] = true
+	if got := m.Exists(f, mask); got != f {
+		t.Errorf("∃x3.(x0∧x1) changed the function")
+	}
+}
+
+func TestPropertyExistsBruteForce(t *testing.T) {
+	const nv = 5
+	m := New(nv)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		a := randomNode(m, rng, 6)
+		mask := make([]bool, nv)
+		for v := range mask {
+			mask[v] = rng.Intn(2) == 0
+		}
+		got := m.Exists(a, mask)
+		// Brute force: exists is true where some completion satisfies a.
+		assign := make([]bool, nv)
+		for bits := 0; bits < 1<<nv; bits++ {
+			for v := 0; v < nv; v++ {
+				assign[v] = bits&(1<<v) != 0
+			}
+			want := false
+			// Enumerate quantified variables.
+			qvars := []int{}
+			for v, q := range mask {
+				if q {
+					qvars = append(qvars, v)
+				}
+			}
+			sub := make([]bool, nv)
+			copy(sub, assign)
+			for qbits := 0; qbits < 1<<len(qvars); qbits++ {
+				for i, v := range qvars {
+					sub[v] = qbits&(1<<i) != 0
+				}
+				if m.Eval(a, sub) {
+					want = true
+					break
+				}
+			}
+			if m.Eval(got, assign) != want {
+				t.Fatalf("trial %d: Exists disagrees with brute force at %v", trial, assign)
+			}
+		}
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m := New(4)
+	f := m.Or(m.And(m.Var(0), m.Var(1)), m.And(m.Not(m.Var(0)), m.Var(2)))
+	if got := m.Restrict(f, 0, true); got != m.Var(1) {
+		t.Errorf("Restrict(f, x0=1) wrong")
+	}
+	if got := m.Restrict(f, 0, false); got != m.Var(2) {
+		t.Errorf("Restrict(f, x0=0) wrong")
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	m := New(6)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		a := randomNode(m, rng, 6)
+		assign, ok := m.AnySat(a)
+		if a == False {
+			if ok {
+				t.Fatal("AnySat(False) returned an assignment")
+			}
+			continue
+		}
+		if !ok {
+			t.Fatal("AnySat returned none for satisfiable function")
+		}
+		if !m.Eval(a, assign) {
+			t.Fatalf("AnySat returned non-satisfying assignment %v", assign)
+		}
+	}
+	if _, ok := m.AnySat(False); ok {
+		t.Error("AnySat(False) should report unsatisfiable")
+	}
+}
+
+func TestAllSatCoversFunction(t *testing.T) {
+	const nv = 5
+	m := New(nv)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		a := randomNode(m, rng, 6)
+		// Rebuild the function from its cubes.
+		rebuilt := False
+		m.AllSat(a, func(cube []byte) bool {
+			c := True
+			for v, val := range cube {
+				switch val {
+				case 0:
+					c = m.And(c, m.NVar(v))
+				case 1:
+					c = m.And(c, m.Var(v))
+				}
+			}
+			rebuilt = m.Or(rebuilt, c)
+			return true
+		})
+		if rebuilt != a {
+			t.Fatalf("trial %d: AllSat cubes do not rebuild the function", trial)
+		}
+	}
+}
+
+func TestAllSatEarlyStop(t *testing.T) {
+	m := New(4)
+	f := m.Or(m.Var(0), m.Var(1))
+	calls := 0
+	m.AllSat(f, func(cube []byte) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("AllSat early stop: got %d calls, want 1", calls)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(8)
+	f := m.And(m.Var(2), m.Or(m.Var(5), m.Not(m.Var(7))))
+	got := m.Support(f)
+	want := []int{2, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Support = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Support = %v, want %v", got, want)
+		}
+	}
+	if s := m.Support(True); len(s) != 0 {
+		t.Errorf("Support(True) = %v, want empty", s)
+	}
+}
+
+func TestCube(t *testing.T) {
+	m := New(4)
+	c := m.Cube([]int{0, 2})
+	want := m.And(m.Var(0), m.Var(2))
+	if c != want {
+		t.Error("Cube([0,2]) != x0∧x2")
+	}
+	if m.Cube(nil) != True {
+		t.Error("Cube(nil) != True")
+	}
+}
+
+func TestExistsCubeMatchesExists(t *testing.T) {
+	m := New(6)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		a := randomNode(m, rng, 6)
+		mask := make([]bool, 6)
+		var vars []int
+		for v := range mask {
+			if rng.Intn(2) == 0 {
+				mask[v] = true
+				vars = append(vars, v)
+			}
+		}
+		if m.Exists(a, mask) != m.ExistsCube(a, m.Cube(vars)) {
+			t.Fatalf("trial %d: Exists and ExistsCube disagree", trial)
+		}
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	m := New(4)
+	if m.NodeCount(True) != 0 {
+		t.Error("NodeCount(True) != 0")
+	}
+	if m.NodeCount(m.Var(0)) != 1 {
+		t.Error("NodeCount(x0) != 1")
+	}
+}
+
+func TestSatFractionOf(t *testing.T) {
+	m := New(4)
+	a := m.Var(0)           // half the space
+	b := m.And(a, m.Var(1)) // quarter of the space, subset of a
+	if got := m.SatFractionOf(b, a); got != 0.5 {
+		t.Errorf("SatFractionOf(b, a) = %v, want 0.5", got)
+	}
+	if got := m.SatFractionOf(a, False); got != 0 {
+		t.Errorf("SatFractionOf(a, ∅) = %v, want 0", got)
+	}
+}
+
+func TestManagerGrowth(t *testing.T) {
+	m := New(16)
+	before := m.Size()
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 100; i++ {
+		randomNode(m, rng, 10)
+	}
+	if m.Size() <= before {
+		t.Error("manager did not allocate nodes")
+	}
+}
+
+func TestVarPanicsOutOfRange(t *testing.T) {
+	m := New(2)
+	for _, v := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Var(%d) did not panic", v)
+				}
+			}()
+			m.Var(v)
+		}()
+	}
+}
+
+func BenchmarkAndWide(b *testing.B) {
+	m := New(104)
+	rng := rand.New(rand.NewSource(99))
+	xs := make([]Node, 64)
+	for i := range xs {
+		xs[i] = randomNode(m, rng, 8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.And(xs[i%64], xs[(i+7)%64])
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := New(8)
+	before := m.Stats()
+	if before.Nodes != 2 {
+		t.Errorf("fresh manager nodes = %d, want 2 terminals", before.Nodes)
+	}
+	rng := rand.New(rand.NewSource(44))
+	a := randomNode(m, rng, 10)
+	m.SatFraction(a)
+	m.SatCount(a)
+	after := m.Stats()
+	if after.Nodes <= before.Nodes || after.UniqueEntries == 0 {
+		t.Errorf("stats did not grow: %+v", after)
+	}
+	if after.SatFracEntries == 0 || after.SatCntEntries == 0 {
+		t.Errorf("memo tables empty: %+v", after)
+	}
+}
+
+// TestPropertyRestrictExists: ∃x.f == f|x=0 ∨ f|x=1 (Shannon expansion).
+func TestPropertyRestrictExists(t *testing.T) {
+	m := New(7)
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 40; trial++ {
+		a := randomNode(m, rng, 8)
+		v := rng.Intn(7)
+		mask := make([]bool, 7)
+		mask[v] = true
+		lhs := m.Exists(a, mask)
+		rhs := m.Or(m.Restrict(a, v, false), m.Restrict(a, v, true))
+		if lhs != rhs {
+			t.Fatalf("trial %d: Shannon expansion violated for var %d", trial, v)
+		}
+		// And f == ite(x, f|x=1, f|x=0).
+		rebuilt := m.Ite(m.Var(v), m.Restrict(a, v, true), m.Restrict(a, v, false))
+		if rebuilt != a {
+			t.Fatalf("trial %d: Shannon decomposition does not rebuild", trial)
+		}
+	}
+}
+
+// TestPropertySupportRestrictIdentity: restricting a variable outside the
+// support is the identity.
+func TestPropertySupportRestrictIdentity(t *testing.T) {
+	m := New(10)
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 30; trial++ {
+		a := randomNode(m, rng, 5)
+		sup := map[int]bool{}
+		for _, v := range m.Support(a) {
+			sup[v] = true
+		}
+		for v := 0; v < 10; v++ {
+			if sup[v] {
+				continue
+			}
+			if m.Restrict(a, v, true) != a || m.Restrict(a, v, false) != a {
+				t.Fatalf("trial %d: restrict of non-support var %d changed function", trial, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package bgp computes network forwarding state with an eBGP-style
+// control-plane simulator, standing in for the in-house simulator the paper
+// uses to derive post-change FIBs (§7.1).
+//
+// The model follows the paper's case-study network design: every router
+// speaks eBGP with its neighbors, best path is shortest AS-path with ECMP
+// multipath across equal-cost neighbors (allow-as-in permits ToR-Agg-ToR
+// style paths, so path *length* is the only selector), prefixes are
+// originated at their owners (host subnets at ToRs, loopbacks everywhere,
+// default and wide-area routes at the WAN edge), connected /31s are
+// installed locally but never redistributed, static routes override BGP and
+// a null-routed static suppresses propagation of that prefix (the root
+// cause of the paper's §2 outage example), and per-session export filters
+// control route scope (wide-area routes stay in the upper layers, §7.2).
+//
+// Run installs the resulting FIB rules into the netmodel.Network and leaves
+// match-set computation to the caller.
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"yardstick/internal/netmodel"
+)
+
+// StaticRoute is a per-device static route. Statics take precedence over
+// BGP-learned routes for the same prefix and are never advertised; a
+// null-routed static additionally blackholes the traffic.
+type StaticRoute struct {
+	Device   netmodel.DeviceID
+	Prefix   netip.Prefix
+	NextHops []netmodel.DeviceID // neighbor devices; ignored when Null
+	Null     bool
+	Origin   netmodel.RouteOrigin // origin recorded on the FIB rule
+}
+
+// Origination injects a prefix into BGP at a device. When EdgeIface is a
+// valid interface the originating device forwards matching packets out of
+// it (host subnets, WAN uplinks); otherwise the packets are delivered
+// locally (loopbacks).
+type Origination struct {
+	Device    netmodel.DeviceID
+	Prefix    netip.Prefix
+	Origin    netmodel.RouteOrigin
+	EdgeIface netmodel.IfaceID // netmodel.NoIface = deliver locally
+}
+
+// Route is a BGP RIB entry as seen by export filters and by callers
+// inspecting Result.
+type Route struct {
+	Prefix   netip.Prefix
+	Origin   netmodel.RouteOrigin
+	Dist     int // AS-path length from the nearest originator
+	NextHops []netmodel.DeviceID
+}
+
+// ExportFilter decides whether the device from advertises rt to the device
+// to. A nil filter permits everything.
+type ExportFilter func(from, to *netmodel.Device, rt *Route) bool
+
+// Config drives one simulation run.
+type Config struct {
+	Net     *netmodel.Network
+	Statics []StaticRoute
+	Origins []Origination
+	Export  ExportFilter
+}
+
+// Result reports the converged RIBs: Result.RIB[device][prefix].
+type Result struct {
+	RIB []map[netip.Prefix]*Route
+}
+
+// ribEntry is the mutable per-device per-prefix state during iteration.
+type ribEntry struct {
+	dist     int
+	origin   netmodel.RouteOrigin
+	nexthops map[netmodel.DeviceID]bool
+	// origination bookkeeping
+	originates bool
+	edgeIface  netmodel.IfaceID
+}
+
+// Run simulates the control plane to a fixpoint and installs FIB rules
+// (BGP routes, statics, connected /31s, loopbacks) into cfg.Net. The
+// caller must invoke ComputeMatchSets afterwards. Run returns the
+// converged RIBs for inspection.
+func Run(cfg Config) (*Result, error) {
+	net := cfg.Net
+	if net == nil {
+		return nil, fmt.Errorf("bgp: Config.Net is nil")
+	}
+	if net.MatchSetsComputed() {
+		return nil, fmt.Errorf("bgp: network is frozen (match sets already computed)")
+	}
+	nDev := len(net.Devices)
+
+	// Statics indexed by device and prefix: these devices neither select
+	// nor advertise BGP routes for the prefix.
+	staticAt := make([]map[netip.Prefix]*StaticRoute, nDev)
+	for i := range staticAt {
+		staticAt[i] = make(map[netip.Prefix]*StaticRoute)
+	}
+	for i := range cfg.Statics {
+		s := &cfg.Statics[i]
+		if !s.Prefix.IsValid() {
+			return nil, fmt.Errorf("bgp: static route on %s has invalid prefix", net.Device(s.Device).Name)
+		}
+		if _, dup := staticAt[s.Device][s.Prefix.Masked()]; dup {
+			return nil, fmt.Errorf("bgp: duplicate static for %v on %s", s.Prefix, net.Device(s.Device).Name)
+		}
+		staticAt[s.Device][s.Prefix.Masked()] = s
+	}
+
+	ribs := make([]map[netip.Prefix]*ribEntry, nDev)
+	for i := range ribs {
+		ribs[i] = make(map[netip.Prefix]*ribEntry)
+	}
+
+	// Seed originations.
+	for _, o := range cfg.Origins {
+		p := o.Prefix.Masked()
+		if e, dup := ribs[o.Device][p]; dup && e.originates {
+			return nil, fmt.Errorf("bgp: %s originates %v twice", net.Device(o.Device).Name, p)
+		}
+		ribs[o.Device][p] = &ribEntry{
+			dist:       0,
+			origin:     o.Origin,
+			nexthops:   map[netmodel.DeviceID]bool{},
+			originates: true,
+			edgeIface:  o.EdgeIface,
+		}
+	}
+
+	// Precompute adjacency.
+	neighbors := make([][]netmodel.DeviceID, nDev)
+	for d := range neighbors {
+		neighbors[d] = net.Neighbors(netmodel.DeviceID(d))
+	}
+
+	// Worklist fixpoint. A device re-advertises whenever its RIB changed.
+	inQueue := make([]bool, nDev)
+	var queue []netmodel.DeviceID
+	push := func(d netmodel.DeviceID) {
+		if !inQueue[d] {
+			inQueue[d] = true
+			queue = append(queue, d)
+		}
+	}
+	for d := 0; d < nDev; d++ {
+		if len(ribs[d]) > 0 {
+			push(netmodel.DeviceID(d))
+		}
+	}
+
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		du := net.Device(u)
+		for p, eu := range ribs[u] {
+			// Statics suppress advertisement of the prefix.
+			if _, blocked := staticAt[u][p]; blocked {
+				continue
+			}
+			rt := &Route{Prefix: p, Origin: eu.origin, Dist: eu.dist}
+			for _, v := range neighbors[u] {
+				dv := net.Device(v)
+				if cfg.Export != nil && !cfg.Export(du, dv, rt) {
+					continue
+				}
+				// Receivers with a static or an origination for the
+				// prefix ignore BGP updates for it.
+				if _, hasStatic := staticAt[v][p]; hasStatic {
+					continue
+				}
+				ev := ribs[v][p]
+				if ev != nil && ev.originates {
+					continue
+				}
+				cand := eu.dist + 1
+				switch {
+				case ev == nil || cand < ev.dist:
+					ribs[v][p] = &ribEntry{
+						dist:     cand,
+						origin:   eu.origin,
+						nexthops: map[netmodel.DeviceID]bool{u: true},
+					}
+					push(v)
+				case cand == ev.dist && !ev.nexthops[u]:
+					ev.nexthops[u] = true
+					push(v)
+				}
+			}
+		}
+	}
+
+	// Install FIB state.
+	res := &Result{RIB: make([]map[netip.Prefix]*Route, nDev)}
+	for d := 0; d < nDev; d++ {
+		dev := netmodel.DeviceID(d)
+		res.RIB[d] = make(map[netip.Prefix]*Route, len(ribs[d]))
+
+		// BGP routes, in deterministic prefix order so rule IDs are
+		// stable across builds of the same configuration (coverage
+		// traces and network JSON reference rules by ID). A static for
+		// the same prefix wins even over the device's own origination
+		// (B2's null-routed default in §2).
+		for _, p := range sortedPrefixes(ribs[d]) {
+			e := ribs[d][p]
+			if _, overridden := staticAt[d][p]; overridden {
+				continue
+			}
+			rt := &Route{Prefix: p, Origin: e.origin, Dist: e.dist}
+			var action netmodel.Action
+			if e.originates {
+				if e.edgeIface != netmodel.NoIface {
+					action = netmodel.Action{Kind: netmodel.ActForward, OutIfaces: []netmodel.IfaceID{e.edgeIface}}
+				} else {
+					action = netmodel.Action{Kind: netmodel.ActDeliver}
+				}
+			} else {
+				var outs []netmodel.IfaceID
+				for nb := range e.nexthops {
+					rt.NextHops = append(rt.NextHops, nb)
+					outs = append(outs, net.IfaceTo(dev, nb)...)
+				}
+				if len(outs) == 0 {
+					// Unreachable entry; skip.
+					continue
+				}
+				sortIfaces(outs)
+				action = netmodel.Action{Kind: netmodel.ActForward, OutIfaces: outs}
+			}
+			sortDevices(rt.NextHops)
+			net.AddFIBRule(dev, netmodel.MatchDst(p), action, e.origin)
+			res.RIB[d][p] = rt
+		}
+
+		// Static routes, also in deterministic order.
+		for _, p := range sortedPrefixes(staticAt[d]) {
+			s := staticAt[d][p]
+			origin := s.Origin
+			if origin == "" {
+				if p.Bits() == 0 {
+					origin = netmodel.OriginDefault
+				} else {
+					origin = netmodel.OriginStatic
+				}
+			}
+			var action netmodel.Action
+			if s.Null {
+				action = netmodel.Action{Kind: netmodel.ActDrop}
+			} else {
+				var outs []netmodel.IfaceID
+				for _, nb := range s.NextHops {
+					outs = append(outs, net.IfaceTo(dev, nb)...)
+				}
+				if len(outs) == 0 {
+					return nil, fmt.Errorf("bgp: static %v on %s has no resolvable next hops", p, net.Device(dev).Name)
+				}
+				sortIfaces(outs)
+				action = netmodel.Action{Kind: netmodel.ActForward, OutIfaces: outs}
+			}
+			net.AddFIBRule(dev, netmodel.MatchDst(p), action, origin)
+			res.RIB[d][p] = &Route{Prefix: p, Origin: origin, Dist: 0, NextHops: s.NextHops}
+		}
+
+		// Connected /31s: local delivery, never redistributed (§7.2).
+		for _, ifid := range net.Device(dev).Ifaces {
+			ifc := net.Iface(ifid)
+			if !ifc.Addr.IsValid() || ifc.External {
+				continue
+			}
+			p := netip.PrefixFrom(ifc.Addr.Addr(), ifc.Addr.Bits()).Masked()
+			if _, dup := res.RIB[d][p]; dup {
+				continue
+			}
+			net.AddFIBRule(dev, netmodel.MatchDst(p), netmodel.Action{Kind: netmodel.ActDeliver}, netmodel.OriginConnected)
+			res.RIB[d][p] = &Route{Prefix: p, Origin: netmodel.OriginConnected}
+		}
+
+		// Loopbacks: delivered locally at the owner. (Their BGP
+		// propagation happens via Origins, set up by the topology
+		// generator.)
+		for _, lb := range net.Device(dev).Loopbacks {
+			p := lb.Masked()
+			if _, dup := res.RIB[d][p]; dup {
+				continue
+			}
+			net.AddFIBRule(dev, netmodel.MatchDst(p), netmodel.Action{Kind: netmodel.ActDeliver}, netmodel.OriginInternal)
+			res.RIB[d][p] = &Route{Prefix: p, Origin: netmodel.OriginInternal}
+		}
+	}
+	return res, nil
+}
+
+// sortedPrefixes returns a map's prefix keys ordered by address then
+// length.
+func sortedPrefixes[V any](m map[netip.Prefix]V) []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Addr().Compare(out[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}
+
+func sortIfaces(s []netmodel.IfaceID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortDevices(s []netmodel.DeviceID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

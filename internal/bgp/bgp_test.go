@@ -1,0 +1,417 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"yardstick/internal/netmodel"
+)
+
+func pfx(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// line builds A - B - C with /31s.
+func line(t *testing.T) (*netmodel.Network, [3]netmodel.DeviceID) {
+	t.Helper()
+	n := netmodel.New()
+	a := n.AddDevice("a", netmodel.RoleLeaf, 65001)
+	b := n.AddDevice("b", netmodel.RoleSpine, 65002)
+	c := n.AddDevice("c", netmodel.RoleLeaf, 65003)
+	n.Connect(a, b, pfx(t, "10.255.0.0/31"))
+	n.Connect(b, c, pfx(t, "10.255.0.2/31"))
+	return n, [3]netmodel.DeviceID{a, b, c}
+}
+
+func fibRule(t *testing.T, n *netmodel.Network, dev netmodel.DeviceID, prefix netip.Prefix) *netmodel.Rule {
+	t.Helper()
+	for _, id := range n.Device(dev).FIB {
+		r := n.Rule(id)
+		if r.Match.DstPrefix == prefix {
+			return r
+		}
+	}
+	t.Fatalf("device %s has no FIB rule for %v", n.Device(dev).Name, prefix)
+	return nil
+}
+
+func TestLinePropagation(t *testing.T) {
+	n, ds := line(t)
+	a, b, c := ds[0], ds[1], ds[2]
+	host := n.AddEdgeIface(a, "host", pfx(t, "10.1.0.0/24"))
+	res, err := Run(Config{
+		Net:     n,
+		Origins: []Origination{{Device: a, Prefix: pfx(t, "10.1.0.0/24"), Origin: netmodel.OriginInternal, EdgeIface: host}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A forwards out the host edge.
+	ra := fibRule(t, n, a, pfx(t, "10.1.0.0/24"))
+	if ra.Action.Kind != netmodel.ActForward || len(ra.Action.OutIfaces) != 1 || ra.Action.OutIfaces[0] != host {
+		t.Errorf("origin action = %+v", ra.Action)
+	}
+	// B forwards toward A; C toward B.
+	rb := fibRule(t, n, b, pfx(t, "10.1.0.0/24"))
+	if got := n.Iface(rb.Action.OutIfaces[0]); n.Iface(got.Peer).Device != a {
+		t.Error("b should forward to a")
+	}
+	rc := fibRule(t, n, c, pfx(t, "10.1.0.0/24"))
+	if got := n.Iface(rc.Action.OutIfaces[0]); n.Iface(got.Peer).Device != b {
+		t.Error("c should forward to b")
+	}
+	// Distances.
+	if res.RIB[c][pfx(t, "10.1.0.0/24")].Dist != 2 {
+		t.Errorf("dist at c = %d, want 2", res.RIB[c][pfx(t, "10.1.0.0/24")].Dist)
+	}
+}
+
+func TestECMPDiamond(t *testing.T) {
+	n := netmodel.New()
+	a := n.AddDevice("a", netmodel.RoleToR, 65001)
+	b1 := n.AddDevice("b1", netmodel.RoleSpine, 65002)
+	b2 := n.AddDevice("b2", netmodel.RoleSpine, 65003)
+	c := n.AddDevice("c", netmodel.RoleToR, 65004)
+	n.Connect(a, b1, pfx(t, "10.255.0.0/31"))
+	n.Connect(a, b2, pfx(t, "10.255.0.2/31"))
+	n.Connect(c, b1, pfx(t, "10.255.0.4/31"))
+	n.Connect(c, b2, pfx(t, "10.255.0.6/31"))
+	res, err := Run(Config{
+		Net:     n,
+		Origins: []Origination{{Device: a, Prefix: pfx(t, "10.1.0.0/24"), Origin: netmodel.OriginInternal, EdgeIface: netmodel.NoIface}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := fibRule(t, n, c, pfx(t, "10.1.0.0/24"))
+	if len(rc.Action.OutIfaces) != 2 {
+		t.Fatalf("c should ECMP across two uplinks, got %v", rc.Action.OutIfaces)
+	}
+	rt := res.RIB[c][pfx(t, "10.1.0.0/24")]
+	if len(rt.NextHops) != 2 || rt.Dist != 2 {
+		t.Errorf("route at c = %+v", rt)
+	}
+}
+
+func TestStaticOverridesAndNullSuppresses(t *testing.T) {
+	// a - b - c; a originates default; b has a null static default.
+	// c must not learn the default at all (the §2 outage mechanism).
+	n, ds := line(t)
+	a, b, c := ds[0], ds[1], ds[2]
+	def := pfx(t, "0.0.0.0/0")
+	_, err := Run(Config{
+		Net:     n,
+		Origins: []Origination{{Device: a, Prefix: def, Origin: netmodel.OriginDefault, EdgeIface: netmodel.NoIface}},
+		Statics: []StaticRoute{{Device: b, Prefix: def, Null: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := fibRule(t, n, b, def)
+	if rb.Action.Kind != netmodel.ActDrop {
+		t.Errorf("b's default should be a null route, got %+v", rb.Action)
+	}
+	if rb.Origin != netmodel.OriginDefault {
+		t.Errorf("null default origin = %v", rb.Origin)
+	}
+	for _, id := range n.Device(c).FIB {
+		if n.Rule(id).Match.DstPrefix == def {
+			t.Fatal("c learned the default despite b's null static")
+		}
+	}
+}
+
+func TestStaticWithNextHops(t *testing.T) {
+	n, ds := line(t)
+	b := ds[1]
+	a := ds[0]
+	def := pfx(t, "0.0.0.0/0")
+	_, err := Run(Config{
+		Net:     n,
+		Statics: []StaticRoute{{Device: b, Prefix: def, NextHops: []netmodel.DeviceID{a}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := fibRule(t, n, b, def)
+	if rb.Action.Kind != netmodel.ActForward {
+		t.Fatalf("static should forward, got %+v", rb.Action)
+	}
+	if dev := n.Iface(n.Iface(rb.Action.OutIfaces[0]).Peer).Device; dev != a {
+		t.Error("static next hop resolution wrong")
+	}
+}
+
+func TestStaticUnresolvableNextHopErrors(t *testing.T) {
+	n, ds := line(t)
+	a, c := ds[0], ds[2]
+	// a and c are not adjacent.
+	_, err := Run(Config{
+		Net:     n,
+		Statics: []StaticRoute{{Device: a, Prefix: pfx(t, "0.0.0.0/0"), NextHops: []netmodel.DeviceID{c}}},
+	})
+	if err == nil {
+		t.Fatal("expected error for unresolvable static next hop")
+	}
+}
+
+func TestExportFilterScopesRoutes(t *testing.T) {
+	// hub - spine - agg; wide-area route originated at hub must reach the
+	// spine but not the agg.
+	n := netmodel.New()
+	hub := n.AddDevice("hub", netmodel.RoleHub, 65001)
+	spine := n.AddDevice("spine", netmodel.RoleSpine, 65002)
+	agg := n.AddDevice("agg", netmodel.RoleAgg, 65003)
+	n.Connect(hub, spine, pfx(t, "10.255.0.0/31"))
+	n.Connect(spine, agg, pfx(t, "10.255.0.2/31"))
+	wan := pfx(t, "8.0.0.0/8")
+	res, err := Run(Config{
+		Net:     n,
+		Origins: []Origination{{Device: hub, Prefix: wan, Origin: netmodel.OriginWideArea, EdgeIface: netmodel.NoIface}},
+		Export: func(from, to *netmodel.Device, rt *Route) bool {
+			return !(rt.Origin == netmodel.OriginWideArea && to.Role == netmodel.RoleAgg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RIB[spine][wan] == nil {
+		t.Error("spine should learn the wide-area route")
+	}
+	if res.RIB[agg][wan] != nil {
+		t.Error("agg should not learn the wide-area route")
+	}
+}
+
+func TestConnectedRoutesInstalledNotPropagated(t *testing.T) {
+	n, ds := line(t)
+	a, b, c := ds[0], ds[1], ds[2]
+	res, err := Run(Config{Net: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := pfx(t, "10.255.0.0/31")
+	// Both ends have it as a connected deliver route.
+	for _, d := range []netmodel.DeviceID{a, b} {
+		rt := res.RIB[d][ab]
+		if rt == nil || rt.Origin != netmodel.OriginConnected {
+			t.Fatalf("device %d missing connected route %v", d, ab)
+		}
+		r := fibRule(t, n, d, ab)
+		if r.Action.Kind != netmodel.ActDeliver {
+			t.Error("connected route should deliver locally")
+		}
+	}
+	// c (not on the link) must not have it.
+	if res.RIB[c][ab] != nil {
+		t.Error("connected /31 leaked to a third device")
+	}
+}
+
+func TestLoopbackOriginationPropagates(t *testing.T) {
+	n, ds := line(t)
+	a, c := ds[0], ds[2]
+	lb := pfx(t, "192.0.2.1/32")
+	n.Device(a).Loopbacks = append(n.Device(a).Loopbacks, lb)
+	res, err := Run(Config{
+		Net:     n,
+		Origins: []Origination{{Device: a, Prefix: lb, Origin: netmodel.OriginInternal, EdgeIface: netmodel.NoIface}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := fibRule(t, n, a, lb)
+	if ra.Action.Kind != netmodel.ActDeliver {
+		t.Error("loopback at owner should deliver locally")
+	}
+	if res.RIB[c][lb] == nil {
+		t.Error("loopback should propagate to c")
+	}
+}
+
+func TestUnadvertisedLoopbackStillInstalled(t *testing.T) {
+	n, ds := line(t)
+	a, c := ds[0], ds[2]
+	lb := pfx(t, "192.0.2.9/32")
+	n.Device(a).Loopbacks = append(n.Device(a).Loopbacks, lb)
+	res, err := Run(Config{Net: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RIB[a][lb] == nil {
+		t.Fatal("owner missing local loopback route")
+	}
+	if res.RIB[c][lb] != nil {
+		t.Error("unadvertised loopback leaked")
+	}
+}
+
+func TestAnycastOriginNearest(t *testing.T) {
+	// b1 and b2 both originate default; mid prefers both (equal), far
+	// chains through mid.
+	n := netmodel.New()
+	b1 := n.AddDevice("b1", netmodel.RoleBorder, 65001)
+	b2 := n.AddDevice("b2", netmodel.RoleBorder, 65002)
+	mid := n.AddDevice("mid", netmodel.RoleSpine, 65003)
+	far := n.AddDevice("far", netmodel.RoleLeaf, 65004)
+	n.Connect(mid, b1, pfx(t, "10.255.0.0/31"))
+	n.Connect(mid, b2, pfx(t, "10.255.0.2/31"))
+	n.Connect(far, mid, pfx(t, "10.255.0.4/31"))
+	def := pfx(t, "0.0.0.0/0")
+	res, err := Run(Config{
+		Net: n,
+		Origins: []Origination{
+			{Device: b1, Prefix: def, Origin: netmodel.OriginDefault, EdgeIface: netmodel.NoIface},
+			{Device: b2, Prefix: def, Origin: netmodel.OriginDefault, EdgeIface: netmodel.NoIface},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt := res.RIB[mid][def]; len(rt.NextHops) != 2 {
+		t.Errorf("mid should ECMP to both borders: %+v", rt)
+	}
+	if rt := res.RIB[far][def]; len(rt.NextHops) != 1 || rt.Dist != 2 {
+		t.Errorf("far route = %+v", rt)
+	}
+}
+
+func TestDuplicateStaticErrors(t *testing.T) {
+	n, ds := line(t)
+	b := ds[1]
+	a := ds[0]
+	def := pfx(t, "0.0.0.0/0")
+	_, err := Run(Config{
+		Net: n,
+		Statics: []StaticRoute{
+			{Device: b, Prefix: def, NextHops: []netmodel.DeviceID{a}},
+			{Device: b, Prefix: def, Null: true},
+		},
+	})
+	if err == nil {
+		t.Fatal("duplicate static should error")
+	}
+}
+
+func TestFrozenNetworkErrors(t *testing.T) {
+	n, _ := line(t)
+	n.ComputeMatchSets()
+	if _, err := Run(Config{Net: n}); err == nil {
+		t.Fatal("Run on frozen network should error")
+	}
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("Run with nil network should error")
+	}
+}
+
+// TestPropertyBGPMatchesBFS checks the control-plane invariant the
+// contract tests rely on: for unfiltered prefixes, the converged BGP
+// distance equals the topological BFS distance from the originator, and
+// the next-hop set is exactly the neighbors one hop closer.
+func TestPropertyBGPMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		// Random connected topology: spanning chain + extra edges.
+		n := netmodel.New()
+		nDev := rng.Intn(12) + 3
+		for i := 0; i < nDev; i++ {
+			n.AddDevice(fmt.Sprintf("d%d", i), netmodel.RoleSpine, uint32(65000+i))
+		}
+		linkAddr := uint32(0x0a800000) // 10.128.0.0
+		connected := make(map[[2]int]bool)
+		connect := func(a, b int) {
+			if a == b {
+				return
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if connected[[2]int{a, b}] {
+				return
+			}
+			connected[[2]int{a, b}] = true
+			p := netip.PrefixFrom(netip.AddrFrom4([4]byte{
+				byte(linkAddr >> 24), byte(linkAddr >> 16), byte(linkAddr >> 8), byte(linkAddr),
+			}), 31)
+			linkAddr += 2
+			n.Connect(netmodel.DeviceID(a), netmodel.DeviceID(b), p)
+		}
+		for i := 1; i < nDev; i++ {
+			connect(rng.Intn(i), i)
+		}
+		for e := rng.Intn(2 * nDev); e > 0; e-- {
+			connect(rng.Intn(nDev), rng.Intn(nDev))
+		}
+
+		origin := netmodel.DeviceID(rng.Intn(nDev))
+		prefix := netip.MustParsePrefix("203.0.113.0/24")
+		res, err := Run(Config{
+			Net: n,
+			Origins: []Origination{{
+				Device: origin, Prefix: prefix,
+				Origin: netmodel.OriginInternal, EdgeIface: netmodel.NoIface,
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// BFS distances over the topology.
+		dist := make([]int, nDev)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[origin] = 0
+		queue := []netmodel.DeviceID{origin}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range n.Neighbors(u) {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+
+		for d := 0; d < nDev; d++ {
+			rt := res.RIB[d][prefix]
+			if dist[d] == -1 {
+				if rt != nil {
+					t.Fatalf("trial %d: unreachable device %d has a route", trial, d)
+				}
+				continue
+			}
+			if rt == nil {
+				t.Fatalf("trial %d: device %d missing route", trial, d)
+			}
+			if rt.Dist != dist[d] {
+				t.Fatalf("trial %d: device %d dist %d != BFS %d", trial, d, rt.Dist, dist[d])
+			}
+			if d == int(origin) {
+				continue
+			}
+			want := map[netmodel.DeviceID]bool{}
+			for _, nb := range n.Neighbors(netmodel.DeviceID(d)) {
+				if dist[nb] == dist[d]-1 {
+					want[nb] = true
+				}
+			}
+			if len(want) != len(rt.NextHops) {
+				t.Fatalf("trial %d: device %d next hops %v, want %d ECMP members", trial, d, rt.NextHops, len(want))
+			}
+			for _, nh := range rt.NextHops {
+				if !want[nh] {
+					t.Fatalf("trial %d: device %d unexpected next hop %d", trial, d, nh)
+				}
+			}
+		}
+	}
+}

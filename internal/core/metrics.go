@@ -1,0 +1,194 @@
+package core
+
+import (
+	"yardstick/internal/dataplane"
+	"yardstick/internal/hdr"
+	"yardstick/internal/netmodel"
+)
+
+// RuleCoverage aggregates rule coverage across the given rules (all rules
+// in the network when rules is nil).
+func RuleCoverage(c *Coverage, rules []netmodel.RuleID, kind AggKind) float64 {
+	acc := NewAccum(kind)
+	add := func(rid netmodel.RuleID) {
+		ms := c.Net.Rule(rid).MatchSet()
+		v := c.Covered(rid).FractionOf(ms)
+		acc.Add(clamp01(v), ms.Fraction())
+	}
+	if rules == nil {
+		for _, r := range c.Net.Rules {
+			add(r.ID)
+		}
+	} else {
+		for _, rid := range rules {
+			add(rid)
+		}
+	}
+	return acc.Value()
+}
+
+// DeviceCoverage aggregates device coverage across the given devices (all
+// devices when devs is nil). Each device's weight is the packet space its
+// rules handle.
+func DeviceCoverage(c *Coverage, devs []netmodel.DeviceID, kind AggKind) float64 {
+	if devs == nil {
+		devs = make([]netmodel.DeviceID, len(c.Net.Devices))
+		for i := range devs {
+			devs[i] = netmodel.DeviceID(i)
+		}
+	}
+	acc := NewAccum(kind)
+	for _, dev := range devs {
+		s := DeviceSpec(c.Net, dev)
+		w := 0.0
+		for _, wi := range s.Weights {
+			w += wi
+		}
+		acc.Add(ComponentCoverage(c, s), w)
+	}
+	return acc.Value()
+}
+
+// InterfaceCoverage aggregates outgoing-interface coverage across the
+// given interfaces (all interfaces when ifaces is nil).
+func InterfaceCoverage(c *Coverage, ifaces []netmodel.IfaceID, kind AggKind) float64 {
+	if ifaces == nil {
+		ifaces = make([]netmodel.IfaceID, len(c.Net.Ifaces))
+		for i := range ifaces {
+			ifaces[i] = netmodel.IfaceID(i)
+		}
+	}
+	acc := NewAccum(kind)
+	for _, ifid := range ifaces {
+		s := OutIfaceSpec(c.Net, ifid)
+		w := 0.0
+		for _, wi := range s.Weights {
+			w += wi
+		}
+		acc.Add(ComponentCoverage(c, s), w)
+	}
+	return acc.Value()
+}
+
+// InIfaceCoverage aggregates incoming-interface coverage — how well the
+// state responsible for packets *entering* each interface is tested —
+// across the given interfaces (all interfaces when nil).
+func InIfaceCoverage(c *Coverage, ifaces []netmodel.IfaceID, kind AggKind) float64 {
+	if ifaces == nil {
+		ifaces = make([]netmodel.IfaceID, len(c.Net.Ifaces))
+		for i := range ifaces {
+			ifaces[i] = netmodel.IfaceID(i)
+		}
+	}
+	acc := NewAccum(kind)
+	for _, ifid := range ifaces {
+		s := InIfaceSpec(c.Net, ifid)
+		w := 0.0
+		for _, wi := range s.Weights {
+			w += wi
+		}
+		acc.Add(ComponentCoverage(c, s), w)
+	}
+	return acc.Value()
+}
+
+// PathCoverageResult reports an aggregate over the path universe.
+type PathCoverageResult struct {
+	Value    float64
+	Paths    int  // paths processed
+	Complete bool // false when a budget cut enumeration short
+}
+
+// PathCoverage enumerates the path universe from the given starts
+// (EdgeStarts when nil) and aggregates Equation-3 coverage per path,
+// streaming — paths are never materialized (§5.2 Step 3). Each path's
+// weight is the size of its guard.
+func PathCoverage(c *Coverage, starts []dataplane.Start, opts dataplane.EnumOpts, kind AggKind) PathCoverageResult {
+	if starts == nil {
+		starts = dataplane.EdgeStarts(c.Net)
+	}
+	acc := NewAccum(kind)
+	n, complete := dataplane.EnumeratePaths(c.Net, starts, opts, func(p dataplane.Path) bool {
+		v := PathMeasure(c, GuardedString{Rules: p.Rules})
+		acc.Add(clamp01(v), p.Guard.Fraction())
+		return true
+	})
+	return PathCoverageResult{Value: acc.Value(), Paths: n, Complete: complete}
+}
+
+// FlowCoverage computes coverage of one flow (start location and header
+// space) per §4.3.2: the weighted average of end-to-end path coverage
+// across the flow's paths.
+func FlowCoverage(c *Coverage, start dataplane.Loc, flow hdr.Set) float64 {
+	return ComponentCoverage(c, FlowSpec(c.Net, start, flow))
+}
+
+// DevicesByRole returns the devices with the given role.
+func DevicesByRole(net *netmodel.Network, role netmodel.Role) []netmodel.DeviceID {
+	var out []netmodel.DeviceID
+	for _, d := range net.Devices {
+		if d.Role == role {
+			out = append(out, d.ID)
+		}
+	}
+	return out
+}
+
+// FilterDevices returns the devices accepted by keep — the zoom-in hook
+// of §6.
+func FilterDevices(net *netmodel.Network, keep func(*netmodel.Device) bool) []netmodel.DeviceID {
+	var out []netmodel.DeviceID
+	for _, d := range net.Devices {
+		if keep(d) {
+			out = append(out, d.ID)
+		}
+	}
+	return out
+}
+
+// IfacesOfDevices returns every interface on the given devices.
+func IfacesOfDevices(net *netmodel.Network, devs []netmodel.DeviceID) []netmodel.IfaceID {
+	var out []netmodel.IfaceID
+	for _, dev := range devs {
+		out = append(out, net.Device(dev).Ifaces...)
+	}
+	return out
+}
+
+// RulesOfDevices returns every rule on the given devices.
+func RulesOfDevices(net *netmodel.Network, devs []netmodel.DeviceID) []netmodel.RuleID {
+	var out []netmodel.RuleID
+	for _, dev := range devs {
+		out = append(out, net.DeviceRules(dev)...)
+	}
+	return out
+}
+
+// UncoveredRules returns the rules with zero coverage among the given set
+// (all rules when nil) — the drill-down the case study used to find the
+// testing gaps (§7.2).
+func UncoveredRules(c *Coverage, rules []netmodel.RuleID) []netmodel.RuleID {
+	if rules == nil {
+		rules = make([]netmodel.RuleID, len(c.Net.Rules))
+		for i := range rules {
+			rules[i] = netmodel.RuleID(i)
+		}
+	}
+	var out []netmodel.RuleID
+	for _, rid := range rules {
+		if c.Covered(rid).IsEmpty() && !c.Net.Rule(rid).MatchSet().IsEmpty() {
+			out = append(out, rid)
+		}
+	}
+	return out
+}
+
+// UncoveredByOrigin buckets uncovered rules by route origin — the §7.2
+// categorization (internal, connected, wide-area, …).
+func UncoveredByOrigin(c *Coverage, rules []netmodel.RuleID) map[netmodel.RouteOrigin]int {
+	out := make(map[netmodel.RouteOrigin]int)
+	for _, rid := range UncoveredRules(c, rules) {
+		out[c.Net.Rule(rid).Origin]++
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+// Package core implements the paper's coverage framework (§4) and the
+// Yardstick two-phase system that computes it (§5).
+//
+// The primitive unit is the Atomic Testable Unit (ATU): one forwarding
+// rule exercised on one packet. Tests never report ATUs directly — during
+// the online phase they call the two tracking APIs of §5.1, MarkPacket for
+// behavioral tests (the located packets at each hop) and MarkRule for
+// state-inspection tests. The tracker folds everything into the coverage
+// trace (P_T, R_T) on the fly, so equivalent test suites produce equal
+// traces and nothing is double counted.
+//
+// The post-processing phase (§5.2) derives each rule's covered set T[r]
+// with Algorithm 1 and evaluates coverage specifications — guarded strings
+// with a measure µ and combinator κ per component (Equation 1), aggregated
+// across components (Equation 2).
+package core
+
+import (
+	"sync"
+
+	"yardstick/internal/dataplane"
+	"yardstick/internal/hdr"
+	"yardstick/internal/netmodel"
+)
+
+// Tracker is the coverage-reporting interface testing tools call during
+// the online phase (§5.1).
+type Tracker interface {
+	// MarkPacket reports that a behavioral test exercised the located
+	// packet set pkts (one call per hop for end-to-end tests).
+	MarkPacket(loc dataplane.Loc, pkts hdr.Set)
+	// MarkRule reports that a state-inspection test inspected rule r.
+	MarkRule(r netmodel.RuleID)
+}
+
+// Nop is a Tracker that discards everything; it measures the baseline
+// cost of tests with coverage tracking disabled (Figure 8).
+type Nop struct{}
+
+// MarkPacket implements Tracker.
+func (Nop) MarkPacket(dataplane.Loc, hdr.Set) {}
+
+// MarkRule implements Tracker.
+func (Nop) MarkRule(netmodel.RuleID) {}
+
+// Trace is the coverage trace (P_T, R_T) of §5.2: the union of all
+// located packets reported by MarkPacket and the set of rules reported by
+// MarkRule. Overlapping reports are merged as they arrive, so the trace
+// is independent of test order and repetition.
+//
+// Marking is guarded by a mutex so tests may report concurrently, but the
+// underlying BDD manager is single-threaded: concurrent markers must not
+// share a manager with other concurrent work.
+type Trace struct {
+	mu      sync.Mutex
+	packets map[dataplane.Loc]hdr.Set
+	rules   map[netmodel.RuleID]bool
+}
+
+// NewTrace returns an empty coverage trace.
+func NewTrace() *Trace {
+	return &Trace{
+		packets: make(map[dataplane.Loc]hdr.Set),
+		rules:   make(map[netmodel.RuleID]bool),
+	}
+}
+
+// MarkPacket implements Tracker.
+func (t *Trace) MarkPacket(loc dataplane.Loc, pkts hdr.Set) {
+	if pkts.IsEmpty() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.packets[loc]; ok {
+		t.packets[loc] = cur.Union(pkts)
+	} else {
+		t.packets[loc] = pkts
+	}
+}
+
+// MarkRule implements Tracker.
+func (t *Trace) MarkRule(r netmodel.RuleID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules[r] = true
+}
+
+// Merge folds another trace into t (used to combine traces of independent
+// test suite runs).
+func (t *Trace) Merge(other *Trace) {
+	other.mu.Lock()
+	locs := make(map[dataplane.Loc]hdr.Set, len(other.packets))
+	for l, s := range other.packets {
+		locs[l] = s
+	}
+	rules := make([]netmodel.RuleID, 0, len(other.rules))
+	for r := range other.rules {
+		rules = append(rules, r)
+	}
+	other.mu.Unlock()
+	for l, s := range locs {
+		t.MarkPacket(l, s)
+	}
+	for _, r := range rules {
+		t.MarkRule(r)
+	}
+}
+
+// PacketsAt returns the trace's packet set at a location (empty set of sp
+// when none).
+func (t *Trace) PacketsAt(sp *hdr.Space, loc dataplane.Loc) hdr.Set {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.packets[loc]; ok {
+		return s
+	}
+	return sp.Empty()
+}
+
+// RuleMarked reports whether r was reported via MarkRule.
+func (t *Trace) RuleMarked(r netmodel.RuleID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rules[r]
+}
+
+// Locations returns the marked locations (order unspecified).
+func (t *Trace) Locations() []dataplane.Loc {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]dataplane.Loc, 0, len(t.packets))
+	for l := range t.packets {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Stats summarizes trace size.
+type TraceStats struct {
+	Locations, MarkedRules int
+}
+
+// Stats returns the number of marked locations and rules.
+func (t *Trace) Stats() TraceStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TraceStats{Locations: len(t.packets), MarkedRules: len(t.rules)}
+}
+
+// Coverage is the post-processing phase state: the network, the trace,
+// and the covered sets T[r] of Algorithm 1, computed lazily per rule and
+// cached. Coverage is not safe for concurrent use (it shares the
+// network's BDD manager).
+type Coverage struct {
+	Net   *netmodel.Network
+	Trace *Trace
+
+	// atDevice caches the union of trace packets per device.
+	atDevice map[netmodel.DeviceID]hdr.Set
+	// covered caches T[r] per rule.
+	covered map[netmodel.RuleID]hdr.Set
+}
+
+// NewCoverage prepares metric computation over a frozen network and a
+// trace. The trace should not be marked concurrently with computation.
+func NewCoverage(net *netmodel.Network, trace *Trace) *Coverage {
+	if !net.MatchSetsComputed() {
+		panic("core: network match sets not computed")
+	}
+	return &Coverage{
+		Net:      net,
+		Trace:    trace,
+		atDevice: make(map[netmodel.DeviceID]hdr.Set),
+		covered:  make(map[netmodel.RuleID]hdr.Set),
+	}
+}
+
+// packetsAtDevice returns the union of trace packets over every location
+// at the device.
+func (c *Coverage) packetsAtDevice(dev netmodel.DeviceID) hdr.Set {
+	if s, ok := c.atDevice[dev]; ok {
+		return s
+	}
+	s := c.Net.Space.Empty()
+	for _, loc := range c.Trace.Locations() {
+		if loc.Device == dev {
+			s = s.Union(c.Trace.PacketsAt(c.Net.Space, loc))
+		}
+	}
+	c.atDevice[dev] = s
+	return s
+}
+
+// Covered returns the covered set T[r] (Algorithm 1): the full match set
+// when the rule was inspected directly, otherwise the intersection of the
+// match set with the packets the trace saw at the rule's device.
+func (c *Coverage) Covered(r netmodel.RuleID) hdr.Set {
+	if s, ok := c.covered[r]; ok {
+		return s
+	}
+	rule := c.Net.Rule(r)
+	var s hdr.Set
+	if c.Trace.RuleMarked(r) {
+		s = rule.MatchSet()
+	} else {
+		s = c.packetsAtDevice(rule.Device).Intersect(rule.MatchSet())
+	}
+	c.covered[r] = s
+	return s
+}
+
+// CoveredAt is Covered restricted to packets that arrived at a specific
+// location — used by incoming-interface specifications, whose guards are
+// limited to packets on the interface (§4.3.2).
+func (c *Coverage) CoveredAt(r netmodel.RuleID, loc dataplane.Loc) hdr.Set {
+	rule := c.Net.Rule(r)
+	if c.Trace.RuleMarked(r) {
+		return rule.MatchSet()
+	}
+	return c.Trace.PacketsAt(c.Net.Space, loc).Intersect(rule.MatchSet())
+}

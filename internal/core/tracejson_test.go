@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"yardstick/internal/dataplane"
+)
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	cn := buildChain(t)
+	sp := cn.n.Space
+	tr := NewTrace()
+	tr.MarkPacket(dataplane.Injected(cn.d1), sp.DstPrefix(pfx(t, "10.0.0.0/9")).Union(sp.DstPrefix(pfx(t, "192.168.0.0/16"))))
+	tr.MarkPacket(cn.loc1Peer, sp.DstPrefix(pfx(t, "10.0.0.0/16")).Intersect(sp.Proto(6)))
+	tr.MarkRule(cn.r2)
+
+	var buf bytes.Buffer
+	if err := tr.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := DecodeTraceJSON(cn.n, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical packet sets at every location, identical marked rules.
+	for _, loc := range []dataplane.Loc{dataplane.Injected(cn.d1), cn.loc1Peer} {
+		if !tr.PacketsAt(sp, loc).Equal(tr2.PacketsAt(sp, loc)) {
+			t.Errorf("location %+v differs after round trip", loc)
+		}
+	}
+	if !tr2.RuleMarked(cn.r2) || tr2.RuleMarked(cn.r1) {
+		t.Error("rule marks differ after round trip")
+	}
+
+	// Metrics are identical.
+	c1 := NewCoverage(cn.n, tr)
+	c2 := NewCoverage(cn.n, tr2)
+	for _, r := range cn.n.Rules {
+		if !c1.Covered(r.ID).Equal(c2.Covered(r.ID)) {
+			t.Errorf("covered set of rule %d differs", r.ID)
+		}
+	}
+
+	// Deterministic encoding.
+	var buf2 bytes.Buffer
+	if err := tr2.EncodeJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("encoding not deterministic")
+	}
+}
+
+func TestTraceJSONAccumulatesAcrossRuns(t *testing.T) {
+	// The cross-run workflow: run A records a trace; run B loads it,
+	// adds more coverage, and metrics only grow.
+	cn := buildChain(t)
+	sp := cn.n.Space
+
+	trA := NewTrace()
+	trA.MarkPacket(dataplane.Injected(cn.d1), sp.DstPrefix(pfx(t, "10.0.0.0/9")))
+	var buf bytes.Buffer
+	if err := trA.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	trB, err := DecodeTraceJSON(cn.n, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := RuleCoverage(NewCoverage(cn.n, trB), nil, Weighted)
+	trB.MarkPacket(dataplane.Injected(cn.d1), sp.DstPrefix(pfx(t, "10.128.0.0/9")))
+	after := RuleCoverage(NewCoverage(cn.n, trB), nil, Weighted)
+	if after <= before {
+		t.Errorf("accumulated coverage did not grow: %v -> %v", before, after)
+	}
+}
+
+func TestDecodeTraceJSONErrors(t *testing.T) {
+	cn := buildChain(t)
+	cases := []struct{ name, in string }{
+		{"garbage", "nope"},
+		{"unknown field", `{"packets":[],"rules":[],"x":1}`},
+		{"bad device", `{"packets":[{"device":99,"iface":-1,"cubes":[]}],"rules":[]}`},
+		{"bad iface", `{"packets":[{"device":0,"iface":99,"cubes":[]}],"rules":[]}`},
+		{"bad cube length", `{"packets":[{"device":0,"iface":-1,"cubes":["01-"]}],"rules":[]}`},
+		{"bad rule", `{"packets":[],"rules":[999]}`},
+	}
+	for _, c := range cases {
+		if _, err := DecodeTraceJSON(cn.n, strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Bad cube character.
+	bad := strings.Repeat("x", 104)
+	if _, err := DecodeTraceJSON(cn.n, strings.NewReader(
+		`{"packets":[{"device":0,"iface":-1,"cubes":["`+bad+`"]}],"rules":[]}`)); err == nil {
+		t.Error("bad cube character: expected error")
+	}
+}
+
+func FuzzDecodeTraceJSON(f *testing.F) {
+	cn := buildChain(f)
+	tr := NewTrace()
+	tr.MarkPacket(dataplane.Injected(cn.d1), cn.n.Space.DstPrefix(pfx(f, "10.0.0.0/9")))
+	tr.MarkRule(cn.r2)
+	var seed bytes.Buffer
+	tr.EncodeJSON(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"packets":[],"rules":[]}`))
+	f.Add([]byte(`{"packets":[{"device":0,"iface":-1,"cubes":[]}],"rules":[0]}`))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		got, err := DecodeTraceJSON(cn.n, bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		// A decoded trace is usable and re-encodable.
+		c := NewCoverage(cn.n, got)
+		for _, r := range cn.n.Rules {
+			c.Covered(r.ID)
+		}
+		var buf bytes.Buffer
+		if err := got.EncodeJSON(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}

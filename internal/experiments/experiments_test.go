@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"testing"
+
+	"yardstick/internal/topogen"
+)
+
+func regional(t *testing.T) *topogen.Regional {
+	t.Helper()
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rg
+}
+
+// TestFigure6Shapes verifies the qualitative claims of each Figure 6
+// panel on the synthetic case-study network.
+func TestFigure6Shapes(t *testing.T) {
+	rg := regional(t)
+	panels := Figure6All(rg)
+	if len(panels) != 4 {
+		t.Fatalf("panels = %d", len(panels))
+	}
+	byLabel := func(p Figure6Result, role string) (m struct {
+		dev, ifc, ruleF, ruleW float64
+	}) {
+		for _, r := range p.Rows {
+			if r.Label == role {
+				m.dev, m.ifc, m.ruleF, m.ruleW =
+					r.DeviceFractional, r.IfaceFractional, r.RuleFractional, r.RuleWeighted
+			}
+		}
+		return
+	}
+
+	// Panel 6a: original suite.
+	a := panels[0]
+	for _, role := range []string{"tor", "agg", "spine"} {
+		if m := byLabel(a, role); m.dev != 1 {
+			t.Errorf("6a: %s fractional device coverage = %v, want 1", role, m.dev)
+		}
+	}
+	// Hubs dip slightly: interconnect-only hubs are excluded from
+	// DefaultRouteCheck.
+	if m := byLabel(a, "hub"); m.dev >= 1 || m.dev == 0 {
+		t.Errorf("6a: hub device coverage = %v, want in (0,1)", m.dev)
+	}
+	// Interface coverage is high only for aggregation routers.
+	aggIf := byLabel(a, "agg").ifc
+	for _, role := range []string{"tor", "spine", "hub"} {
+		if other := byLabel(a, role).ifc; other >= aggIf {
+			t.Errorf("6a: %s interface coverage (%v) should be below agg (%v)", role, other, aggIf)
+		}
+	}
+	// Fractional rule coverage is tiny; weighted is high (default route
+	// dominates the space).
+	for _, role := range []string{"tor", "spine", "hub"} {
+		m := byLabel(a, role)
+		if m.ruleF > 0.25 {
+			t.Errorf("6a: %s fractional rule coverage = %v, want small", role, m.ruleF)
+		}
+		if m.ruleW < 0.5 {
+			t.Errorf("6a: %s weighted rule coverage = %v, want large", role, m.ruleW)
+		}
+		if m.ruleW <= m.ruleF {
+			t.Errorf("6a: %s weighted (%v) should exceed fractional (%v)", role, m.ruleW, m.ruleF)
+		}
+	}
+
+	// Panel 6b: InternalRouteCheck covers most ToR/agg rules, about half
+	// on spines/hubs (wide-area and connected routes stay dark).
+	b := panels[1]
+	for _, role := range []string{"tor", "agg"} {
+		if m := byLabel(b, role); m.ruleF < 0.6 {
+			t.Errorf("6b: %s fractional rule coverage = %v, want high", role, m.ruleF)
+		}
+	}
+	for _, role := range []string{"spine", "hub"} {
+		m := byLabel(b, role)
+		if m.ruleF < 0.25 || m.ruleF > 0.85 {
+			t.Errorf("6b: %s fractional rule coverage = %v, want mid-range", role, m.ruleF)
+		}
+		if m.ruleF >= byLabel(b, "tor").ruleF {
+			t.Errorf("6b: %s should trail tor", role)
+		}
+	}
+
+	// Panel 6c: ConnectedRouteCheck covers nearly all interfaces except
+	// on ToRs (host-facing interfaces have no /31).
+	c := panels[2]
+	for _, role := range []string{"agg", "spine"} {
+		if m := byLabel(c, role); m.ifc < 0.95 {
+			t.Errorf("6c: %s interface coverage = %v, want ~1", role, m.ifc)
+		}
+	}
+	// Hubs are "nearly 100%": only their WAN edges (no /31) stay dark.
+	if m := byLabel(c, "hub"); m.ifc < 0.85 {
+		t.Errorf("6c: hub interface coverage = %v, want ~0.9", m.ifc)
+	}
+	if m := byLabel(c, "tor"); m.ifc >= 0.95 {
+		t.Errorf("6c: tor interface coverage = %v, want below the rest", m.ifc)
+	}
+
+	// Panel 6d: the final suite strictly dominates the original on every
+	// role and metric.
+	d := panels[3]
+	for _, role := range []string{"tor", "agg", "spine", "hub"} {
+		ma, md := byLabel(a, role), byLabel(d, role)
+		if md.ruleF < ma.ruleF || md.ifc < ma.ifc || md.dev < ma.dev {
+			t.Errorf("6d: %s final suite regressed vs original", role)
+		}
+	}
+	// Wide-area gap persists: spine/hub fractional rule coverage stays
+	// well below 1.
+	for _, role := range []string{"spine", "hub"} {
+		if m := byLabel(d, role); m.ruleF > 0.9 {
+			t.Errorf("6d: %s rule coverage = %v — wide-area gap should persist", role, m.ruleF)
+		}
+	}
+	// All tests pass on the healthy network.
+	for _, p := range panels {
+		for _, r := range p.Results {
+			if !r.Pass() {
+				t.Errorf("panel %s: %s failed: %+v", p.Panel, r.Name, r.Failures[:1])
+			}
+		}
+	}
+}
+
+func TestFigure7Improvement(t *testing.T) {
+	rg := regional(t)
+	res := Figure7(rg)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Monotone improvement across iterations for rules and interfaces.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].RuleFractional < res.Rows[i-1].RuleFractional {
+			t.Errorf("iteration %d decreased rule coverage", i)
+		}
+		if res.Rows[i].IfaceFractional < res.Rows[i-1].IfaceFractional {
+			t.Errorf("iteration %d decreased interface coverage", i)
+		}
+	}
+	// The headline: large relative rule gain, modest interface gain.
+	if res.Improvement.RulePct < 50 {
+		t.Errorf("rule improvement = %v%%, want large", res.Improvement.RulePct)
+	}
+	if res.Improvement.IfacePct <= 0 {
+		t.Errorf("interface improvement = %v%%, want positive", res.Improvement.IfacePct)
+	}
+}
+
+func TestFigure8SmallSweep(t *testing.T) {
+	rows, err := Figure8([]int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 tests", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Test] = true
+		if r.Baseline < 0 || r.Tracked < 0 {
+			t.Errorf("negative duration: %+v", r)
+		}
+	}
+	for _, want := range []string{"DefaultRouteCheck", "ToRReachability", "ToRContract", "ToRPingmesh"} {
+		if !names[want] {
+			t.Errorf("missing test %s", want)
+		}
+	}
+	if out := RenderFigure8(rows); len(out) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestFigure9SmallSweep(t *testing.T) {
+	rows, err := Figure9([]int{4}, Figure9Opts{PathBudget: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 metrics", len(rows))
+	}
+	var pathRow *Figure9Row
+	for i := range rows {
+		if rows[i].Metric == "path" {
+			pathRow = &rows[i]
+		}
+	}
+	if pathRow == nil || pathRow.Paths == 0 {
+		t.Fatal("path metric missing or processed no paths")
+	}
+	if out := RenderFigure9(rows); len(out) == 0 {
+		t.Error("empty render")
+	}
+	// SkipPaths drops the path row.
+	rows, err = Figure9([]int{4}, Figure9Opts{SkipPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("rows = %d, want 3 with SkipPaths", len(rows))
+	}
+}
+
+func TestMutationStudyCorrelation(t *testing.T) {
+	rg := regional(t)
+	res, err := MutationStudy(rg, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || len(res.Faults) != 30 {
+		t.Fatalf("shape: %d rows %d faults", len(res.Rows), len(res.Faults))
+	}
+	// Detection must order with coverage: original <= final <= extended.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].RuleCoverage < res.Rows[i-1].RuleCoverage {
+			t.Errorf("coverage not increasing at %s", res.Rows[i].Suite)
+		}
+		if res.Rows[i].Detected < res.Rows[i-1].Detected {
+			t.Errorf("detection not increasing at %s", res.Rows[i].Suite)
+		}
+	}
+	if res.Rows[2].Detected <= res.Rows[0].Detected {
+		t.Error("extended suite should strictly beat the original")
+	}
+	if out := RenderMutation(res); out == "" {
+		t.Error("empty render")
+	}
+}
+
+// TestFigure6dPaperExactToRInterfaces pins the paper-exact Figure 6d ToR
+// interface number: with six host ports per ToR (the production-realistic
+// density), the final suite leaves exactly 25% of ToR interfaces covered.
+func TestFigure6dPaperExactToRInterfaces(t *testing.T) {
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{SubnetsPerToR: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := Figure6(rg, "6d", FinalSuite())
+	for _, row := range panel.Rows {
+		if row.Label == "tor" {
+			if row.IfaceFractional != 0.25 {
+				t.Errorf("ToR interface coverage = %v, want exactly 0.25", row.IfaceFractional)
+			}
+			return
+		}
+	}
+	t.Fatal("no tor row")
+}

@@ -1,0 +1,207 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"yardstick/internal/core"
+	"yardstick/internal/netmodel"
+	"yardstick/internal/testkit"
+	"yardstick/internal/topogen"
+)
+
+func TestInjectAndRevert(t *testing.T) {
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2, SpinesPerDC: 2, Hubs: 2, WANHubs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := rg.Net
+	rng := rand.New(rand.NewSource(1))
+
+	// Find an ECMP rule.
+	var ecmp *netmodel.Rule
+	for _, r := range net.Rules {
+		if r.Table == netmodel.TableFIB && r.Action.Kind == netmodel.ActForward && len(r.Action.OutIfaces) >= 2 {
+			ecmp = r
+			break
+		}
+	}
+	if ecmp == nil {
+		t.Fatal("no ECMP rule in fixture")
+	}
+
+	for _, kind := range []Kind{NullRoute, WrongNextHop, ECMPMember} {
+		orig := append([]netmodel.IfaceID(nil), ecmp.Action.OutIfaces...)
+		origKind := ecmp.Action.Kind
+		f, err := Inject(net, ecmp.ID, kind, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		switch kind {
+		case NullRoute:
+			if ecmp.Action.Kind != netmodel.ActDrop {
+				t.Errorf("null route did not drop")
+			}
+		case WrongNextHop:
+			if len(ecmp.Action.OutIfaces) != 1 {
+				t.Errorf("wrong next hop should single-home")
+			}
+		case ECMPMember:
+			if len(ecmp.Action.OutIfaces) != len(orig)-1 {
+				t.Errorf("ecmp member not removed")
+			}
+		}
+		if f.String() == "" {
+			t.Error("fault should describe itself")
+		}
+		f.Revert()
+		if ecmp.Action.Kind != origKind || len(ecmp.Action.OutIfaces) != len(orig) {
+			t.Fatalf("%v: revert failed", kind)
+		}
+		for i := range orig {
+			if ecmp.Action.OutIfaces[i] != orig[i] {
+				t.Fatalf("%v: revert changed interface order", kind)
+			}
+		}
+	}
+}
+
+func TestInjectRejectsIneligible(t *testing.T) {
+	net := netmodel.New()
+	d := net.AddDevice("r", netmodel.RoleToR, 1)
+	drop := net.AddFIBRule(d, netmodel.MatchAll(), netmodel.Action{Kind: netmodel.ActDrop}, netmodel.OriginStatic)
+	net.ComputeMatchSets()
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Inject(net, drop, NullRoute, rng); err == nil {
+		t.Error("drop rule should not host a fault")
+	}
+	if _, err := InjectRandom(net, rng, nil); err == nil {
+		t.Error("network with no forwarding rules should error")
+	}
+}
+
+// TestCampaignCoverageCorrelation is the mutation study: the
+// higher-coverage final suite must detect at least as many injected
+// faults as the original suite, and strictly more across a campaign.
+func TestCampaignCoverageCorrelation(t *testing.T) {
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := rg.Net
+	rng := rand.New(rand.NewSource(3))
+
+	original := testkit.Suite{testkit.DefaultRouteCheck{}, testkit.AggCanReachTorLoopback{}}
+	final := append(testkit.Suite{testkit.InternalRouteCheck{}, testkit.ConnectedRouteCheck{}}, original...)
+
+	fails := func(s testkit.Suite) func() bool {
+		return func() bool {
+			for _, res := range s.Run(net, core.Nop{}) {
+				if !res.Pass() {
+					return true
+				}
+			}
+			return false
+		}
+	}
+
+	res, err := Run(net, rng, 40, nil, fails(original), fails(final))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) != 40 || len(res.Detected) != 40 {
+		t.Fatalf("campaign shape wrong: %d faults", len(res.Faults))
+	}
+	// Per fault: the final suite detects whenever the original does.
+	for i, row := range res.Detected {
+		if row[0] && !row[1] {
+			t.Errorf("fault %d (%s) caught by original but not final suite", i, res.Faults[i])
+		}
+	}
+	if res.Totals[1] <= res.Totals[0] {
+		t.Errorf("final suite detected %d faults, original %d — coverage should pay off",
+			res.Totals[1], res.Totals[0])
+	}
+	if res.Totals[1] < 20 {
+		t.Errorf("final suite detected only %d/40 faults", res.Totals[1])
+	}
+}
+
+// TestCampaignLeavesNetworkClean verifies that after a campaign the
+// network behaves as before (all faults reverted).
+func TestCampaignLeavesNetworkClean(t *testing.T) {
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2, SpinesPerDC: 2, Hubs: 2, WANHubs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := rg.Net
+	rng := rand.New(rand.NewSource(4))
+	suite := testkit.Suite{testkit.DefaultRouteCheck{}, testkit.InternalRouteCheck{}}
+	if _, err := Run(net, rng, 10, nil, func() bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range suite.Run(net, core.Nop{}) {
+		if !res.Pass() {
+			t.Errorf("%s fails after campaign: network not clean", res.Name)
+		}
+	}
+}
+
+// TestDetectionRequiresCoverage spot-checks the causal link: a fault on
+// a rule the suite covers is detected; a fault on an uncovered rule is
+// not.
+func TestDetectionRequiresCoverage(t *testing.T) {
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2, SpinesPerDC: 2, Hubs: 2, WANHubs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := rg.Net
+	rng := rand.New(rand.NewSource(5))
+	suite := testkit.Suite{testkit.DefaultRouteCheck{}}
+
+	// Covered rule: a ToR default route. Null-routing it must fail the
+	// check.
+	var defaultRule, wanRule *netmodel.Rule
+	for _, r := range net.Rules {
+		if r.Origin == netmodel.OriginDefault && net.Device(r.Device).Role == netmodel.RoleToR && defaultRule == nil {
+			defaultRule = r
+		}
+		if r.Origin == netmodel.OriginWideArea && r.Action.Kind == netmodel.ActForward && wanRule == nil {
+			wanRule = r
+		}
+	}
+	if defaultRule == nil || wanRule == nil {
+		t.Fatal("fixture missing rules")
+	}
+
+	f, err := Inject(net, defaultRule.ID, NullRoute, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := false
+	for _, res := range suite.Run(net, core.Nop{}) {
+		if !res.Pass() {
+			detected = true
+		}
+	}
+	f.Revert()
+	if !detected {
+		t.Error("fault on covered default route not detected")
+	}
+
+	// Uncovered rule: a wide-area route. DefaultRouteCheck is blind to it.
+	f, err = Inject(net, wanRule.ID, NullRoute, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected = false
+	for _, res := range suite.Run(net, core.Nop{}) {
+		if !res.Pass() {
+			detected = true
+		}
+	}
+	f.Revert()
+	if detected {
+		t.Error("fault on uncovered wide-area route should be invisible to DefaultRouteCheck")
+	}
+}

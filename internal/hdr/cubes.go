@@ -1,0 +1,55 @@
+package hdr
+
+import (
+	"fmt"
+
+	"yardstick/internal/bdd"
+)
+
+// Cubes serializes the set exactly as ternary cube strings of
+// Space.NumBits characters each ('0', '1', or '-' for don't-care). The
+// union of the cubes is the set; FromCubes inverts the encoding. Cube
+// lists are the on-disk representation of coverage traces.
+func (a Set) Cubes() []string {
+	var out []string
+	buf := make([]byte, a.sp.numBits)
+	a.sp.m.AllSat(a.n, func(cube []byte) bool {
+		for i, v := range cube {
+			switch v {
+			case 0:
+				buf[i] = '0'
+			case 1:
+				buf[i] = '1'
+			default:
+				buf[i] = '-'
+			}
+		}
+		out = append(out, string(buf))
+		return true
+	})
+	return out
+}
+
+// FromCubes rebuilds a set from ternary cube strings.
+func (s *Space) FromCubes(cubes []string) (Set, error) {
+	n := bdd.False
+	for i, c := range cubes {
+		if len(c) != s.numBits {
+			return Set{}, fmt.Errorf("hdr: cube %d has length %d, want %d", i, len(c), s.numBits)
+		}
+		cn := bdd.True
+		for v := s.numBits - 1; v >= 0; v-- {
+			switch c[v] {
+			case '1':
+				cn = s.m.And(cn, s.m.Var(v))
+			case '0':
+				cn = s.m.And(cn, s.m.NVar(v))
+			case '-':
+			default:
+				return Set{}, fmt.Errorf("hdr: cube %d has invalid character %q", i, c[v])
+			}
+		}
+		n = s.m.Or(n, cn)
+	}
+	return Set{s, n}, nil
+}

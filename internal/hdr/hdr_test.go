@@ -1,0 +1,328 @@
+package hdr
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEmptyFull(t *testing.T) {
+	s := NewSpace()
+	if !s.Empty().IsEmpty() {
+		t.Error("Empty() not empty")
+	}
+	if !s.Full().IsFull() {
+		t.Error("Full() not full")
+	}
+	if s.Empty().Fraction() != 0 || s.Full().Fraction() != 1 {
+		t.Error("fractions of empty/full wrong")
+	}
+	want := new(big.Int).Lsh(big.NewInt(1), NumBits)
+	if s.Full().Count().Cmp(want) != 0 {
+		t.Errorf("Full().Count() = %v, want 2^%d", s.Full().Count(), NumBits)
+	}
+}
+
+func TestDstPrefixFraction(t *testing.T) {
+	s := NewSpace()
+	cases := []struct {
+		prefix string
+		frac   float64
+	}{
+		{"0.0.0.0/0", 1},
+		{"10.0.0.0/8", 1.0 / 256},
+		{"10.1.0.0/16", 1.0 / 65536},
+		{"10.1.2.0/24", 1.0 / (1 << 24)},
+		{"10.1.2.3/32", 1.0 / (1 << 32)},
+	}
+	for _, c := range cases {
+		got := s.DstPrefix(mustPrefix(t, c.prefix)).Fraction()
+		if math.Abs(got-c.frac) > 1e-18 {
+			t.Errorf("DstPrefix(%s).Fraction() = %g, want %g", c.prefix, got, c.frac)
+		}
+	}
+}
+
+func TestPrefixNesting(t *testing.T) {
+	s := NewSpace()
+	p8 := s.DstPrefix(mustPrefix(t, "10.0.0.0/8"))
+	p16 := s.DstPrefix(mustPrefix(t, "10.1.0.0/16"))
+	other := s.DstPrefix(mustPrefix(t, "192.168.0.0/16"))
+	if !p8.Contains(p16) {
+		t.Error("10/8 should contain 10.1/16")
+	}
+	if p8.Overlaps(other) {
+		t.Error("10/8 should not overlap 192.168/16")
+	}
+	if !p16.Intersect(p8).Equal(p16) {
+		t.Error("intersection of nested prefixes should be the narrower")
+	}
+	// Difference removes the subset exactly.
+	d := p8.Diff(p16)
+	if d.Overlaps(p16) {
+		t.Error("p8∖p16 overlaps p16")
+	}
+	if !d.Union(p16).Equal(p8) {
+		t.Error("(p8∖p16) ∪ p16 != p8")
+	}
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	s := NewSpace()
+	rng := rand.New(rand.NewSource(42))
+	randSet := func() Set {
+		set := s.Empty()
+		for i := 0; i < rng.Intn(4)+1; i++ {
+			bits := rng.Intn(25) + 8
+			addr := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+			p := netip.PrefixFrom(addr, bits).Masked()
+			set = set.Union(s.DstPrefix(p))
+		}
+		if rng.Intn(3) == 0 {
+			set = set.Intersect(s.Proto(uint8(rng.Intn(256))))
+		}
+		return set
+	}
+	f := func(seed int64) bool {
+		a, b := randSet(), randSet()
+		// Commutativity, De Morgan, difference identity.
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			return false
+		}
+		if !a.Union(b).Negate().Equal(a.Negate().Intersect(b.Negate())) {
+			return false
+		}
+		if !a.Diff(b).Equal(a.Intersect(b.Negate())) {
+			return false
+		}
+		// Inclusion-exclusion over fractions.
+		lhs := a.Union(b).Fraction() + a.Intersect(b).Fraction()
+		rhs := a.Fraction() + b.Fraction()
+		return math.Abs(lhs-rhs) < 1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortRange(t *testing.T) {
+	s := NewSpace()
+	r := s.DstPortRange(100, 199)
+	wantFrac := 100.0 / 65536
+	if math.Abs(r.Fraction()-wantFrac) > 1e-15 {
+		t.Errorf("DstPortRange(100,199).Fraction() = %g, want %g", r.Fraction(), wantFrac)
+	}
+	for _, port := range []uint16{100, 150, 199} {
+		if !r.Contains(s.DstPort(port)) {
+			t.Errorf("range should contain port %d", port)
+		}
+	}
+	for _, port := range []uint16{0, 99, 200, 65535} {
+		if r.Overlaps(s.DstPort(port)) {
+			t.Errorf("range should not contain port %d", port)
+		}
+	}
+	if !s.DstPortRange(0, 65535).IsFull() {
+		t.Error("full port range should be the full space")
+	}
+	if !s.DstPortRange(5, 4).IsEmpty() {
+		t.Error("inverted range should be empty")
+	}
+	if !s.SrcPortRange(23, 23).Equal(s.SrcPort(23)) {
+		t.Error("degenerate src range != exact port")
+	}
+}
+
+func TestPortRangeBruteForce(t *testing.T) {
+	s := NewSpace()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		lo := uint16(rng.Intn(300))
+		hi := uint16(rng.Intn(300))
+		r := s.DstPortRange(lo, hi)
+		for probe := 0; probe < 40; probe++ {
+			p := uint16(rng.Intn(400))
+			want := p >= lo && p <= hi
+			got := r.Contains(s.DstPort(p))
+			if got != want {
+				t.Fatalf("range [%d,%d] port %d: got %v want %v", lo, hi, p, got, want)
+			}
+		}
+	}
+}
+
+func TestSingletonAndSample(t *testing.T) {
+	s := NewSpace()
+	p := Packet{
+		Dst:     netip.MustParseAddr("10.1.2.3"),
+		Src:     netip.MustParseAddr("192.168.0.9"),
+		Proto:   6,
+		DstPort: 443,
+		SrcPort: 51034,
+	}
+	set := s.Singleton(p)
+	if set.Count().Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("singleton count = %v", set.Count())
+	}
+	if !set.ContainsPacket(p) {
+		t.Fatal("singleton does not contain its packet")
+	}
+	got, ok := set.Sample()
+	if !ok || got != p {
+		t.Fatalf("Sample() = %v, %v; want %v", got, ok, p)
+	}
+	if _, ok := s.Empty().Sample(); ok {
+		t.Error("Sample of empty set returned a packet")
+	}
+}
+
+func TestSampleIsMember(t *testing.T) {
+	s := NewSpace()
+	set := s.DstPrefix(mustPrefix(t, "10.0.0.0/8")).Intersect(s.Proto(17))
+	p, ok := set.Sample()
+	if !ok {
+		t.Fatal("sample failed")
+	}
+	if !set.ContainsPacket(p) {
+		t.Fatalf("sampled packet %v not in set", p)
+	}
+	if p.Proto != 17 {
+		t.Errorf("sampled proto = %d, want 17", p.Proto)
+	}
+	if p.Dst.As4()[0] != 10 {
+		t.Errorf("sampled dst %v not in 10/8", p.Dst)
+	}
+}
+
+func TestRewriteDstIP(t *testing.T) {
+	s := NewSpace()
+	in := s.DstPrefix(mustPrefix(t, "10.0.0.0/8")).Intersect(s.SrcPrefix(mustPrefix(t, "172.16.0.0/12")))
+	target := netip.MustParseAddr("192.0.2.1")
+	out := in.RewriteDstIP(target)
+	// All outputs have the rewritten destination.
+	if !s.DstIP(target).Contains(out) {
+		t.Error("rewrite output has packets with the wrong destination")
+	}
+	// Source constraint is preserved.
+	if !s.SrcPrefix(mustPrefix(t, "172.16.0.0/12")).Contains(out) {
+		t.Error("rewrite output lost the source constraint")
+	}
+	// Many-to-one: the output count equals the input count divided by the
+	// size of the quantified dst space within the input (10/8 = 2^24 dsts).
+	wantCount := new(big.Int).Div(in.Count(), new(big.Int).Lsh(big.NewInt(1), 24))
+	if out.Count().Cmp(wantCount) != 0 {
+		t.Errorf("rewrite output count = %v, want %v", out.Count(), wantCount)
+	}
+}
+
+func TestPreimageDstRewrite(t *testing.T) {
+	s := NewSpace()
+	in := s.DstPrefix(mustPrefix(t, "10.0.0.0/8"))
+	target := netip.MustParseAddr("192.0.2.1")
+	// Output set constrains a non-dst field; preimage must reflect it.
+	out := s.DstIP(target).Intersect(s.Proto(6))
+	pre := in.PreimageDstRewrite(target, out)
+	want := in.Intersect(s.Proto(6))
+	if !pre.Equal(want) {
+		t.Error("preimage mismatch")
+	}
+	// If the output excludes the target address entirely, preimage is empty.
+	out2 := s.DstIP(netip.MustParseAddr("198.51.100.7"))
+	if !in.PreimageDstRewrite(target, out2).IsEmpty() {
+		t.Error("preimage should be empty when rewrite target not in output set")
+	}
+}
+
+func TestRewriteSrcIP(t *testing.T) {
+	s := NewSpace()
+	in := s.SrcPrefix(mustPrefix(t, "10.0.0.0/24")).Intersect(s.DstPort(80))
+	target := netip.MustParseAddr("203.0.113.5")
+	out := in.RewriteSrcIP(target)
+	if !s.SrcIP(target).Contains(out) {
+		t.Error("src rewrite wrong source")
+	}
+	if !s.DstPort(80).Contains(out) {
+		t.Error("src rewrite lost dst port constraint")
+	}
+}
+
+func TestFractionOf(t *testing.T) {
+	s := NewSpace()
+	whole := s.DstPrefix(mustPrefix(t, "10.0.0.0/8"))
+	half := s.DstPrefix(mustPrefix(t, "10.0.0.0/9"))
+	if got := half.FractionOf(whole); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FractionOf nested halves = %v, want 0.5", got)
+	}
+	if got := whole.FractionOf(s.Empty()); got != 0 {
+		t.Errorf("FractionOf empty base = %v, want 0", got)
+	}
+}
+
+func TestCrossSpacePanics(t *testing.T) {
+	s1, s2 := NewSpace(), NewSpace()
+	defer func() {
+		if recover() == nil {
+			t.Error("union across spaces did not panic")
+		}
+	}()
+	s1.Full().Union(s2.Full())
+}
+
+func TestDifferentFieldsIndependent(t *testing.T) {
+	s := NewSpace()
+	a := s.DstPrefix(mustPrefix(t, "10.0.0.0/8"))
+	b := s.Proto(6)
+	inter := a.Intersect(b)
+	wantFrac := a.Fraction() * b.Fraction()
+	if math.Abs(inter.Fraction()-wantFrac) > 1e-18 {
+		t.Errorf("independent fields: got %g, want %g", inter.Fraction(), wantFrac)
+	}
+}
+
+func TestCubesRoundTrip(t *testing.T) {
+	s := NewSpace()
+	sets := []Set{
+		s.Empty(),
+		s.Full(),
+		s.DstPrefix(mustPrefix(t, "10.0.0.0/8")).Intersect(s.Proto(6)),
+		s.DstPortRange(100, 199).Union(s.SrcPrefix(mustPrefix(t, "172.16.0.0/12"))),
+	}
+	for i, set := range sets {
+		cubes := set.Cubes()
+		back, err := s.FromCubes(cubes)
+		if err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		if !back.Equal(set) {
+			t.Fatalf("set %d: cube round trip failed (%d cubes)", i, len(cubes))
+		}
+	}
+	if len(s.Empty().Cubes()) != 0 {
+		t.Error("empty set should have no cubes")
+	}
+}
+
+func TestFromCubesErrors(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.FromCubes([]string{"01"}); err == nil {
+		t.Error("short cube should error")
+	}
+	if _, err := s.FromCubes([]string{string(make([]byte, NumBits))}); err == nil {
+		t.Error("invalid characters should error")
+	}
+}

@@ -1,0 +1,197 @@
+package ipset
+
+import (
+	"math/big"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"yardstick/internal/hdr"
+)
+
+// TestDifferentialAgainstBDD cross-validates the two packet-set
+// implementations: random expression trees over destination prefixes are
+// evaluated both as interval sets and as BDD sets; counts, memberships,
+// and prefix decompositions must agree on every node.
+func TestDifferentialAgainstBDD(t *testing.T) {
+	sp := hdr.NewSpace()
+	rng := rand.New(rand.NewSource(99))
+
+	randPrefix := func() netip.Prefix {
+		bits := rng.Intn(33)
+		addr := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+		return netip.PrefixFrom(addr, bits).Masked()
+	}
+
+	type pair struct {
+		iv Set
+		bd hdr.Set
+	}
+	leaf := func() pair {
+		p := randPrefix()
+		return pair{FromPrefix(p), sp.DstPrefix(p)}
+	}
+
+	var build func(depth int) pair
+	build = func(depth int) pair {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return leaf()
+		}
+		a := build(depth - 1)
+		switch rng.Intn(4) {
+		case 0:
+			b := build(depth - 1)
+			return pair{a.iv.Union(b.iv), a.bd.Union(b.bd)}
+		case 1:
+			b := build(depth - 1)
+			return pair{a.iv.Intersect(b.iv), a.bd.Intersect(b.bd)}
+		case 2:
+			b := build(depth - 1)
+			return pair{a.iv.Diff(b.iv), a.bd.Diff(b.bd)}
+		default:
+			return pair{a.iv.Negate(), a.bd.Negate()}
+		}
+	}
+
+	nonDstBits := hdr.NumBits - hdr.DstIPBits
+	scale := new(big.Int).Lsh(big.NewInt(1), uint(nonDstBits))
+	for trial := 0; trial < 60; trial++ {
+		p := build(4)
+		// Counts: the BDD count includes the free non-dst fields.
+		wantCount := new(big.Int).Mul(new(big.Int).SetUint64(p.iv.Count()), scale)
+		if got := p.bd.Count(); got.Cmp(wantCount) != 0 {
+			t.Fatalf("trial %d: count mismatch: interval %v, bdd %v", trial, wantCount, got)
+		}
+		// Membership probes.
+		for probe := 0; probe < 50; probe++ {
+			addr := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+			pkt := hdr.Packet{Dst: addr, Src: netip.MustParseAddr("1.2.3.4"), Proto: 6, DstPort: 80}
+			if p.iv.ContainsAddr(addr) != p.bd.ContainsPacket(pkt) {
+				t.Fatalf("trial %d: membership mismatch at %v", trial, addr)
+			}
+		}
+		// Prefix decomposition agrees when rebuilt.
+		prefixes, complete := p.bd.DstPrefixes(0)
+		if !complete {
+			t.Fatalf("trial %d: decomposition incomplete", trial)
+		}
+		rebuilt := Empty()
+		for _, pf := range prefixes {
+			rebuilt = rebuilt.Union(FromPrefix(pf))
+		}
+		if !rebuilt.Equal(p.iv) {
+			t.Fatalf("trial %d: prefix decomposition disagrees", trial)
+		}
+	}
+}
+
+// TestDifferentialDisjointMatchSets mirrors §5.2 Step 1 on both
+// representations: walking an LPM table longest-prefix-first and
+// subtracting claimed space must yield identical per-rule counts.
+func TestDifferentialDisjointMatchSets(t *testing.T) {
+	sp := hdr.NewSpace()
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 10; trial++ {
+		// Random FIB: nested and disjoint prefixes, sorted longest first.
+		var prefixes []netip.Prefix
+		for i := 0; i < 40; i++ {
+			bits := rng.Intn(25) + 8
+			addr := netip.AddrFrom4([4]byte{byte(rng.Intn(8) * 32), byte(rng.Intn(256)), byte(rng.Intn(256)), 0})
+			prefixes = append(prefixes, netip.PrefixFrom(addr, bits).Masked())
+		}
+		prefixes = append(prefixes, netip.MustParsePrefix("0.0.0.0/0"))
+		for i := 0; i < len(prefixes); i++ {
+			for j := i + 1; j < len(prefixes); j++ {
+				if prefixes[j].Bits() > prefixes[i].Bits() {
+					prefixes[i], prefixes[j] = prefixes[j], prefixes[i]
+				}
+			}
+		}
+		claimedIv := Empty()
+		claimedBd := sp.Empty()
+		scale := new(big.Int).Lsh(big.NewInt(1), uint(hdr.NumBits-hdr.DstIPBits))
+		for _, p := range prefixes {
+			mIv := FromPrefix(p).Diff(claimedIv)
+			mBd := sp.DstPrefix(p).Diff(claimedBd)
+			want := new(big.Int).Mul(new(big.Int).SetUint64(mIv.Count()), scale)
+			if got := mBd.Count(); got.Cmp(want) != 0 {
+				t.Fatalf("trial %d prefix %v: match-set size mismatch", trial, p)
+			}
+			claimedIv = claimedIv.Union(FromPrefix(p))
+			claimedBd = claimedBd.Union(sp.DstPrefix(p))
+		}
+	}
+}
+
+// BenchmarkAblationRepresentation compares the two representations on the
+// FIB match-set workload (the DESIGN.md ablation: BDDs buy generality —
+// 5-tuple matches, transforms — at a cost intervals avoid for pure-dst
+// tables).
+func BenchmarkAblationRepresentation(b *testing.B) {
+	var prefixes []netip.Prefix
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		bits := rng.Intn(17) + 8
+		addr := netip.AddrFrom4([4]byte{10, byte(rng.Intn(256)), byte(rng.Intn(256)), 0})
+		prefixes = append(prefixes, netip.PrefixFrom(addr, bits).Masked())
+	}
+	b.Run("repr=interval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			claimed := Empty()
+			for _, p := range prefixes {
+				m := FromPrefix(p).Diff(claimed)
+				_ = m
+				claimed = claimed.Union(FromPrefix(p))
+			}
+		}
+	})
+	b.Run("repr=bdd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp := hdr.NewSpace()
+			claimed := sp.Empty()
+			for _, p := range prefixes {
+				m := sp.DstPrefix(p).Diff(claimed)
+				_ = m
+				claimed = claimed.Union(sp.DstPrefix(p))
+			}
+		}
+	})
+}
+
+// TestDifferentialPrefixesBothWays closes the loop: the interval engine's
+// prefix decomposition rebuilt in the BDD engine equals the BDD set, and
+// vice versa.
+func TestDifferentialPrefixesBothWays(t *testing.T) {
+	sp := hdr.NewSpace()
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 30; trial++ {
+		var in []netip.Prefix
+		for i := rng.Intn(5) + 1; i > 0; i-- {
+			bits := rng.Intn(26) + 6
+			addr := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0})
+			in = append(in, netip.PrefixFrom(addr, bits).Masked())
+		}
+		iv := Empty()
+		for _, p := range in {
+			iv = iv.Union(FromPrefix(p))
+		}
+		bd := sp.FromDstPrefixes(in)
+
+		// interval → prefixes → BDD
+		if !sp.FromDstPrefixes(iv.Prefixes()).Equal(bd) {
+			t.Fatalf("trial %d: interval decomposition disagrees with BDD", trial)
+		}
+		// BDD → prefixes → interval
+		bdPrefixes, complete := bd.DstPrefixes(0)
+		if !complete {
+			t.Fatalf("trial %d: incomplete", trial)
+		}
+		back := Empty()
+		for _, p := range bdPrefixes {
+			back = back.Union(FromPrefix(p))
+		}
+		if !back.Equal(iv) {
+			t.Fatalf("trial %d: BDD decomposition disagrees with interval", trial)
+		}
+	}
+}

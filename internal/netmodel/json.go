@@ -1,0 +1,316 @@
+package netmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"yardstick/internal/hdr"
+)
+
+// The JSON format mirrors the internal arrays: device, interface, and
+// rule indices in the file are the DeviceID/IfaceID/RuleID values, so a
+// decoded network is structurally identical to the encoded one.
+
+type jsonNetwork struct {
+	Family  string       `json:"family,omitempty"` // "ipv6"; absent = IPv4
+	Devices []jsonDevice `json:"devices"`
+	Ifaces  []jsonIface  `json:"ifaces"`
+	Rules   []jsonRule   `json:"rules"`
+}
+
+type jsonDevice struct {
+	Name      string   `json:"name"`
+	Role      string   `json:"role"`
+	ASN       uint32   `json:"asn,omitempty"`
+	Loopbacks []string `json:"loopbacks,omitempty"`
+	Subnets   []string `json:"subnets,omitempty"`
+}
+
+type jsonIface struct {
+	Device   int32  `json:"device"`
+	Name     string `json:"name"`
+	Addr     string `json:"addr,omitempty"`
+	Peer     int32  `json:"peer"` // -1 = none
+	External bool   `json:"external,omitempty"`
+}
+
+type jsonMatch struct {
+	Dst     string    `json:"dst,omitempty"`
+	Src     string    `json:"src,omitempty"`
+	Proto   *int32    `json:"proto,omitempty"`
+	DstPort *[2]int32 `json:"dstPort,omitempty"`
+	SrcPort *[2]int32 `json:"srcPort,omitempty"`
+}
+
+type jsonTransform struct {
+	RewriteDst bool   `json:"rewriteDst,omitempty"`
+	RewriteSrc bool   `json:"rewriteSrc,omitempty"`
+	Addr       string `json:"addr"`
+}
+
+type jsonRule struct {
+	Device    int32          `json:"device"`
+	Table     string         `json:"table"` // "acl" or "fib"
+	Match     jsonMatch      `json:"match"`
+	Action    string         `json:"action"` // "forward", "drop", "deliver"
+	Out       []int32        `json:"out,omitempty"`
+	Transform *jsonTransform `json:"transform,omitempty"`
+	Origin    string         `json:"origin,omitempty"`
+	Deny      bool           `json:"deny,omitempty"`
+}
+
+func prefixString(p netip.Prefix) string {
+	if !p.IsValid() {
+		return ""
+	}
+	return p.String()
+}
+
+func parsePrefix(s string) (netip.Prefix, error) {
+	if s == "" {
+		return netip.Prefix{}, nil
+	}
+	return netip.ParsePrefix(s)
+}
+
+func toJSONMatch(m Match) jsonMatch {
+	var jm jsonMatch
+	jm.Dst = prefixString(m.DstPrefix)
+	jm.Src = prefixString(m.SrcPrefix)
+	if m.Proto >= 0 {
+		p := m.Proto
+		jm.Proto = &p
+	}
+	if m.DstPortLo != 0 || m.DstPortHi != 65535 {
+		jm.DstPort = &[2]int32{int32(m.DstPortLo), int32(m.DstPortHi)}
+	}
+	if m.SrcPortLo != 0 || m.SrcPortHi != 65535 {
+		jm.SrcPort = &[2]int32{int32(m.SrcPortLo), int32(m.SrcPortHi)}
+	}
+	return jm
+}
+
+func fromJSONMatch(jm jsonMatch) (Match, error) {
+	m := MatchAll()
+	var err error
+	if m.DstPrefix, err = parsePrefix(jm.Dst); err != nil {
+		return m, fmt.Errorf("dst: %w", err)
+	}
+	if m.SrcPrefix, err = parsePrefix(jm.Src); err != nil {
+		return m, fmt.Errorf("src: %w", err)
+	}
+	if jm.Proto != nil {
+		if *jm.Proto < 0 || *jm.Proto > 255 {
+			return m, fmt.Errorf("proto %d out of range", *jm.Proto)
+		}
+		m.Proto = *jm.Proto
+	}
+	if jm.DstPort != nil {
+		if err := checkPort(jm.DstPort); err != nil {
+			return m, fmt.Errorf("dstPort: %w", err)
+		}
+		m.DstPortLo, m.DstPortHi = uint16(jm.DstPort[0]), uint16(jm.DstPort[1])
+	}
+	if jm.SrcPort != nil {
+		if err := checkPort(jm.SrcPort); err != nil {
+			return m, fmt.Errorf("srcPort: %w", err)
+		}
+		m.SrcPortLo, m.SrcPortHi = uint16(jm.SrcPort[0]), uint16(jm.SrcPort[1])
+	}
+	return m, nil
+}
+
+func checkPort(r *[2]int32) error {
+	for _, v := range r {
+		if v < 0 || v > 65535 {
+			return fmt.Errorf("port %d out of range", v)
+		}
+	}
+	return nil
+}
+
+// EncodeJSON writes the network (topology and rules) as JSON. Match sets
+// are not serialized; they are recomputed on decode.
+func (n *Network) EncodeJSON(w io.Writer) error {
+	jn := jsonNetwork{}
+	if n.Family() == hdr.V6 {
+		jn.Family = "ipv6"
+	}
+	for _, d := range n.Devices {
+		jd := jsonDevice{Name: d.Name, Role: string(d.Role), ASN: d.ASN}
+		for _, p := range d.Loopbacks {
+			jd.Loopbacks = append(jd.Loopbacks, p.String())
+		}
+		for _, p := range d.Subnets {
+			jd.Subnets = append(jd.Subnets, p.String())
+		}
+		jn.Devices = append(jn.Devices, jd)
+	}
+	for _, ifc := range n.Ifaces {
+		jn.Ifaces = append(jn.Ifaces, jsonIface{
+			Device:   int32(ifc.Device),
+			Name:     ifc.Name,
+			Addr:     prefixString(ifc.Addr),
+			Peer:     int32(ifc.Peer),
+			External: ifc.External,
+		})
+	}
+	for _, r := range n.Rules {
+		jr := jsonRule{
+			Device: int32(r.Device),
+			Match:  toJSONMatch(r.Match),
+			Origin: string(r.Origin),
+			Deny:   r.Deny,
+		}
+		if r.Table == TableACL {
+			jr.Table = "acl"
+		} else {
+			jr.Table = "fib"
+		}
+		switch r.Action.Kind {
+		case ActForward:
+			jr.Action = "forward"
+			for _, out := range r.Action.OutIfaces {
+				jr.Out = append(jr.Out, int32(out))
+			}
+		case ActDrop:
+			jr.Action = "drop"
+		case ActDeliver:
+			jr.Action = "deliver"
+		}
+		if tr := r.Action.Transform; tr != nil {
+			jr.Transform = &jsonTransform{
+				RewriteDst: tr.RewriteDst,
+				RewriteSrc: tr.RewriteSrc,
+				Addr:       tr.Addr.String(),
+			}
+		}
+		jn.Rules = append(jn.Rules, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jn)
+}
+
+// DecodeJSON reads a network from JSON, rebuilds it, and computes match
+// sets. The result is frozen (no further rules can be added).
+func DecodeJSON(r io.Reader) (*Network, error) {
+	var jn jsonNetwork
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jn); err != nil {
+		return nil, fmt.Errorf("netmodel: decode: %w", err)
+	}
+	var n *Network
+	switch jn.Family {
+	case "":
+		n = New()
+	case "ipv6":
+		n = NewV6()
+	default:
+		return nil, fmt.Errorf("netmodel: unknown family %q", jn.Family)
+	}
+	for i, jd := range jn.Devices {
+		if jd.Name == "" {
+			return nil, fmt.Errorf("netmodel: device %d has no name", i)
+		}
+		dev := n.AddDevice(jd.Name, Role(jd.Role), jd.ASN)
+		d := n.Device(dev)
+		for _, s := range jd.Loopbacks {
+			p, err := netip.ParsePrefix(s)
+			if err != nil {
+				return nil, fmt.Errorf("netmodel: device %s loopback: %w", jd.Name, err)
+			}
+			d.Loopbacks = append(d.Loopbacks, p)
+		}
+		for _, s := range jd.Subnets {
+			p, err := netip.ParsePrefix(s)
+			if err != nil {
+				return nil, fmt.Errorf("netmodel: device %s subnet: %w", jd.Name, err)
+			}
+			d.Subnets = append(d.Subnets, p)
+		}
+	}
+	for i, ji := range jn.Ifaces {
+		if int(ji.Device) < 0 || int(ji.Device) >= len(n.Devices) {
+			return nil, fmt.Errorf("netmodel: iface %d: device %d out of range", i, ji.Device)
+		}
+		id := n.AddIface(DeviceID(ji.Device), ji.Name)
+		ifc := n.Iface(id)
+		ifc.External = ji.External
+		ifc.Peer = IfaceID(ji.Peer)
+		var err error
+		if ifc.Addr, err = parsePrefix(ji.Addr); err != nil {
+			return nil, fmt.Errorf("netmodel: iface %d addr: %w", i, err)
+		}
+	}
+	// Validate peer symmetry.
+	for i, ifc := range n.Ifaces {
+		if ifc.Peer == NoIface {
+			continue
+		}
+		if int(ifc.Peer) < 0 || int(ifc.Peer) >= len(n.Ifaces) {
+			return nil, fmt.Errorf("netmodel: iface %d: peer %d out of range", i, ifc.Peer)
+		}
+		if n.Iface(ifc.Peer).Peer != ifc.ID {
+			return nil, fmt.Errorf("netmodel: iface %d: asymmetric peer link", i)
+		}
+	}
+	for i, jr := range jn.Rules {
+		if int(jr.Device) < 0 || int(jr.Device) >= len(n.Devices) {
+			return nil, fmt.Errorf("netmodel: rule %d: device %d out of range", i, jr.Device)
+		}
+		m, err := fromJSONMatch(jr.Match)
+		if err != nil {
+			return nil, fmt.Errorf("netmodel: rule %d match: %w", i, err)
+		}
+		if jr.Table == "acl" {
+			// ACL actions are implied by the deny flag.
+			id := n.AddACLRule(DeviceID(jr.Device), m, jr.Deny)
+			n.Rule(id).Origin = RouteOrigin(jr.Origin)
+			continue
+		}
+		var act Action
+		switch jr.Action {
+		case "forward":
+			act.Kind = ActForward
+			if len(jr.Out) == 0 {
+				return nil, fmt.Errorf("netmodel: rule %d: forward with no out interfaces", i)
+			}
+			for _, out := range jr.Out {
+				if int(out) < 0 || int(out) >= len(n.Ifaces) {
+					return nil, fmt.Errorf("netmodel: rule %d: out iface %d out of range", i, out)
+				}
+				if n.Iface(IfaceID(out)).Device != DeviceID(jr.Device) {
+					return nil, fmt.Errorf("netmodel: rule %d: out iface %d not on device", i, out)
+				}
+				act.OutIfaces = append(act.OutIfaces, IfaceID(out))
+			}
+		case "drop":
+			act.Kind = ActDrop
+		case "deliver":
+			act.Kind = ActDeliver
+		default:
+			return nil, fmt.Errorf("netmodel: rule %d: unknown action %q", i, jr.Action)
+		}
+		if jr.Transform != nil {
+			addr, err := netip.ParseAddr(jr.Transform.Addr)
+			if err != nil {
+				return nil, fmt.Errorf("netmodel: rule %d transform: %w", i, err)
+			}
+			act.Transform = &Transform{
+				RewriteDst: jr.Transform.RewriteDst,
+				RewriteSrc: jr.Transform.RewriteSrc,
+				Addr:       addr,
+			}
+		}
+		if jr.Table != "fib" {
+			return nil, fmt.Errorf("netmodel: rule %d: unknown table %q", i, jr.Table)
+		}
+		n.AddFIBRule(DeviceID(jr.Device), m, act, RouteOrigin(jr.Origin))
+	}
+	n.ComputeMatchSets()
+	return n, nil
+}

@@ -1,0 +1,199 @@
+package netmodel
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+// buildRich creates a network exercising every serialized feature.
+func buildRich(t testing.TB) *Network {
+	t.Helper()
+	n := New()
+	a := n.AddDevice("a", RoleBorder, 65001)
+	b := n.AddDevice("b", RoleLeaf, 65002)
+	n.Device(a).Loopbacks = append(n.Device(a).Loopbacks, netip.MustParsePrefix("192.0.2.1/32"))
+	n.Device(b).Subnets = append(n.Device(b).Subnets, netip.MustParsePrefix("10.1.0.0/24"))
+	ia, _ := n.Connect(a, b, netip.MustParsePrefix("10.255.0.0/31"))
+	edge := n.AddEdgeIface(b, "host0", netip.MustParsePrefix("10.1.0.0/24"))
+
+	deny := MatchAll()
+	deny.DstPortLo, deny.DstPortHi = 23, 23
+	deny.Proto = 6
+	n.AddACLRule(a, deny, true)
+	n.AddACLRule(a, MatchAll(), false)
+
+	n.AddFIBRule(a, MatchDst(netip.MustParsePrefix("10.1.0.0/24")),
+		Action{Kind: ActForward, OutIfaces: []IfaceID{ia}}, OriginInternal)
+	n.AddFIBRule(a, MatchDst(netip.MustParsePrefix("0.0.0.0/0")),
+		Action{Kind: ActDrop}, OriginDefault)
+	n.AddFIBRule(b, MatchDst(netip.MustParsePrefix("10.1.0.0/24")),
+		Action{Kind: ActForward, OutIfaces: []IfaceID{edge},
+			Transform: &Transform{RewriteDst: true, Addr: netip.MustParseAddr("10.1.0.9")}}, OriginInternal)
+	n.AddFIBRule(b, MatchDst(netip.MustParsePrefix("192.0.2.1/32")),
+		Action{Kind: ActDeliver}, OriginInternal)
+	n.ComputeMatchSets()
+	return n
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	n := buildRich(t)
+	var buf bytes.Buffer
+	if err := n.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(n2.Devices) != len(n.Devices) || len(n2.Ifaces) != len(n.Ifaces) || len(n2.Rules) != len(n.Rules) {
+		t.Fatalf("shape mismatch: %+v vs %+v", n2.Stats(), n.Stats())
+	}
+	for i, d := range n.Devices {
+		d2 := n2.Devices[i]
+		if d.Name != d2.Name || d.Role != d2.Role || d.ASN != d2.ASN {
+			t.Errorf("device %d mismatch", i)
+		}
+		if len(d.Loopbacks) != len(d2.Loopbacks) || len(d.Subnets) != len(d2.Subnets) {
+			t.Errorf("device %d prefixes mismatch", i)
+		}
+	}
+	for i, ifc := range n.Ifaces {
+		i2 := n2.Ifaces[i]
+		if ifc.Device != i2.Device || ifc.Name != i2.Name || ifc.Peer != i2.Peer ||
+			ifc.External != i2.External || ifc.Addr != i2.Addr {
+			t.Errorf("iface %d mismatch: %+v vs %+v", i, ifc, i2)
+		}
+	}
+	// Rules: same matches, actions, and (after recompute) semantically
+	// equal match sets. The two networks use different BDD spaces, so
+	// compare via fractions and probe containment.
+	for i, r := range n.Rules {
+		r2 := n2.Rules[i]
+		if r.Device != r2.Device || r.Table != r2.Table || r.Origin != r2.Origin || r.Deny != r2.Deny {
+			t.Errorf("rule %d metadata mismatch", i)
+		}
+		if r.Match != r2.Match {
+			t.Errorf("rule %d match mismatch: %+v vs %+v", i, r.Match, r2.Match)
+		}
+		if r.Action.Kind != r2.Action.Kind || len(r.Action.OutIfaces) != len(r2.Action.OutIfaces) {
+			t.Errorf("rule %d action mismatch", i)
+		}
+		if (r.Action.Transform == nil) != (r2.Action.Transform == nil) {
+			t.Errorf("rule %d transform presence mismatch", i)
+		} else if r.Action.Transform != nil && *r.Action.Transform != *r2.Action.Transform {
+			t.Errorf("rule %d transform mismatch", i)
+		}
+		if r.MatchSet().Fraction() != r2.MatchSet().Fraction() {
+			t.Errorf("rule %d match-set size mismatch", i)
+		}
+	}
+	if !n2.MatchSetsComputed() {
+		t.Error("decoded network should be frozen")
+	}
+}
+
+func TestJSONRoundTripIdempotent(t *testing.T) {
+	n := buildRich(t)
+	var b1, b2 bytes.Buffer
+	if err := n.EncodeJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := DecodeJSON(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.EncodeJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("encode(decode(x)) != encode(x)")
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"garbage", "not json"},
+		{"unknown field", `{"devices":[],"ifaces":[],"rules":[],"bogus":1}`},
+		{"unnamed device", `{"devices":[{"name":""}],"ifaces":[],"rules":[]}`},
+		{"iface bad device", `{"devices":[],"ifaces":[{"device":0,"name":"x","peer":-1}],"rules":[]}`},
+		{"asymmetric peer", `{"devices":[{"name":"a"},{"name":"b"}],
+			"ifaces":[{"device":0,"name":"x","peer":1},{"device":1,"name":"y","peer":-1}],"rules":[]}`},
+		{"peer out of range", `{"devices":[{"name":"a"}],
+			"ifaces":[{"device":0,"name":"x","peer":7}],"rules":[]}`},
+		{"rule bad device", `{"devices":[],"ifaces":[],"rules":[{"device":0,"table":"fib","match":{},"action":"drop"}]}`},
+		{"bad action", `{"devices":[{"name":"a"}],"ifaces":[],"rules":[{"device":0,"table":"fib","match":{},"action":"teleport"}]}`},
+		{"bad table", `{"devices":[{"name":"a"}],"ifaces":[],"rules":[{"device":0,"table":"nat","match":{},"action":"drop"}]}`},
+		{"forward no out", `{"devices":[{"name":"a"}],"ifaces":[],"rules":[{"device":0,"table":"fib","match":{},"action":"forward"}]}`},
+		{"out not on device", `{"devices":[{"name":"a"},{"name":"b"}],
+			"ifaces":[{"device":1,"name":"x","peer":-1}],
+			"rules":[{"device":0,"table":"fib","match":{},"action":"forward","out":[0]}]}`},
+		{"bad match prefix", `{"devices":[{"name":"a"}],"ifaces":[],"rules":[{"device":0,"table":"fib","match":{"dst":"nope"},"action":"drop"}]}`},
+		{"bad proto", `{"devices":[{"name":"a"}],"ifaces":[],"rules":[{"device":0,"table":"fib","match":{"proto":900},"action":"drop"}]}`},
+		{"bad port", `{"devices":[{"name":"a"}],"ifaces":[],"rules":[{"device":0,"table":"fib","match":{"dstPort":[0,70000]},"action":"drop"}]}`},
+		{"bad transform addr", `{"devices":[{"name":"a"}],"ifaces":[],
+			"rules":[{"device":0,"table":"fib","match":{},"action":"drop","transform":{"addr":"xx"}}]}`},
+	}
+	for _, c := range cases {
+		if _, err := DecodeJSON(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestDecodeJSONMinimal(t *testing.T) {
+	n, err := DecodeJSON(strings.NewReader(`{"devices":[{"name":"r","role":"tor"}],"ifaces":[],"rules":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Devices) != 1 || n.Devices[0].Role != RoleToR {
+		t.Error("minimal decode wrong")
+	}
+}
+
+func TestJSONRoundTripIPv6(t *testing.T) {
+	n := NewV6()
+	a := n.AddDevice("a", RoleToR, 65001)
+	b := n.AddDevice("b", RoleSpine, 65002)
+	n.Device(a).Loopbacks = append(n.Device(a).Loopbacks, netip.MustParsePrefix("fd00:99::1/128"))
+	n.Device(a).Subnets = append(n.Device(a).Subnets, netip.MustParsePrefix("fd00:1::/64"))
+	ia, _ := n.Connect(a, b, netip.MustParsePrefix("fd00:ff::/126"))
+	host := n.AddEdgeIface(a, "host0", netip.MustParsePrefix("fd00:1::/64"))
+	n.AddFIBRule(a, MatchDst(netip.MustParsePrefix("fd00:1::/64")),
+		Action{Kind: ActForward, OutIfaces: []IfaceID{host}}, OriginInternal)
+	n.AddFIBRule(a, MatchDst(netip.MustParsePrefix("::/0")),
+		Action{Kind: ActForward, OutIfaces: []IfaceID{ia}}, OriginDefault)
+	n.AddFIBRule(b, MatchDst(netip.MustParsePrefix("fd00:1::/64")),
+		Action{Kind: ActForward, OutIfaces: []IfaceID{n.Iface(ia).Peer}}, OriginInternal)
+	n.ComputeMatchSets()
+
+	var buf bytes.Buffer
+	if err := n.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"family": "ipv6"`) {
+		t.Error("family marker missing")
+	}
+	n2, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Family().String() != "ipv6" || n2.Stats() != n.Stats() {
+		t.Fatalf("round trip: family=%v stats=%+v", n2.Family(), n2.Stats())
+	}
+	for i := range n.Rules {
+		if n.Rules[i].MatchSet().Fraction() != n2.Rules[i].MatchSet().Fraction() {
+			t.Errorf("rule %d size mismatch", i)
+		}
+	}
+}
+
+func TestDecodeJSONBadFamily(t *testing.T) {
+	if _, err := DecodeJSON(strings.NewReader(`{"family":"ipv5","devices":[],"ifaces":[],"rules":[]}`)); err == nil {
+		t.Error("bad family should error")
+	}
+}

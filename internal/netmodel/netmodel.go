@@ -1,0 +1,492 @@
+// Package netmodel defines the network model of the paper's §4.1: a network
+// N = (V, I, E, S) of devices, interfaces, links, and forwarding state.
+//
+// Forwarding state is held per device as ordered rule tables: an optional
+// ingress ACL (5-tuple matches, permit/deny) followed by a FIB
+// (longest-prefix match on destination IP). After a network's state is
+// populated, ComputeMatchSets derives each rule's *disjoint* match set
+// M[r] — the packets for which r, and no earlier rule in its table, fires —
+// which makes the rule applying to any packet unambiguous (§4.1) and is
+// Step 1 of Yardstick's metric computation (§5.2).
+package netmodel
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"yardstick/internal/hdr"
+)
+
+// DeviceID indexes a device within a Network.
+type DeviceID int32
+
+// IfaceID indexes an interface within a Network.
+type IfaceID int32
+
+// RuleID indexes a rule within a Network (global across devices).
+type RuleID int32
+
+// NoIface marks "no interface": packets injected directly at a device.
+const NoIface IfaceID = -1
+
+// Role classifies a device by its place in the topology. Coverage reports
+// break down by role (Figure 6 of the paper).
+type Role string
+
+// Roles used by the built-in topologies.
+const (
+	RoleToR    Role = "tor"
+	RoleAgg    Role = "agg"
+	RoleSpine  Role = "spine"
+	RoleHub    Role = "hub"    // regional hub router (§7.1)
+	RoleBorder Role = "border" // border router (Figure 1 example)
+	RoleLeaf   Role = "leaf"   // leaf router (Figure 1 example)
+	RoleCore   Role = "core"   // fat-tree core layer (§8)
+)
+
+// RouteOrigin classifies why a rule exists. The case study's gap analysis
+// (§7.2) groups untested rules into exactly these categories.
+type RouteOrigin string
+
+// Route origins.
+const (
+	OriginDefault   RouteOrigin = "default"   // the 0.0.0.0/0 route
+	OriginConnected RouteOrigin = "connected" // /31s of point-to-point links
+	OriginInternal  RouteOrigin = "internal"  // host subnets and loopbacks (BGP)
+	OriginWideArea  RouteOrigin = "wide-area" // routes learned from the WAN
+	OriginStatic    RouteOrigin = "static"    // other static routes
+	OriginACL       RouteOrigin = "acl"       // access-control entries
+)
+
+// ActionKind distinguishes rule actions.
+type ActionKind uint8
+
+// Rule action kinds.
+const (
+	ActForward ActionKind = iota // forward out OutIfaces (several = ECMP)
+	ActDrop                      // drop the packet (includes null routes)
+	ActDeliver                   // deliver locally (loopback / attached subnet)
+)
+
+// Transform optionally rewrites a header field when a rule applies.
+// Only destination/source IP rewrites are modeled (enough for NAT-style
+// one-to-many and many-to-one transformations the paper's §4.3.2 footnote
+// discusses).
+type Transform struct {
+	RewriteDst bool
+	RewriteSrc bool
+	Addr       netip.Addr
+}
+
+// Action is what a rule does to matched packets.
+type Action struct {
+	Kind      ActionKind
+	OutIfaces []IfaceID // for ActForward; multiple entries = ECMP/multicast
+	Transform *Transform
+}
+
+// Match is the match *fields* of a rule as configured. The effective match
+// set M[r] additionally excludes packets claimed by earlier rules in the
+// same table; it is computed by ComputeMatchSets.
+type Match struct {
+	DstPrefix netip.Prefix // zero value = any
+	SrcPrefix netip.Prefix // zero value = any
+	Proto     int32        // -1 = any
+	DstPortLo uint16       // [lo,hi]; 0..65535 = any
+	DstPortHi uint16
+	SrcPortLo uint16
+	SrcPortHi uint16
+}
+
+// MatchAll returns a Match that matches every packet.
+func MatchAll() Match {
+	return Match{Proto: -1, DstPortHi: 65535, SrcPortHi: 65535}
+}
+
+// MatchDst returns a Match on a destination prefix only.
+func MatchDst(p netip.Prefix) Match {
+	m := MatchAll()
+	m.DstPrefix = p
+	return m
+}
+
+// Set converts the match fields to a packet set (Figure 5's fromRule,
+// before disjointness).
+func (mt Match) Set(sp *hdr.Space) hdr.Set {
+	s := sp.Full()
+	if mt.DstPrefix.IsValid() {
+		s = s.Intersect(sp.DstPrefix(mt.DstPrefix))
+	}
+	if mt.SrcPrefix.IsValid() {
+		s = s.Intersect(sp.SrcPrefix(mt.SrcPrefix))
+	}
+	if mt.Proto >= 0 {
+		s = s.Intersect(sp.Proto(uint8(mt.Proto)))
+	}
+	if mt.DstPortLo != 0 || mt.DstPortHi != 65535 {
+		s = s.Intersect(sp.DstPortRange(mt.DstPortLo, mt.DstPortHi))
+	}
+	if mt.SrcPortLo != 0 || mt.SrcPortHi != 65535 {
+		s = s.Intersect(sp.SrcPortRange(mt.SrcPortLo, mt.SrcPortHi))
+	}
+	return s
+}
+
+// TableKind identifies which table of a device a rule lives in.
+type TableKind uint8
+
+// Device tables, in pipeline order.
+const (
+	TableACL TableKind = iota // ingress ACL, evaluated before the FIB
+	TableFIB
+)
+
+// Rule is one match-action rule (§4.1). MatchSet is valid only after
+// Network.ComputeMatchSets.
+type Rule struct {
+	ID      RuleID
+	Device  DeviceID
+	Table   TableKind
+	Match   Match
+	Action  Action
+	Origin  RouteOrigin
+	Deny    bool // ACL entries: true = drop, false = permit
+	raw     hdr.Set
+	matchOK bool
+	match   hdr.Set
+}
+
+// MatchSet returns the disjoint match set M[r]. It panics if
+// ComputeMatchSets has not run.
+func (r *Rule) MatchSet() hdr.Set {
+	if !r.matchOK {
+		panic(fmt.Sprintf("netmodel: MatchSet of rule %d before ComputeMatchSets", r.ID))
+	}
+	return r.match
+}
+
+// Interface is a device port. Point-to-point interfaces carry a /31
+// address; edge interfaces (host- or WAN-facing) are marked External.
+type Interface struct {
+	ID       IfaceID
+	Device   DeviceID
+	Name     string
+	Addr     netip.Prefix // interface address (e.g. 10.0.0.0/31); may be invalid
+	Peer     IfaceID      // other end of the link; NoIface for edge interfaces
+	External bool         // host- or WAN-facing edge
+}
+
+// Device is one router.
+type Device struct {
+	ID   DeviceID
+	Name string
+	Role Role
+	ASN  uint32
+
+	Ifaces    []IfaceID
+	Loopbacks []netip.Prefix // /32 loopback prefixes
+	Subnets   []netip.Prefix // directly attached host subnets (ToRs)
+
+	ACL []RuleID // ordered ACL entries (may be empty)
+	FIB []RuleID // FIB entries; LPM order fixed by ComputeMatchSets
+}
+
+// Network is the full model.
+type Network struct {
+	Space   *hdr.Space
+	Devices []*Device
+	Ifaces  []*Interface
+	Rules   []*Rule
+
+	byName map[string]DeviceID
+	// fibIndex maps (device, exact destination prefix) to the FIB rule,
+	// built by ComputeMatchSets. Tests resolve expected routes through
+	// it in O(1).
+	fibIndex map[fibKey]RuleID
+
+	matchSetsDone bool
+}
+
+type fibKey struct {
+	dev    DeviceID
+	prefix netip.Prefix
+}
+
+// New returns an empty IPv4 network over a fresh header space.
+func New() *Network { return NewFamily(hdr.V4) }
+
+// NewV6 returns an empty IPv6 network. The paper's case-study network is
+// dual-stack (/31 IPv4 and /126 IPv6 point-to-point prefixes); each
+// family's forwarding state is modeled as its own network.
+func NewV6() *Network { return NewFamily(hdr.V6) }
+
+// NewFamily returns an empty network of the given address family.
+func NewFamily(f hdr.Family) *Network {
+	return &Network{
+		Space:  hdr.NewFamilySpace(f),
+		byName: make(map[string]DeviceID),
+	}
+}
+
+// Family returns the network's address family.
+func (n *Network) Family() hdr.Family { return n.Space.Family() }
+
+// AddDevice creates a device. Names must be unique.
+func (n *Network) AddDevice(name string, role Role, asn uint32) DeviceID {
+	if _, dup := n.byName[name]; dup {
+		panic(fmt.Sprintf("netmodel: duplicate device name %q", name))
+	}
+	id := DeviceID(len(n.Devices))
+	n.Devices = append(n.Devices, &Device{ID: id, Name: name, Role: role, ASN: asn})
+	n.byName[name] = id
+	return id
+}
+
+// Device returns the device with the given ID.
+func (n *Network) Device(id DeviceID) *Device { return n.Devices[id] }
+
+// DeviceByName looks a device up by name.
+func (n *Network) DeviceByName(name string) (*Device, bool) {
+	id, ok := n.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return n.Devices[id], true
+}
+
+// Iface returns the interface with the given ID.
+func (n *Network) Iface(id IfaceID) *Interface { return n.Ifaces[id] }
+
+// Rule returns the rule with the given ID.
+func (n *Network) Rule(id RuleID) *Rule { return n.Rules[id] }
+
+// AddIface creates an unconnected interface on a device.
+func (n *Network) AddIface(dev DeviceID, name string) IfaceID {
+	id := IfaceID(len(n.Ifaces))
+	n.Ifaces = append(n.Ifaces, &Interface{ID: id, Device: dev, Name: name, Peer: NoIface})
+	n.Devices[dev].Ifaces = append(n.Devices[dev].Ifaces, id)
+	return id
+}
+
+// AddEdgeIface creates an external (host- or WAN-facing) interface.
+func (n *Network) AddEdgeIface(dev DeviceID, name string, addr netip.Prefix) IfaceID {
+	id := n.AddIface(dev, name)
+	n.Ifaces[id].External = true
+	n.Ifaces[id].Addr = addr
+	return id
+}
+
+// Connect links two devices with a point-to-point subnet: a /31 for IPv4
+// networks (ends get .0 and .1) or a /126 or /127 for IPv6 (per the
+// paper's §7.2: "statically configured /31 (IPv4) and /126 (IPv6)
+// prefixes"). A /126's ends get ::1 and ::2; a /127's get ::0 and ::1.
+// It returns the two new interfaces.
+func (n *Network) Connect(a, b DeviceID, subnet netip.Prefix) (IfaceID, IfaceID) {
+	if subnet.IsValid() {
+		switch n.Family() {
+		case hdr.V4:
+			if !subnet.Addr().Is4() || subnet.Bits() != 31 {
+				panic(fmt.Sprintf("netmodel: IPv4 point-to-point subnet %v must be a /31", subnet))
+			}
+		case hdr.V6:
+			if subnet.Addr().Is4() || (subnet.Bits() != 126 && subnet.Bits() != 127) {
+				panic(fmt.Sprintf("netmodel: IPv6 point-to-point subnet %v must be a /126 or /127", subnet))
+			}
+		}
+	}
+	ia := n.AddIface(a, fmt.Sprintf("to-%s", n.Devices[b].Name))
+	ib := n.AddIface(b, fmt.Sprintf("to-%s", n.Devices[a].Name))
+	n.Ifaces[ia].Peer = ib
+	n.Ifaces[ib].Peer = ia
+	if subnet.IsValid() {
+		lo := subnet.Masked().Addr()
+		if subnet.Bits() == 126 {
+			lo = lo.Next() // convention: ::1 and ::2 on a /126
+		}
+		n.Ifaces[ia].Addr = netip.PrefixFrom(lo, subnet.Bits())
+		n.Ifaces[ib].Addr = netip.PrefixFrom(lo.Next(), subnet.Bits())
+	}
+	return ia, ib
+}
+
+// Neighbors returns the devices adjacent to dev via internal links.
+func (n *Network) Neighbors(dev DeviceID) []DeviceID {
+	var out []DeviceID
+	for _, ifid := range n.Devices[dev].Ifaces {
+		p := n.Ifaces[ifid].Peer
+		if p != NoIface {
+			out = append(out, n.Ifaces[p].Device)
+		}
+	}
+	return out
+}
+
+// IfaceTo returns dev's interface(s) facing neighbor nb.
+func (n *Network) IfaceTo(dev, nb DeviceID) []IfaceID {
+	var out []IfaceID
+	for _, ifid := range n.Devices[dev].Ifaces {
+		p := n.Ifaces[ifid].Peer
+		if p != NoIface && n.Ifaces[p].Device == nb {
+			out = append(out, ifid)
+		}
+	}
+	return out
+}
+
+// AddFIBRule appends a FIB rule on dev. Order is irrelevant: the FIB is
+// longest-prefix-match and ComputeMatchSets fixes the evaluation order.
+func (n *Network) AddFIBRule(dev DeviceID, match Match, action Action, origin RouteOrigin) RuleID {
+	return n.addRule(dev, TableFIB, match, action, origin, false)
+}
+
+// AddACLRule appends an ACL entry on dev. ACL order is the insertion order
+// (first match wins).
+func (n *Network) AddACLRule(dev DeviceID, match Match, deny bool) RuleID {
+	action := Action{Kind: ActForward} // permit: continue to FIB
+	if deny {
+		action = Action{Kind: ActDrop}
+	}
+	return n.addRule(dev, TableACL, match, action, OriginACL, deny)
+}
+
+func (n *Network) addRule(dev DeviceID, table TableKind, match Match, action Action, origin RouteOrigin, deny bool) RuleID {
+	if n.matchSetsDone {
+		panic("netmodel: rule added after ComputeMatchSets")
+	}
+	id := RuleID(len(n.Rules))
+	r := &Rule{
+		ID:     id,
+		Device: dev,
+		Table:  table,
+		Match:  match,
+		Action: action,
+		Origin: origin,
+		Deny:   deny,
+	}
+	n.Rules = append(n.Rules, r)
+	d := n.Devices[dev]
+	if table == TableACL {
+		d.ACL = append(d.ACL, id)
+	} else {
+		d.FIB = append(d.FIB, id)
+	}
+	return id
+}
+
+// ComputeMatchSets derives the disjoint match set of every rule (§5.2
+// Step 1): per table, walk rules in evaluation order and give each rule the
+// packets its match fields cover minus everything already claimed. FIBs are
+// ordered longest prefix first; ACLs keep insertion order.
+func (n *Network) ComputeMatchSets() {
+	if n.matchSetsDone {
+		return
+	}
+	for _, d := range n.Devices {
+		// Fix FIB order: longest prefix first; ties broken by rule ID for
+		// determinism (same-length FIB prefixes never overlap anyway).
+		sort.SliceStable(d.FIB, func(i, j int) bool {
+			pi := n.Rules[d.FIB[i]].Match.DstPrefix
+			pj := n.Rules[d.FIB[j]].Match.DstPrefix
+			bi, bj := prefixLen(pi), prefixLen(pj)
+			if bi != bj {
+				return bi > bj
+			}
+			return d.FIB[i] < d.FIB[j]
+		})
+		n.computeTable(d.ACL)
+		n.computeTable(d.FIB)
+	}
+	n.fibIndex = make(map[fibKey]RuleID, len(n.Rules))
+	for _, r := range n.Rules {
+		if r.Table == TableFIB && r.Match.DstPrefix.IsValid() {
+			n.fibIndex[fibKey{r.Device, r.Match.DstPrefix.Masked()}] = r.ID
+		}
+	}
+	n.matchSetsDone = true
+}
+
+// FIBRuleFor returns the device's FIB rule whose match is exactly the
+// given destination prefix, if any. Only valid after ComputeMatchSets.
+func (n *Network) FIBRuleFor(dev DeviceID, prefix netip.Prefix) (*Rule, bool) {
+	if !n.matchSetsDone {
+		panic("netmodel: FIBRuleFor before ComputeMatchSets")
+	}
+	id, ok := n.fibIndex[fibKey{dev, prefix.Masked()}]
+	if !ok {
+		return nil, false
+	}
+	return n.Rules[id], true
+}
+
+func prefixLen(p netip.Prefix) int {
+	if !p.IsValid() {
+		return -1
+	}
+	return p.Bits()
+}
+
+func (n *Network) computeTable(order []RuleID) {
+	claimed := n.Space.Empty()
+	for _, id := range order {
+		r := n.Rules[id]
+		r.raw = r.Match.Set(n.Space)
+		r.match = r.raw.Diff(claimed)
+		r.matchOK = true
+		claimed = claimed.Union(r.raw)
+	}
+}
+
+// MatchSetsComputed reports whether ComputeMatchSets has run.
+func (n *Network) MatchSetsComputed() bool { return n.matchSetsDone }
+
+// DeviceRules returns all rule IDs of a device (ACL then FIB).
+func (n *Network) DeviceRules(dev DeviceID) []RuleID {
+	d := n.Devices[dev]
+	out := make([]RuleID, 0, len(d.ACL)+len(d.FIB))
+	out = append(out, d.ACL...)
+	out = append(out, d.FIB...)
+	return out
+}
+
+// RulesForwardingTo returns the rules on the interface's device whose
+// action forwards out the given interface (the dependency set of an
+// *outgoing* interface, §4.3.2).
+func (n *Network) RulesForwardingTo(ifid IfaceID) []RuleID {
+	dev := n.Ifaces[ifid].Device
+	var out []RuleID
+	for _, rid := range n.Devices[dev].FIB {
+		r := n.Rules[rid]
+		if r.Action.Kind != ActForward {
+			continue
+		}
+		for _, out2 := range r.Action.OutIfaces {
+			if out2 == ifid {
+				out = append(out, rid)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Stats summarizes the network's size.
+type Stats struct {
+	Devices, Ifaces, Links, Rules int
+}
+
+// Stats returns counts of the network's components.
+func (n *Network) Stats() Stats {
+	links := 0
+	for _, i := range n.Ifaces {
+		if i.Peer != NoIface && i.ID < i.Peer {
+			links++
+		}
+	}
+	return Stats{
+		Devices: len(n.Devices),
+		Ifaces:  len(n.Ifaces),
+		Links:   links,
+		Rules:   len(n.Rules),
+	}
+}

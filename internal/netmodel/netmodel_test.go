@@ -1,0 +1,299 @@
+package netmodel
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func p(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	pf, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pf
+}
+
+func TestAddDeviceAndLookup(t *testing.T) {
+	n := New()
+	id := n.AddDevice("r1", RoleSpine, 65001)
+	d, ok := n.DeviceByName("r1")
+	if !ok || d.ID != id || d.Role != RoleSpine || d.ASN != 65001 {
+		t.Fatalf("lookup failed: %+v ok=%v", d, ok)
+	}
+	if _, ok := n.DeviceByName("nope"); ok {
+		t.Error("lookup of unknown device succeeded")
+	}
+}
+
+func TestDuplicateDevicePanics(t *testing.T) {
+	n := New()
+	n.AddDevice("r1", RoleSpine, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate device name did not panic")
+		}
+	}()
+	n.AddDevice("r1", RoleSpine, 2)
+}
+
+func TestConnectAssignsSlash31(t *testing.T) {
+	n := New()
+	a := n.AddDevice("a", RoleLeaf, 1)
+	b := n.AddDevice("b", RoleSpine, 2)
+	ia, ib := n.Connect(a, b, p(t, "10.0.0.0/31"))
+	if n.Iface(ia).Addr.Addr() != netip.MustParseAddr("10.0.0.0") {
+		t.Errorf("a-end addr = %v", n.Iface(ia).Addr)
+	}
+	if n.Iface(ib).Addr.Addr() != netip.MustParseAddr("10.0.0.1") {
+		t.Errorf("b-end addr = %v", n.Iface(ib).Addr)
+	}
+	if n.Iface(ia).Peer != ib || n.Iface(ib).Peer != ia {
+		t.Error("peers not symmetric")
+	}
+	nbs := n.Neighbors(a)
+	if len(nbs) != 1 || nbs[0] != b {
+		t.Errorf("Neighbors(a) = %v", nbs)
+	}
+	if got := n.IfaceTo(a, b); len(got) != 1 || got[0] != ia {
+		t.Errorf("IfaceTo(a,b) = %v", got)
+	}
+	if st := n.Stats(); st.Links != 1 || st.Ifaces != 2 || st.Devices != 2 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestConnectRejectsNonSlash31(t *testing.T) {
+	n := New()
+	a := n.AddDevice("a", RoleLeaf, 1)
+	b := n.AddDevice("b", RoleSpine, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("/30 subnet did not panic")
+		}
+	}()
+	n.Connect(a, b, p(t, "10.0.0.0/30"))
+}
+
+// buildLPMFib installs overlapping prefixes and returns the network.
+func buildLPMFib(t *testing.T) (*Network, DeviceID, []RuleID) {
+	n := New()
+	d := n.AddDevice("r", RoleToR, 1)
+	out := n.AddIface(d, "up")
+	act := Action{Kind: ActForward, OutIfaces: []IfaceID{out}}
+	// Inserted shortest-first on purpose; LPM must reorder.
+	rDefault := n.AddFIBRule(d, MatchDst(p(t, "0.0.0.0/0")), act, OriginDefault)
+	r8 := n.AddFIBRule(d, MatchDst(p(t, "10.0.0.0/8")), act, OriginInternal)
+	r24 := n.AddFIBRule(d, MatchDst(p(t, "10.1.2.0/24")), act, OriginInternal)
+	n.ComputeMatchSets()
+	return n, d, []RuleID{rDefault, r8, r24}
+}
+
+func TestLPMMatchSetsDisjointAndComplete(t *testing.T) {
+	n, d, ids := buildLPMFib(t)
+	rDefault, r8, r24 := ids[0], ids[1], ids[2]
+	sp := n.Space
+
+	// The /24 keeps its full prefix.
+	if !n.Rule(r24).MatchSet().Equal(sp.DstPrefix(p(t, "10.1.2.0/24"))) {
+		t.Error("/24 match set should be its full prefix")
+	}
+	// The /8 excludes the /24.
+	want8 := sp.DstPrefix(p(t, "10.0.0.0/8")).Diff(sp.DstPrefix(p(t, "10.1.2.0/24")))
+	if !n.Rule(r8).MatchSet().Equal(want8) {
+		t.Error("/8 match set should exclude the /24")
+	}
+	// The default excludes the /8 (which subsumes the /24).
+	wantDef := sp.Full().Diff(sp.DstPrefix(p(t, "10.0.0.0/8")))
+	if !n.Rule(rDefault).MatchSet().Equal(wantDef) {
+		t.Error("default match set should exclude 10/8")
+	}
+	// Disjointness and completeness.
+	union := sp.Empty()
+	for _, id := range n.DeviceRules(d) {
+		ms := n.Rule(id).MatchSet()
+		if union.Overlaps(ms) {
+			t.Fatalf("rule %d match set overlaps earlier rules", id)
+		}
+		union = union.Union(ms)
+	}
+	if !union.IsFull() {
+		t.Error("union of match sets should equal union of raw matches (full here)")
+	}
+}
+
+func TestMatchSetPanicsBeforeCompute(t *testing.T) {
+	n := New()
+	d := n.AddDevice("r", RoleToR, 1)
+	id := n.AddFIBRule(d, MatchDst(p(t, "10.0.0.0/8")), Action{Kind: ActDrop}, OriginStatic)
+	defer func() {
+		if recover() == nil {
+			t.Error("MatchSet before ComputeMatchSets did not panic")
+		}
+	}()
+	n.Rule(id).MatchSet()
+}
+
+func TestAddRuleAfterComputePanics(t *testing.T) {
+	n := New()
+	d := n.AddDevice("r", RoleToR, 1)
+	n.ComputeMatchSets()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddFIBRule after ComputeMatchSets did not panic")
+		}
+	}()
+	n.AddFIBRule(d, MatchAll(), Action{Kind: ActDrop}, OriginStatic)
+}
+
+func TestACLOrderFirstMatchWins(t *testing.T) {
+	n := New()
+	d := n.AddDevice("fw", RoleBorder, 1)
+	// Deny port 23, then permit everything.
+	deny := MatchAll()
+	deny.DstPortLo, deny.DstPortHi = 23, 23
+	rDeny := n.AddACLRule(d, deny, true)
+	rPermit := n.AddACLRule(d, MatchAll(), false)
+	n.ComputeMatchSets()
+
+	sp := n.Space
+	if !n.Rule(rDeny).MatchSet().Equal(sp.DstPort(23)) {
+		t.Error("deny rule should match exactly port 23")
+	}
+	if n.Rule(rPermit).MatchSet().Overlaps(sp.DstPort(23)) {
+		t.Error("permit rule should exclude port 23")
+	}
+	if !n.Rule(rDeny).Deny || n.Rule(rPermit).Deny {
+		t.Error("deny flags wrong")
+	}
+}
+
+func TestRulesForwardingTo(t *testing.T) {
+	n := New()
+	d := n.AddDevice("r", RoleSpine, 1)
+	up := n.AddIface(d, "up")
+	down := n.AddIface(d, "down")
+	rUp := n.AddFIBRule(d, MatchDst(p(t, "0.0.0.0/0")), Action{Kind: ActForward, OutIfaces: []IfaceID{up}}, OriginDefault)
+	rDown := n.AddFIBRule(d, MatchDst(p(t, "10.0.0.0/8")), Action{Kind: ActForward, OutIfaces: []IfaceID{down}}, OriginInternal)
+	rBoth := n.AddFIBRule(d, MatchDst(p(t, "10.1.0.0/16")), Action{Kind: ActForward, OutIfaces: []IfaceID{up, down}}, OriginInternal)
+	n.AddFIBRule(d, MatchDst(p(t, "192.168.0.0/16")), Action{Kind: ActDrop}, OriginStatic)
+	n.ComputeMatchSets()
+
+	got := n.RulesForwardingTo(up)
+	if len(got) != 2 || !containsRule(got, rUp) || !containsRule(got, rBoth) {
+		t.Errorf("RulesForwardingTo(up) = %v", got)
+	}
+	got = n.RulesForwardingTo(down)
+	if len(got) != 2 || !containsRule(got, rDown) || !containsRule(got, rBoth) {
+		t.Errorf("RulesForwardingTo(down) = %v", got)
+	}
+}
+
+func containsRule(ids []RuleID, want RuleID) bool {
+	for _, id := range ids {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPropertyMatchSetsDisjoint generates random FIBs and checks the §4.1
+// invariant: per-table match sets are pairwise disjoint and union to the
+// union of raw matches.
+func TestPropertyMatchSetsDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		n := New()
+		d := n.AddDevice("r", RoleToR, 1)
+		out := n.AddIface(d, "o")
+		act := Action{Kind: ActForward, OutIfaces: []IfaceID{out}}
+		raw := n.Space.Empty()
+		nRules := rng.Intn(20) + 2
+		for i := 0; i < nRules; i++ {
+			bits := rng.Intn(25)
+			addr := netip.AddrFrom4([4]byte{byte(rng.Intn(4) * 64), byte(rng.Intn(256)), 0, 0})
+			pf := netip.PrefixFrom(addr, bits).Masked()
+			n.AddFIBRule(d, MatchDst(pf), act, OriginInternal)
+			raw = raw.Union(n.Space.DstPrefix(pf))
+		}
+		n.ComputeMatchSets()
+		union := n.Space.Empty()
+		for _, id := range n.DeviceRules(d) {
+			ms := n.Rule(id).MatchSet()
+			if union.Overlaps(ms) {
+				t.Fatalf("trial %d: overlap detected", trial)
+			}
+			union = union.Union(ms)
+		}
+		if !union.Equal(raw) {
+			t.Fatalf("trial %d: union of match sets != union of raw matches", trial)
+		}
+	}
+}
+
+func TestMatchSetFieldCombination(t *testing.T) {
+	n := New()
+	sp := n.Space
+	m := Match{
+		DstPrefix: p(t, "10.0.0.0/8"),
+		SrcPrefix: p(t, "172.16.0.0/12"),
+		Proto:     6,
+		DstPortLo: 80, DstPortHi: 80,
+		SrcPortLo: 0, SrcPortHi: 65535,
+	}
+	set := m.Set(sp)
+	want := sp.DstPrefix(p(t, "10.0.0.0/8")).
+		Intersect(sp.SrcPrefix(p(t, "172.16.0.0/12"))).
+		Intersect(sp.Proto(6)).
+		Intersect(sp.DstPort(80))
+	if !set.Equal(want) {
+		t.Error("Match.Set field combination mismatch")
+	}
+	if !MatchAll().Set(sp).IsFull() {
+		t.Error("MatchAll should be the full space")
+	}
+}
+
+func TestEdgeIface(t *testing.T) {
+	n := New()
+	d := n.AddDevice("tor", RoleToR, 1)
+	e := n.AddEdgeIface(d, "host0", p(t, "10.1.0.0/24"))
+	if !n.Iface(e).External {
+		t.Error("edge iface not external")
+	}
+	if n.Iface(e).Peer != NoIface {
+		t.Error("edge iface should have no peer")
+	}
+	if len(n.Neighbors(d)) != 0 {
+		t.Error("edge iface should not create neighbors")
+	}
+}
+
+func TestFIBRuleFor(t *testing.T) {
+	n, d, ids := buildLPMFib(t)
+	r, ok := n.FIBRuleFor(d, p(t, "10.1.2.0/24"))
+	if !ok || r.ID != ids[2] {
+		t.Fatalf("FIBRuleFor /24 = %v, %v", r, ok)
+	}
+	// Unmasked input resolves too.
+	r, ok = n.FIBRuleFor(d, p(t, "10.0.0.0/8"))
+	if !ok || r.ID != ids[1] {
+		t.Fatalf("FIBRuleFor /8 = %v, %v", r, ok)
+	}
+	if _, ok := n.FIBRuleFor(d, p(t, "192.168.0.0/16")); ok {
+		t.Error("missing prefix should not resolve")
+	}
+}
+
+func TestFIBRuleForPanicsBeforeCompute(t *testing.T) {
+	n := New()
+	d := n.AddDevice("r", RoleToR, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n.FIBRuleFor(d, p(t, "10.0.0.0/8"))
+}

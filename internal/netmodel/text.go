@@ -1,0 +1,473 @@
+package netmodel
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"sort"
+	"strconv"
+	"strings"
+	"yardstick/internal/hdr"
+)
+
+// This file implements a line-oriented text format for networks, closer
+// to the router-dump form operators actually have than the JSON format.
+// It is deliberately forgiving: devices may be declared in any order
+// before use, interfaces are named, and routes reference neighbors or
+// interface names.
+//
+//	# comments and blank lines are ignored
+//	device tor1 role=tor asn=65001
+//	device agg1 role=agg asn=65002
+//	loopback tor1 172.16.0.1/32
+//	link tor1 agg1 10.128.0.0/31        # /31 optional
+//	edge tor1 host0 10.1.0.0/24         # host/WAN-facing port
+//	subnet tor1 10.1.0.0/24             # hosted subnet (metadata)
+//	route tor1 0.0.0.0/0 via agg1 origin=default
+//	route tor1 10.1.0.0/24 out host0 origin=internal
+//	route agg1 192.0.2.0/24 drop
+//	route tor1 172.16.0.9/32 deliver origin=internal
+//	acl tor1 deny dst=0.0.0.0/0 proto=6 dport=23
+//	acl tor1 permit
+//
+// Route "via" targets are neighbor device names (all parallel links are
+// used, giving ECMP for comma-separated lists); "out" targets are local
+// interface names.
+
+// ParseText reads the text format and returns a frozen network. An
+// optional `family ipv6` directive (before any link or route) selects
+// IPv6; the default is IPv4.
+func ParseText(r io.Reader) (*Network, error) {
+	n := New()
+	sawContent := false
+	type pendingRoute struct {
+		line    int
+		dev     string
+		prefix  netip.Prefix
+		kind    string // via, out, drop, deliver
+		targets []string
+		origin  RouteOrigin
+	}
+	type pendingACL struct {
+		line int
+		dev  string
+		deny bool
+		args []string
+	}
+	var routes []pendingRoute
+	var acls []pendingACL
+	ifaceByName := make(map[string]IfaceID) // "dev/name"
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("netmodel: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		if fields[0] != "family" {
+			sawContent = true
+		}
+		switch fields[0] {
+		case "family":
+			if sawContent {
+				return nil, fail("family must precede all other directives")
+			}
+			switch {
+			case len(fields) == 2 && fields[1] == "ipv6":
+				n = NewV6()
+			case len(fields) == 2 && fields[1] == "ipv4":
+				n = New()
+			default:
+				return nil, fail("family must be ipv4 or ipv6")
+			}
+
+		case "device":
+			if len(fields) < 2 {
+				return nil, fail("device needs a name")
+			}
+			name := fields[1]
+			role := Role("")
+			var asn uint64
+			for _, kv := range fields[2:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fail("bad attribute %q", kv)
+				}
+				switch k {
+				case "role":
+					role = Role(v)
+				case "asn":
+					var err error
+					asn, err = strconv.ParseUint(v, 10, 32)
+					if err != nil {
+						return nil, fail("bad asn %q", v)
+					}
+				default:
+					return nil, fail("unknown attribute %q", k)
+				}
+			}
+			if _, dup := n.byName[name]; dup {
+				return nil, fail("duplicate device %q", name)
+			}
+			n.AddDevice(name, role, uint32(asn))
+
+		case "loopback", "subnet":
+			if len(fields) != 3 {
+				return nil, fail("%s needs device and prefix", fields[0])
+			}
+			d, ok := n.DeviceByName(fields[1])
+			if !ok {
+				return nil, fail("unknown device %q", fields[1])
+			}
+			p, err := netip.ParsePrefix(fields[2])
+			if err != nil {
+				return nil, fail("bad prefix %q", fields[2])
+			}
+			if fields[0] == "loopback" {
+				d.Loopbacks = append(d.Loopbacks, p)
+			} else {
+				d.Subnets = append(d.Subnets, p)
+			}
+
+		case "link":
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, fail("link needs two devices and an optional /31")
+			}
+			a, ok := n.DeviceByName(fields[1])
+			if !ok {
+				return nil, fail("unknown device %q", fields[1])
+			}
+			b, ok := n.DeviceByName(fields[2])
+			if !ok {
+				return nil, fail("unknown device %q", fields[2])
+			}
+			subnet := netip.Prefix{}
+			if len(fields) == 4 {
+				var err error
+				subnet, err = netip.ParsePrefix(fields[3])
+				if err != nil {
+					return nil, fail("bad link subnet %q", fields[3])
+				}
+				wantV4 := n.Family() == hdr.V4
+				if wantV4 && subnet.Bits() != 31 {
+					return nil, fail("IPv4 link subnet %q must be a /31", fields[3])
+				}
+				if !wantV4 && subnet.Bits() != 126 && subnet.Bits() != 127 {
+					return nil, fail("IPv6 link subnet %q must be a /126 or /127", fields[3])
+				}
+			}
+			ia, ib := n.Connect(a.ID, b.ID, subnet)
+			ifaceByName[a.Name+"/"+n.Iface(ia).Name] = ia
+			ifaceByName[b.Name+"/"+n.Iface(ib).Name] = ib
+
+		case "edge":
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, fail("edge needs device, port name, optional prefix")
+			}
+			d, ok := n.DeviceByName(fields[1])
+			if !ok {
+				return nil, fail("unknown device %q", fields[1])
+			}
+			addr := netip.Prefix{}
+			if len(fields) == 4 {
+				var err error
+				addr, err = netip.ParsePrefix(fields[3])
+				if err != nil {
+					return nil, fail("bad prefix %q", fields[3])
+				}
+			}
+			key := d.Name + "/" + fields[2]
+			if _, dup := ifaceByName[key]; dup {
+				return nil, fail("duplicate interface %q", key)
+			}
+			ifaceByName[key] = n.AddEdgeIface(d.ID, fields[2], addr)
+
+		case "route":
+			if len(fields) < 4 {
+				return nil, fail("route needs device, prefix, and an action")
+			}
+			p, err := netip.ParsePrefix(fields[2])
+			if err != nil {
+				return nil, fail("bad prefix %q", fields[2])
+			}
+			pr := pendingRoute{line: lineNo, dev: fields[1], prefix: p, origin: OriginStatic}
+			rest := fields[3:]
+			switch rest[0] {
+			case "via", "out":
+				if len(rest) < 2 {
+					return nil, fail("route %s needs targets", rest[0])
+				}
+				pr.kind = rest[0]
+				pr.targets = strings.Split(rest[1], ",")
+				rest = rest[2:]
+			case "drop", "deliver":
+				pr.kind = rest[0]
+				rest = rest[1:]
+			default:
+				return nil, fail("unknown route action %q", rest[0])
+			}
+			for _, kv := range rest {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok || k != "origin" {
+					return nil, fail("unknown route attribute %q", kv)
+				}
+				pr.origin = RouteOrigin(v)
+			}
+			routes = append(routes, pr)
+
+		case "acl":
+			if len(fields) < 3 {
+				return nil, fail("acl needs device and deny/permit")
+			}
+			deny := false
+			switch fields[2] {
+			case "deny":
+				deny = true
+			case "permit":
+			default:
+				return nil, fail("acl action %q must be deny or permit", fields[2])
+			}
+			acls = append(acls, pendingACL{line: lineNo, dev: fields[1], deny: deny, args: fields[3:]})
+
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netmodel: %w", err)
+	}
+
+	// Resolve ACLs in order (insertion order is match order).
+	for _, a := range acls {
+		d, ok := n.DeviceByName(a.dev)
+		if !ok {
+			return nil, fmt.Errorf("netmodel: line %d: unknown device %q", a.line, a.dev)
+		}
+		m := MatchAll()
+		for _, kv := range a.args {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("netmodel: line %d: bad acl field %q", a.line, kv)
+			}
+			switch k {
+			case "dst":
+				p, err := netip.ParsePrefix(v)
+				if err != nil {
+					return nil, fmt.Errorf("netmodel: line %d: bad dst %q", a.line, v)
+				}
+				m.DstPrefix = p
+			case "src":
+				p, err := netip.ParsePrefix(v)
+				if err != nil {
+					return nil, fmt.Errorf("netmodel: line %d: bad src %q", a.line, v)
+				}
+				m.SrcPrefix = p
+			case "proto":
+				x, err := strconv.ParseUint(v, 10, 8)
+				if err != nil {
+					return nil, fmt.Errorf("netmodel: line %d: bad proto %q", a.line, v)
+				}
+				m.Proto = int32(x)
+			case "dport", "sport":
+				lo, hi, err := parsePortRange(v)
+				if err != nil {
+					return nil, fmt.Errorf("netmodel: line %d: bad %s %q", a.line, k, v)
+				}
+				if k == "dport" {
+					m.DstPortLo, m.DstPortHi = lo, hi
+				} else {
+					m.SrcPortLo, m.SrcPortHi = lo, hi
+				}
+			default:
+				return nil, fmt.Errorf("netmodel: line %d: unknown acl field %q", a.line, k)
+			}
+		}
+		n.AddACLRule(d.ID, m, a.deny)
+	}
+
+	// Resolve routes.
+	for _, pr := range routes {
+		d, ok := n.DeviceByName(pr.dev)
+		if !ok {
+			return nil, fmt.Errorf("netmodel: line %d: unknown device %q", pr.line, pr.dev)
+		}
+		var act Action
+		switch pr.kind {
+		case "drop":
+			act = Action{Kind: ActDrop}
+		case "deliver":
+			act = Action{Kind: ActDeliver}
+		case "via":
+			act.Kind = ActForward
+			for _, t := range pr.targets {
+				nb, ok := n.DeviceByName(t)
+				if !ok {
+					return nil, fmt.Errorf("netmodel: line %d: unknown next hop %q", pr.line, t)
+				}
+				outs := n.IfaceTo(d.ID, nb.ID)
+				if len(outs) == 0 {
+					return nil, fmt.Errorf("netmodel: line %d: %s has no link to %s", pr.line, d.Name, nb.Name)
+				}
+				act.OutIfaces = append(act.OutIfaces, outs...)
+			}
+		case "out":
+			act.Kind = ActForward
+			for _, t := range pr.targets {
+				ifid, ok := ifaceByName[d.Name+"/"+t]
+				if !ok {
+					return nil, fmt.Errorf("netmodel: line %d: %s has no interface %q", pr.line, d.Name, t)
+				}
+				act.OutIfaces = append(act.OutIfaces, ifid)
+			}
+		}
+		n.AddFIBRule(d.ID, MatchDst(pr.prefix), act, pr.origin)
+	}
+
+	n.ComputeMatchSets()
+	return n, nil
+}
+
+func parsePortRange(v string) (uint16, uint16, error) {
+	lo, hi, found := strings.Cut(v, "-")
+	l, err := strconv.ParseUint(lo, 10, 16)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !found {
+		return uint16(l), uint16(l), nil
+	}
+	h, err := strconv.ParseUint(hi, 10, 16)
+	if err != nil {
+		return 0, 0, err
+	}
+	return uint16(l), uint16(h), nil
+}
+
+// EncodeText writes the network in the text format accepted by
+// ParseText. Encode→Parse round trips to a structurally equal network
+// (interface names must be unique per device for the round trip to
+// resolve "out" routes).
+func (n *Network) EncodeText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if n.Family() == hdr.V6 {
+		fmt.Fprintln(bw, "family ipv6")
+	}
+	for _, d := range n.Devices {
+		fmt.Fprintf(bw, "device %s role=%s asn=%d\n", d.Name, d.Role, d.ASN)
+	}
+	for _, d := range n.Devices {
+		for _, p := range d.Loopbacks {
+			fmt.Fprintf(bw, "loopback %s %s\n", d.Name, p)
+		}
+		for _, p := range d.Subnets {
+			fmt.Fprintf(bw, "subnet %s %s\n", d.Name, p)
+		}
+	}
+	// Links once per pair, in interface order.
+	for _, ifc := range n.Ifaces {
+		if ifc.Peer != NoIface && ifc.ID < ifc.Peer {
+			a := n.Device(ifc.Device).Name
+			b := n.Device(n.Iface(ifc.Peer).Device).Name
+			if ifc.Addr.IsValid() {
+				fmt.Fprintf(bw, "link %s %s %s\n", a, b, netip.PrefixFrom(ifc.Addr.Addr(), ifc.Addr.Bits()).Masked())
+			} else {
+				fmt.Fprintf(bw, "link %s %s\n", a, b)
+			}
+		}
+		if ifc.Peer == NoIface && ifc.External {
+			if ifc.Addr.IsValid() {
+				fmt.Fprintf(bw, "edge %s %s %s\n", n.Device(ifc.Device).Name, ifc.Name, ifc.Addr)
+			} else {
+				fmt.Fprintf(bw, "edge %s %s\n", n.Device(ifc.Device).Name, ifc.Name)
+			}
+		}
+	}
+	for _, r := range n.Rules {
+		dev := n.Device(r.Device)
+		if r.Table == TableACL {
+			verb := "permit"
+			if r.Deny {
+				verb = "deny"
+			}
+			fmt.Fprintf(bw, "acl %s %s%s\n", dev.Name, verb, matchText(r.Match))
+			continue
+		}
+		switch r.Action.Kind {
+		case ActDrop:
+			fmt.Fprintf(bw, "route %s %s drop origin=%s\n", dev.Name, r.Match.DstPrefix, r.Origin)
+		case ActDeliver:
+			fmt.Fprintf(bw, "route %s %s deliver origin=%s\n", dev.Name, r.Match.DstPrefix, r.Origin)
+		case ActForward:
+			// Prefer "via neighbors" when every out-iface has a peer;
+			// fall back to "out" port names.
+			allPeered := true
+			for _, ifid := range r.Action.OutIfaces {
+				if n.Iface(ifid).Peer == NoIface {
+					allPeered = false
+					break
+				}
+			}
+			if allPeered {
+				nbs := map[string]bool{}
+				for _, ifid := range r.Action.OutIfaces {
+					nbs[n.Device(n.Iface(n.Iface(ifid).Peer).Device).Name] = true
+				}
+				names := make([]string, 0, len(nbs))
+				for nb := range nbs {
+					names = append(names, nb)
+				}
+				sort.Strings(names)
+				fmt.Fprintf(bw, "route %s %s via %s origin=%s\n",
+					dev.Name, r.Match.DstPrefix, strings.Join(names, ","), r.Origin)
+			} else {
+				names := make([]string, 0, len(r.Action.OutIfaces))
+				for _, ifid := range r.Action.OutIfaces {
+					names = append(names, n.Iface(ifid).Name)
+				}
+				fmt.Fprintf(bw, "route %s %s out %s origin=%s\n",
+					dev.Name, r.Match.DstPrefix, strings.Join(names, ","), r.Origin)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func matchText(m Match) string {
+	var sb strings.Builder
+	if m.DstPrefix.IsValid() {
+		fmt.Fprintf(&sb, " dst=%s", m.DstPrefix)
+	}
+	if m.SrcPrefix.IsValid() {
+		fmt.Fprintf(&sb, " src=%s", m.SrcPrefix)
+	}
+	if m.Proto >= 0 {
+		fmt.Fprintf(&sb, " proto=%d", m.Proto)
+	}
+	if m.DstPortLo != 0 || m.DstPortHi != 65535 {
+		if m.DstPortLo == m.DstPortHi {
+			fmt.Fprintf(&sb, " dport=%d", m.DstPortLo)
+		} else {
+			fmt.Fprintf(&sb, " dport=%d-%d", m.DstPortLo, m.DstPortHi)
+		}
+	}
+	if m.SrcPortLo != 0 || m.SrcPortHi != 65535 {
+		if m.SrcPortLo == m.SrcPortHi {
+			fmt.Fprintf(&sb, " sport=%d", m.SrcPortLo)
+		} else {
+			fmt.Fprintf(&sb, " sport=%d-%d", m.SrcPortLo, m.SrcPortHi)
+		}
+	}
+	return sb.String()
+}

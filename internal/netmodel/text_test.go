@@ -1,0 +1,247 @@
+package netmodel
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+const sampleText = `
+# a small leaf-spine network
+device tor1 role=tor asn=65001
+device tor2 role=tor asn=65002
+device spine1 role=spine asn=65003
+
+loopback spine1 172.16.0.3/32
+subnet tor1 10.1.0.0/24
+subnet tor2 10.2.0.0/24
+
+link tor1 spine1 10.128.0.0/31
+link tor2 spine1 10.128.0.2/31
+edge tor1 host0 10.1.0.0/24
+edge tor2 host0 10.2.0.0/24
+
+acl spine1 deny dst=0.0.0.0/0 proto=6 dport=23
+acl spine1 permit
+
+route tor1 10.1.0.0/24 out host0 origin=internal
+route tor1 0.0.0.0/0 via spine1 origin=default
+route tor2 10.2.0.0/24 out host0 origin=internal
+route tor2 0.0.0.0/0 via spine1 origin=default
+route spine1 10.1.0.0/24 via tor1 origin=internal
+route spine1 10.2.0.0/24 via tor2 origin=internal
+route spine1 172.16.0.3/32 deliver origin=internal
+route spine1 192.0.2.0/24 drop origin=static
+`
+
+func TestParseText(t *testing.T) {
+	n, err := ParseText(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.Devices != 3 || st.Links != 2 || st.Ifaces != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Rules != 10 { // 8 routes + 2 ACL entries
+		t.Fatalf("rules = %d, want 10", st.Rules)
+	}
+	if !n.MatchSetsComputed() {
+		t.Fatal("parsed network should be frozen")
+	}
+
+	spine, _ := n.DeviceByName("spine1")
+	if spine.Role != RoleSpine || spine.ASN != 65003 {
+		t.Errorf("spine metadata: %+v", spine)
+	}
+	if len(spine.ACL) != 2 || len(spine.FIB) != 4 {
+		t.Errorf("spine tables: acl=%d fib=%d", len(spine.ACL), len(spine.FIB))
+	}
+	if len(spine.Loopbacks) != 1 {
+		t.Error("loopback lost")
+	}
+	// The deny entry matches TCP/23 only.
+	deny := n.Rule(spine.ACL[0])
+	if !deny.Deny || deny.Match.Proto != 6 || deny.Match.DstPortLo != 23 {
+		t.Errorf("deny entry: %+v", deny.Match)
+	}
+
+	// "via" resolved to the link interface.
+	tor1, _ := n.DeviceByName("tor1")
+	def, ok := n.FIBRuleFor(tor1.ID, netip.MustParsePrefix("0.0.0.0/0"))
+	if !ok || def.Action.Kind != ActForward {
+		t.Fatal("tor1 default missing")
+	}
+	peer := n.Iface(n.Iface(def.Action.OutIfaces[0]).Peer).Device
+	if peer != spine.ID {
+		t.Error("default should point at spine1")
+	}
+	if def.Origin != OriginDefault {
+		t.Errorf("origin = %v", def.Origin)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	n, err := ParseText(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.EncodeText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, buf.String())
+	}
+	if n.Stats() != n2.Stats() {
+		t.Fatalf("stats mismatch: %+v vs %+v", n.Stats(), n2.Stats())
+	}
+	// Second encode is identical (canonical form).
+	var buf2 bytes.Buffer
+	if err := n2.EncodeText(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("text encoding not canonical")
+	}
+	// Rule semantics are preserved (match-set sizes per rule).
+	for i := range n.Rules {
+		if n.Rules[i].MatchSet().Fraction() != n2.Rules[i].MatchSet().Fraction() {
+			t.Errorf("rule %d match-set size differs", i)
+		}
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"unknown directive", "frobnicate x"},
+		{"device no name", "device"},
+		{"bad attr", "device r bogus"},
+		{"unknown attr", "device r color=red"},
+		{"bad asn", "device r asn=zz"},
+		{"dup device", "device r\ndevice r"},
+		{"loopback unknown dev", "loopback r 1.2.3.4/32"},
+		{"loopback bad prefix", "device r\nloopback r zz"},
+		{"link unknown dev", "device a\nlink a b"},
+		{"link bad subnet", "device a\ndevice b\nlink a b 10.0.0.0/30"},
+		{"edge unknown dev", "edge r p"},
+		{"edge dup", "device r\nedge r p\nedge r p"},
+		{"route unknown dev", "route r 0.0.0.0/0 drop"},
+		{"route bad prefix", "device r\nroute r zz drop"},
+		{"route bad action", "device r\nroute r 0.0.0.0/0 teleport"},
+		{"route via missing target", "device r\nroute r 0.0.0.0/0 via"},
+		{"route via unknown", "device r\nroute r 0.0.0.0/0 via s"},
+		{"route via not adjacent", "device r\ndevice s\nroute r 0.0.0.0/0 via s"},
+		{"route out unknown", "device r\nroute r 0.0.0.0/0 out p"},
+		{"route bad attr", "device r\nroute r 0.0.0.0/0 drop color=red"},
+		{"acl bad action", "device r\nacl r maybe"},
+		{"acl bad field", "device r\nacl r deny bogus"},
+		{"acl bad proto", "device r\nacl r deny proto=999"},
+		{"acl bad port", "device r\nacl r deny dport=zz"},
+	}
+	for _, c := range cases {
+		if _, err := ParseText(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParsePortRange(t *testing.T) {
+	lo, hi, err := parsePortRange("80")
+	if err != nil || lo != 80 || hi != 80 {
+		t.Errorf("single port: %d-%d %v", lo, hi, err)
+	}
+	lo, hi, err = parsePortRange("1000-2000")
+	if err != nil || lo != 1000 || hi != 2000 {
+		t.Errorf("range: %d-%d %v", lo, hi, err)
+	}
+	if _, _, err := parsePortRange("a-b"); err == nil {
+		t.Error("bad range should error")
+	}
+}
+
+func TestParseTextECMPVia(t *testing.T) {
+	in := `
+device tor role=tor
+device s1 role=spine
+device s2 role=spine
+link tor s1
+link tor s2
+route tor 0.0.0.0/0 via s1,s2 origin=default
+`
+	n, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor, _ := n.DeviceByName("tor")
+	def, ok := n.FIBRuleFor(tor.ID, netip.MustParsePrefix("0.0.0.0/0"))
+	if !ok || len(def.Action.OutIfaces) != 2 {
+		t.Fatalf("ECMP via: %+v", def)
+	}
+}
+
+func TestTextIPv6RoundTrip(t *testing.T) {
+	in := `
+family ipv6
+device a role=tor asn=65001
+device b role=spine asn=65002
+loopback a fd00:99::1/128
+subnet a fd00:1::/64
+link a b fd00:ff::/126
+edge a host0 fd00:1::/64
+route a fd00:1::/64 out host0 origin=internal
+route a ::/0 via b origin=default
+route b fd00:1::/64 via a origin=internal
+`
+	n, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Family().String() != "ipv6" {
+		t.Fatalf("family = %v", n.Family())
+	}
+	// /126 link ends at ::1/::2.
+	for _, ifc := range n.Ifaces {
+		if ifc.Peer != NoIface && ifc.Addr.IsValid() {
+			low := ifc.Addr.Addr().As16()[15]
+			if low != 1 && low != 2 {
+				t.Errorf("link end %v", ifc.Addr)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := n.EncodeText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "family ipv6\n") {
+		t.Error("family directive missing")
+	}
+	n2, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if n2.Stats() != n.Stats() {
+		t.Fatalf("stats: %+v vs %+v", n2.Stats(), n.Stats())
+	}
+}
+
+func TestTextFamilyErrors(t *testing.T) {
+	cases := []string{
+		"device a\nfamily ipv6", // too late
+		"family ipv5",           // unknown
+		"family",                // missing
+		"family ipv6\nlink a b", // unknown device is separate; fine
+	}
+	for i, c := range cases[:3] {
+		if _, err := ParseText(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// v4 subnet on v6 network.
+	bad := "family ipv6\ndevice a\ndevice b\nlink a b 10.0.0.0/31"
+	if _, err := ParseText(strings.NewReader(bad)); err == nil {
+		t.Error("v4 /31 on v6 network should error")
+	}
+}

@@ -1,0 +1,174 @@
+// Package pipeline implements the deployment context Yardstick runs in
+// (§7.1 "Testing Pipeline"): the network undergoes a change, a simulator
+// computes the forwarding state that will result, a test suite checks
+// that state, and Yardstick augments the pass/fail report with coverage
+// metrics so operators can judge both whether the change is safe and how
+// much the verdict can be trusted.
+//
+// A Run takes a network *builder* (so the pipeline controls both the
+// before and after states), a change to apply to the builder's
+// configuration, and a test suite. It reports test results, coverage,
+// per-device coverage regressions against the pre-change snapshot, and
+// the path-universe drift guard of §5.2.
+package pipeline
+
+import (
+	"fmt"
+
+	"yardstick/internal/core"
+	"yardstick/internal/dataplane"
+	"yardstick/internal/netmodel"
+	"yardstick/internal/report"
+	"yardstick/internal/testkit"
+)
+
+// Verdict summarizes a change evaluation.
+type Verdict uint8
+
+// Verdicts. Human oversight is expected for everything but Safe (§7.1:
+// "Human oversight is needed here because it is possible that tests may
+// fail as a result of modeling error or transient failures").
+const (
+	// Safe: all tests pass, no coverage regressions, path universe
+	// stable.
+	Safe Verdict = iota
+	// TestsFailed: at least one test failed on the post-change state.
+	TestsFailed
+	// CoverageRegressed: tests pass but the suite now exercises less of
+	// the network than before — the verdict is weaker than it looks.
+	CoverageRegressed
+	// UniverseDrifted: tests pass but the path universe changed
+	// dramatically; the network's structure may have changed in ways
+	// the suite does not see.
+	UniverseDrifted
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "safe"
+	case TestsFailed:
+		return "tests-failed"
+	case CoverageRegressed:
+		return "coverage-regressed"
+	case UniverseDrifted:
+		return "path-universe-drifted"
+	}
+	return "unknown"
+}
+
+// Config drives one change evaluation.
+type Config struct {
+	// Before and After build the pre- and post-change networks (the
+	// in-house simulator step of §7.1: both are *computed* states).
+	Before func() (*netmodel.Network, error)
+	After  func() (*netmodel.Network, error)
+	// Suite is the test suite to run on both states.
+	Suite testkit.Suite
+	// RegressionEpsilon is the per-device coverage drop tolerated
+	// before flagging (default 0.01).
+	RegressionEpsilon float64
+	// DriftThreshold is the tolerated relative path-universe change
+	// (default 0.2). Zero or negative disables the guard together with
+	// SkipPathUniverse.
+	DriftThreshold float64
+	// SkipPathUniverse disables path-universe counting (it is the
+	// expensive step; §8 engineers run it daily, not per change).
+	SkipPathUniverse bool
+	// PathBudget caps path enumeration (0 = unlimited).
+	PathBudget int
+}
+
+// Result is a complete change-evaluation report.
+type Result struct {
+	Verdict Verdict
+
+	// Results are the post-change test outcomes.
+	Results []testkit.Result
+	// BeforeCoverage and AfterCoverage are the headline metrics of the
+	// suite on each state.
+	BeforeCoverage report.Metrics
+	AfterCoverage  report.Metrics
+	// Regressions are devices whose coverage dropped.
+	Regressions []report.Regression
+	// PathsBefore/PathsAfter are path-universe sizes (0 when skipped).
+	PathsBefore, PathsAfter int
+	// Drift is the relative path-universe change.
+	Drift        float64
+	DriftFlagged bool
+}
+
+// Run evaluates a change.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Before == nil || cfg.After == nil {
+		return nil, fmt.Errorf("pipeline: Before and After builders are required")
+	}
+	if cfg.RegressionEpsilon == 0 {
+		cfg.RegressionEpsilon = 0.01
+	}
+	if cfg.DriftThreshold == 0 {
+		cfg.DriftThreshold = 0.2
+	}
+
+	evaluate := func(build func() (*netmodel.Network, error)) (*netmodel.Network, []testkit.Result, *report.Snapshot, error) {
+		net, err := build()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if !net.MatchSetsComputed() {
+			net.ComputeMatchSets()
+		}
+		trace := core.NewTrace()
+		results := cfg.Suite.Run(net, trace)
+		cov := core.NewCoverage(net, trace)
+		snap := report.TakeSnapshot(cov)
+		if !cfg.SkipPathUniverse {
+			n, _ := dataplane.EnumeratePaths(net, dataplane.EdgeStarts(net),
+				dataplane.EnumOpts{MaxPaths: cfg.PathBudget}, func(dataplane.Path) bool { return true })
+			snap.PathUniverse = n
+		}
+		return net, results, snap, nil
+	}
+
+	_, _, beforeSnap, err := evaluate(cfg.Before)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: before state: %w", err)
+	}
+	_, afterResults, afterSnap, err := evaluate(cfg.After)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: after state: %w", err)
+	}
+
+	res := &Result{
+		Results:        afterResults,
+		BeforeCoverage: beforeSnap.Total,
+		AfterCoverage:  afterSnap.Total,
+		Regressions:    report.CompareSnapshots(beforeSnap, afterSnap, cfg.RegressionEpsilon),
+		PathsBefore:    beforeSnap.PathUniverse,
+		PathsAfter:     afterSnap.PathUniverse,
+	}
+	if !cfg.SkipPathUniverse {
+		res.Drift, res.DriftFlagged = report.PathUniverseDrift(beforeSnap.PathUniverse, afterSnap.PathUniverse, cfg.DriftThreshold)
+	}
+
+	switch {
+	case anyFailed(afterResults):
+		res.Verdict = TestsFailed
+	case len(res.Regressions) > 0:
+		res.Verdict = CoverageRegressed
+	case res.DriftFlagged:
+		res.Verdict = UniverseDrifted
+	default:
+		res.Verdict = Safe
+	}
+	return res, nil
+}
+
+func anyFailed(results []testkit.Result) bool {
+	for _, r := range results {
+		if !r.Pass() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+
+	"yardstick/internal/core"
+	"yardstick/internal/netmodel"
+)
+
+// HTMLReport is the data rendered by RenderHTML — a self-contained page
+// with the Figure-6 metrics per group and the gap table, the artifact an
+// engineer files next to a change review.
+type HTMLReport struct {
+	Title string
+	Rows  []Metrics
+	Gaps  []GapRow
+	// Details optionally lists partially-covered rules for zoom-in.
+	Details []RuleDetail
+}
+
+// BuildHTMLReport assembles the standard report for a coverage state:
+// per-role rows plus the total, the gap table, and up to maxDetails
+// zoomed-in rule rows.
+func BuildHTMLReport(c *core.Coverage, title string, roles []netmodel.Role, maxDetails int) *HTMLReport {
+	r := &HTMLReport{Title: title}
+	r.Rows = append(ByRole(c, roles), Total(c, "TOTAL"))
+	r.Gaps = Gaps(c)
+	if maxDetails > 0 {
+		details := UncoveredDetail(c, nil, 4)
+		if len(details) > maxDetails {
+			details = details[:maxDetails]
+		}
+		r.Details = details
+	}
+	return r
+}
+
+var htmlTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
+	"pct": func(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) },
+	"bar": func(v float64) template.CSS {
+		return template.CSS(fmt.Sprintf("width:%.1f%%", 100*v))
+	},
+}).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body{font-family:system-ui,sans-serif;margin:2rem;color:#1a1a1a}
+h1{font-size:1.4rem} h2{font-size:1.1rem;margin-top:2rem}
+table{border-collapse:collapse;min-width:40rem}
+th,td{padding:.35rem .8rem;text-align:left;border-bottom:1px solid #ddd;font-size:.9rem}
+th{background:#f5f5f5}
+.meter{position:relative;background:#eee;height:.9rem;width:8rem;border-radius:3px;display:inline-block;vertical-align:middle}
+.meter>span{position:absolute;left:0;top:0;bottom:0;background:#4a90d9;border-radius:3px}
+.num{font-variant-numeric:tabular-nums}
+code{background:#f5f5f5;padding:0 .2rem}
+</style></head><body>
+<h1>{{.Title}}</h1>
+<h2>Coverage by group</h2>
+<table><tr><th>group</th><th>devices</th><th>device (fractional)</th><th>interface (fractional)</th><th>rule (fractional)</th><th>rule (weighted)</th></tr>
+{{range .Rows}}<tr><td>{{.Label}}</td><td class="num">{{.Devices}}</td>
+<td><span class="meter"><span style="{{bar .DeviceFractional}}"></span></span> <span class="num">{{pct .DeviceFractional}}</span></td>
+<td><span class="meter"><span style="{{bar .IfaceFractional}}"></span></span> <span class="num">{{pct .IfaceFractional}}</span></td>
+<td><span class="meter"><span style="{{bar .RuleFractional}}"></span></span> <span class="num">{{pct .RuleFractional}}</span></td>
+<td><span class="meter"><span style="{{bar .RuleWeighted}}"></span></span> <span class="num">{{pct .RuleWeighted}}</span></td>
+</tr>{{end}}</table>
+{{if .Gaps}}<h2>Testing gaps (untested rules)</h2>
+<table><tr><th>origin</th><th>role</th><th>untested rules</th></tr>
+{{range .Gaps}}<tr><td>{{.Origin}}</td><td>{{.Role}}</td><td class="num">{{.Count}}</td></tr>{{end}}</table>{{end}}
+{{if .Details}}<h2>Partially tested rules (zoom-in)</h2>
+<table><tr><th>device</th><th>origin</th><th>match</th><th>covered</th><th>uncovered destinations</th></tr>
+{{range .Details}}<tr><td>{{.Device}}</td><td>{{.Origin}}</td><td><code>{{.Match}}</code></td><td class="num">{{pct .Covered}}</td><td>{{range .Uncovered}}<code>{{.}}</code> {{end}}{{if not .Complete}}…{{end}}</td></tr>{{end}}</table>{{end}}
+</body></html>
+`))
+
+// RenderHTML writes the report as a self-contained HTML page.
+func (r *HTMLReport) RenderHTML(w io.Writer) error {
+	return htmlTmpl.Execute(w, r)
+}

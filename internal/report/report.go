@@ -1,0 +1,209 @@
+// Package report renders coverage metrics the way the paper's case study
+// consumes them: broken down by router type across the four headline
+// metrics of Figure 6 (fractional device, interface, and rule coverage
+// plus weighted rule coverage), aggregated across suite iterations
+// (Figure 7), and drilled down into uncovered-rule categories — the §7.2
+// gap analysis.
+package report
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	"yardstick/internal/core"
+	"yardstick/internal/netmodel"
+)
+
+// Metrics is one row of a Figure 6 panel: the four headline metrics for a
+// set of devices.
+type Metrics struct {
+	Label   string
+	Devices int
+
+	DeviceFractional float64
+	IfaceFractional  float64
+	RuleFractional   float64
+	RuleWeighted     float64
+}
+
+// ForDevices computes the four headline metrics for a device group.
+func ForDevices(c *core.Coverage, label string, devs []netmodel.DeviceID) Metrics {
+	ifaces := core.IfacesOfDevices(c.Net, devs)
+	rules := core.RulesOfDevices(c.Net, devs)
+	return Metrics{
+		Label:            label,
+		Devices:          len(devs),
+		DeviceFractional: core.DeviceCoverage(c, devs, core.Fractional),
+		IfaceFractional:  core.InterfaceCoverage(c, ifaces, core.Fractional),
+		RuleFractional:   core.RuleCoverage(c, rules, core.Fractional),
+		RuleWeighted:     core.RuleCoverage(c, rules, core.Weighted),
+	}
+}
+
+// ByRole computes one Metrics row per role, in the order given.
+func ByRole(c *core.Coverage, roles []netmodel.Role) []Metrics {
+	out := make([]Metrics, 0, len(roles))
+	for _, role := range roles {
+		devs := core.DevicesByRole(c.Net, role)
+		if len(devs) == 0 {
+			continue
+		}
+		out = append(out, ForDevices(c, string(role), devs))
+	}
+	return out
+}
+
+// Total computes the headline metrics across all devices.
+func Total(c *core.Coverage, label string) Metrics {
+	devs := make([]netmodel.DeviceID, len(c.Net.Devices))
+	for i := range devs {
+		devs[i] = netmodel.DeviceID(i)
+	}
+	return ForDevices(c, label, devs)
+}
+
+// RenderTable writes rows as an aligned text table.
+func RenderTable(w io.Writer, rows []Metrics) {
+	fmt.Fprintf(w, "%-28s %8s %10s %10s %10s %10s\n",
+		"group", "devices", "dev(frac)", "if(frac)", "rule(frac)", "rule(wtd)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %8d %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+			r.Label, r.Devices,
+			100*r.DeviceFractional, 100*r.IfaceFractional,
+			100*r.RuleFractional, 100*r.RuleWeighted)
+	}
+}
+
+// GapRow is one category of untested rules.
+type GapRow struct {
+	Origin netmodel.RouteOrigin
+	Role   netmodel.Role
+	Count  int
+}
+
+// Gaps buckets every uncovered rule by (origin, role) — the §7.2 analysis
+// that surfaced the internal-route, connected-route, and wide-area-route
+// testing gaps. Rows are sorted by descending count.
+func Gaps(c *core.Coverage) []GapRow {
+	counts := make(map[GapRow]int)
+	for _, rid := range core.UncoveredRules(c, nil) {
+		r := c.Net.Rule(rid)
+		key := GapRow{Origin: r.Origin, Role: c.Net.Device(r.Device).Role}
+		counts[key]++
+	}
+	out := make([]GapRow, 0, len(counts))
+	for k, n := range counts {
+		k.Count = n
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Origin != out[j].Origin {
+			return out[i].Origin < out[j].Origin
+		}
+		return out[i].Role < out[j].Role
+	})
+	return out
+}
+
+// RenderGaps writes the uncovered-rule buckets.
+func RenderGaps(w io.Writer, rows []GapRow) {
+	fmt.Fprintf(w, "%-12s %-10s %8s\n", "origin", "role", "untested")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-10s %8d\n", r.Origin, r.Role, r.Count)
+	}
+}
+
+// RuleDetail is one partially- or un-tested rule with the destination
+// prefixes of its uncovered packets — the zoom-in view engineers use to
+// decide which test to write next (§6's "zoom in from aggregate to
+// individual component metrics").
+type RuleDetail struct {
+	Rule      netmodel.RuleID
+	Device    string
+	Origin    netmodel.RouteOrigin
+	Match     netip.Prefix
+	Covered   float64        // fraction of the match set covered
+	Uncovered []netip.Prefix // destinations of the uncovered packets
+	Complete  bool           // false when the prefix list was truncated
+}
+
+// UncoveredDetail lists, for the given rules (all when nil), those with
+// coverage below 1, each with up to maxPrefixes uncovered destination
+// prefixes. Rows are ordered by rule ID.
+func UncoveredDetail(c *core.Coverage, rules []netmodel.RuleID, maxPrefixes int) []RuleDetail {
+	if rules == nil {
+		rules = make([]netmodel.RuleID, len(c.Net.Rules))
+		for i := range rules {
+			rules[i] = netmodel.RuleID(i)
+		}
+	}
+	var out []RuleDetail
+	for _, rid := range rules {
+		r := c.Net.Rule(rid)
+		ms := r.MatchSet()
+		if ms.IsEmpty() {
+			continue
+		}
+		covered := c.Covered(rid)
+		frac := covered.FractionOf(ms)
+		if frac >= 1 {
+			continue
+		}
+		missing := ms.Diff(covered)
+		prefixes, complete := missing.DstPrefixes(maxPrefixes)
+		out = append(out, RuleDetail{
+			Rule:      rid,
+			Device:    c.Net.Device(r.Device).Name,
+			Origin:    r.Origin,
+			Match:     r.Match.DstPrefix,
+			Covered:   frac,
+			Uncovered: prefixes,
+			Complete:  complete,
+		})
+	}
+	return out
+}
+
+// RenderUncoveredDetail writes the zoom-in rows.
+func RenderUncoveredDetail(w io.Writer, rows []RuleDetail) {
+	fmt.Fprintf(w, "%-16s %-12s %-18s %8s  %s\n", "device", "origin", "match", "covered", "uncovered destinations")
+	for _, r := range rows {
+		more := ""
+		if !r.Complete {
+			more = " …"
+		}
+		fmt.Fprintf(w, "%-16s %-12s %-18v %7.1f%%  %v%s\n",
+			r.Device, r.Origin, r.Match, 100*r.Covered, r.Uncovered, more)
+	}
+}
+
+// Delta describes the improvement between two metric snapshots as
+// relative percentage gains — the paper's "+89% more rules, +17% more
+// interfaces" summary form.
+type Delta struct {
+	RulePct, IfacePct, DevicePct float64
+}
+
+// Improvement computes relative gains from before to after. A gain from
+// zero is reported as +Inf only if after is non-zero; both-zero is 0.
+func Improvement(before, after Metrics) Delta {
+	rel := func(b, a float64) float64 {
+		if b == 0 {
+			if a == 0 {
+				return 0
+			}
+			return 1e9 // effectively infinite relative gain
+		}
+		return 100 * (a - b) / b
+	}
+	return Delta{
+		RulePct:   rel(before.RuleFractional, after.RuleFractional),
+		IfacePct:  rel(before.IfaceFractional, after.IfaceFractional),
+		DevicePct: rel(before.DeviceFractional, after.DeviceFractional),
+	}
+}

@@ -1,0 +1,190 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"yardstick/internal/core"
+	"yardstick/internal/netmodel"
+	"yardstick/internal/testkit"
+	"yardstick/internal/topogen"
+)
+
+func covFor(t *testing.T, suite testkit.Suite) (*topogen.Regional, *core.Coverage) {
+	t.Helper()
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := core.NewTrace()
+	suite.Run(rg.Net, tr)
+	return rg, core.NewCoverage(rg.Net, tr)
+}
+
+func TestByRoleShape(t *testing.T) {
+	_, c := covFor(t, testkit.Suite{testkit.DefaultRouteCheck{}})
+	rows := ByRole(c, []netmodel.Role{netmodel.RoleToR, netmodel.RoleAgg, netmodel.RoleSpine, netmodel.RoleHub})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Devices == 0 {
+			t.Errorf("%s has no devices", r.Label)
+		}
+		for _, v := range []float64{r.DeviceFractional, r.IfaceFractional, r.RuleFractional, r.RuleWeighted} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s metric out of range: %v", r.Label, v)
+			}
+		}
+	}
+	// Roles with no devices are skipped.
+	empty := ByRole(c, []netmodel.Role{netmodel.RoleCore})
+	if len(empty) != 0 {
+		t.Errorf("core rows = %d, want 0", len(empty))
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	_, c := covFor(t, testkit.Suite{testkit.DefaultRouteCheck{}})
+	var sb strings.Builder
+	RenderTable(&sb, []Metrics{Total(c, "all")})
+	out := sb.String()
+	if !strings.Contains(out, "all") || !strings.Contains(out, "%") {
+		t.Errorf("table output malformed:\n%s", out)
+	}
+}
+
+func TestGapsFindCategories(t *testing.T) {
+	_, c := covFor(t, testkit.Suite{testkit.DefaultRouteCheck{}, testkit.AggCanReachTorLoopback{}})
+	rows := Gaps(c)
+	if len(rows) == 0 {
+		t.Fatal("original suite should leave gaps")
+	}
+	origins := map[netmodel.RouteOrigin]bool{}
+	for _, r := range rows {
+		origins[r.Origin] = true
+	}
+	// The three §7.2 categories must all appear.
+	for _, want := range []netmodel.RouteOrigin{
+		netmodel.OriginInternal, netmodel.OriginConnected, netmodel.OriginWideArea,
+	} {
+		if !origins[want] {
+			t.Errorf("gap category %v missing", want)
+		}
+	}
+	// Sorted by descending count.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Count > rows[i-1].Count {
+			t.Fatal("gap rows not sorted")
+		}
+	}
+	var sb strings.Builder
+	RenderGaps(&sb, rows)
+	if !strings.Contains(sb.String(), "internal") {
+		t.Error("rendered gaps missing internal category")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	before := Metrics{RuleFractional: 0.1, IfaceFractional: 0.5, DeviceFractional: 1}
+	after := Metrics{RuleFractional: 0.2, IfaceFractional: 0.6, DeviceFractional: 1}
+	d := Improvement(before, after)
+	if d.RulePct != 100 {
+		t.Errorf("rule gain = %v, want 100", d.RulePct)
+	}
+	if d.IfacePct < 19.9 || d.IfacePct > 20.1 {
+		t.Errorf("iface gain = %v, want ~20", d.IfacePct)
+	}
+	if d.DevicePct != 0 {
+		t.Errorf("device gain = %v, want 0", d.DevicePct)
+	}
+	// Zero-to-something is effectively infinite; zero-to-zero is zero.
+	d = Improvement(Metrics{}, Metrics{RuleFractional: 0.5})
+	if d.RulePct < 1e8 {
+		t.Errorf("gain from zero = %v", d.RulePct)
+	}
+	if d.IfacePct != 0 {
+		t.Errorf("zero-to-zero gain = %v", d.IfacePct)
+	}
+}
+
+func TestUncoveredDetail(t *testing.T) {
+	rg, c := covFor(t, testkit.Suite{testkit.DefaultRouteCheck{}})
+	// Zoom into one spine.
+	spine := core.DevicesByRole(rg.Net, netmodel.RoleSpine)[0]
+	rows := UncoveredDetail(c, core.RulesOfDevices(rg.Net, []netmodel.DeviceID{spine}), 4)
+	if len(rows) == 0 {
+		t.Fatal("spine should have partially covered rules")
+	}
+	for _, r := range rows {
+		if r.Covered >= 1 {
+			t.Errorf("rule %d reported with full coverage", r.Rule)
+		}
+		if r.Covered > 0 && len(r.Uncovered) == 0 && r.Complete {
+			t.Errorf("rule %d has no uncovered destinations yet coverage < 1", r.Rule)
+		}
+		if len(r.Uncovered) > 4 {
+			t.Errorf("rule %d exceeded the prefix budget", r.Rule)
+		}
+	}
+	// The fully-covered default rule must not appear.
+	for _, r := range rows {
+		if r.Origin == netmodel.OriginDefault {
+			t.Error("inspected default route should be fully covered")
+		}
+	}
+	var sb strings.Builder
+	RenderUncoveredDetail(&sb, rows)
+	if !strings.Contains(sb.String(), "covered") {
+		t.Error("render missing header")
+	}
+}
+
+func TestUncoveredDetailEmptyWhenFullyCovered(t *testing.T) {
+	rg, _ := covFor(t, testkit.Suite{testkit.DefaultRouteCheck{}})
+	// Mark every rule: nothing to report.
+	tr := core.NewTrace()
+	for _, r := range rg.Net.Rules {
+		tr.MarkRule(r.ID)
+	}
+	c := core.NewCoverage(rg.Net, tr)
+	if rows := UncoveredDetail(c, nil, 4); len(rows) != 0 {
+		t.Errorf("fully covered network reported %d detail rows", len(rows))
+	}
+}
+
+func TestHTMLReport(t *testing.T) {
+	rg, c := covFor(t, testkit.Suite{testkit.DefaultRouteCheck{}, testkit.AggCanReachTorLoopback{}})
+	rep := BuildHTMLReport(c, "nightly coverage", []netmodel.Role{
+		netmodel.RoleToR, netmodel.RoleAgg, netmodel.RoleSpine, netmodel.RoleHub,
+	}, 5)
+	if len(rep.Rows) != 5 { // 4 roles + TOTAL
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if len(rep.Gaps) == 0 || len(rep.Details) != 5 {
+		t.Fatalf("gaps = %d details = %d", len(rep.Gaps), len(rep.Details))
+	}
+	var sb strings.Builder
+	if err := rep.RenderHTML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<!DOCTYPE html>", "nightly coverage", "TOTAL", "wide-area", "zoom-in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	// Every device group renders.
+	for _, d := range rg.Net.Devices[:3] {
+		_ = d
+	}
+	// No detail budget -> no details section.
+	rep2 := BuildHTMLReport(c, "x", []netmodel.Role{netmodel.RoleToR}, 0)
+	var sb2 strings.Builder
+	if err := rep2.RenderHTML(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb2.String(), "zoom-in") {
+		t.Error("details rendered without budget")
+	}
+}

@@ -1,0 +1,107 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"yardstick/internal/core"
+	"yardstick/internal/netmodel"
+)
+
+// Snapshot is a point-in-time coverage record: the headline metrics
+// overall and per device. Engineers compute one per day (or per change)
+// and diff them to catch testing regressions quickly (§8: "relying on
+// the local metrics to more quickly catch regressions in testing").
+type Snapshot struct {
+	Total     Metrics
+	PerDevice map[string]Metrics
+	// PathUniverse optionally records the path-universe size, used by
+	// PathUniverseDrift (§5.2's guard against state bugs silently
+	// changing the path denominator).
+	PathUniverse int
+}
+
+// TakeSnapshot computes the headline metrics for every device.
+func TakeSnapshot(c *core.Coverage) *Snapshot {
+	s := &Snapshot{
+		Total:     Total(c, "total"),
+		PerDevice: make(map[string]Metrics, len(c.Net.Devices)),
+	}
+	for _, d := range c.Net.Devices {
+		s.PerDevice[d.Name] = ForDevices(c, d.Name, []netmodel.DeviceID{d.ID})
+	}
+	return s
+}
+
+// Regression is one device whose coverage dropped between snapshots.
+type Regression struct {
+	Device string
+	Metric string
+	Before float64
+	After  float64
+}
+
+// CompareSnapshots returns the devices whose coverage decreased by more
+// than epsilon on any headline metric, worst drops first. Devices
+// present in only one snapshot are skipped (topology changes are not
+// regressions).
+func CompareSnapshots(before, after *Snapshot, epsilon float64) []Regression {
+	var out []Regression
+	for name, b := range before.PerDevice {
+		a, ok := after.PerDevice[name]
+		if !ok {
+			continue
+		}
+		for _, m := range []struct {
+			metric string
+			b, a   float64
+		}{
+			{"device-fractional", b.DeviceFractional, a.DeviceFractional},
+			{"iface-fractional", b.IfaceFractional, a.IfaceFractional},
+			{"rule-fractional", b.RuleFractional, a.RuleFractional},
+			{"rule-weighted", b.RuleWeighted, a.RuleWeighted},
+		} {
+			if m.b-m.a > epsilon {
+				out = append(out, Regression{Device: name, Metric: m.metric, Before: m.b, After: m.a})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di := out[i].Before - out[i].After
+		dj := out[j].Before - out[j].After
+		if di != dj {
+			return di > dj
+		}
+		if out[i].Device != out[j].Device {
+			return out[i].Device < out[j].Device
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// RenderRegressions writes regression rows.
+func RenderRegressions(w io.Writer, rows []Regression) {
+	fmt.Fprintf(w, "%-20s %-18s %8s %8s %8s\n", "device", "metric", "before", "after", "drop")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %-18s %7.1f%% %7.1f%% %7.1f%%\n",
+			r.Device, r.Metric, 100*r.Before, 100*r.After, 100*(r.Before-r.After))
+	}
+}
+
+// PathUniverseDrift compares path-universe sizes between snapshots and
+// flags drifts beyond the threshold fraction — §5.2's guard: "flagging
+// to the user when the size of path universe changes dramatically
+// relative to prior state snapshots". threshold 0.2 flags a ±20% change.
+func PathUniverseDrift(before, after int, threshold float64) (drift float64, flagged bool) {
+	if before == 0 {
+		if after == 0 {
+			return 0, false
+		}
+		return math.Inf(1), true
+	}
+	drift = float64(after-before) / float64(before)
+	return drift, math.Abs(drift) > threshold
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"yardstick/internal/testkit"
+)
+
+func TestSnapshotAndCompare(t *testing.T) {
+	rg, cBig := covFor(t, testkit.Suite{testkit.DefaultRouteCheck{}, testkit.InternalRouteCheck{}})
+	_, cSmall := covFor(t, testkit.Suite{testkit.DefaultRouteCheck{}})
+	_ = rg
+
+	big := TakeSnapshot(cBig)
+	small := TakeSnapshot(cSmall)
+	if len(big.PerDevice) != len(rg.Net.Devices) {
+		t.Fatalf("snapshot devices = %d", len(big.PerDevice))
+	}
+
+	// Shrinking the suite is a regression on rule coverage for many
+	// devices; growing it is not.
+	regressions := CompareSnapshots(big, small, 0.01)
+	if len(regressions) == 0 {
+		t.Fatal("removing InternalRouteCheck should regress coverage")
+	}
+	for _, r := range regressions {
+		if r.Before <= r.After {
+			t.Errorf("regression row not a drop: %+v", r)
+		}
+	}
+	// Sorted by drop size.
+	for i := 1; i < len(regressions); i++ {
+		if regressions[i].Before-regressions[i].After > regressions[i-1].Before-regressions[i-1].After+1e-12 {
+			t.Fatal("regressions not sorted by drop")
+		}
+	}
+	if rows := CompareSnapshots(small, big, 0.01); len(rows) != 0 {
+		t.Errorf("improvement reported as regression: %+v", rows[0])
+	}
+	// Self-compare is clean.
+	if rows := CompareSnapshots(big, big, 0.001); len(rows) != 0 {
+		t.Error("self-comparison should have no regressions")
+	}
+
+	var sb strings.Builder
+	RenderRegressions(&sb, regressions)
+	if !strings.Contains(sb.String(), "drop") {
+		t.Error("render missing header")
+	}
+}
+
+func TestCompareSnapshotsSkipsTopologyChanges(t *testing.T) {
+	_, c := covFor(t, testkit.Suite{testkit.DefaultRouteCheck{}})
+	s := TakeSnapshot(c)
+	other := &Snapshot{Total: s.Total, PerDevice: map[string]Metrics{"ghost": {RuleFractional: 1}}}
+	if rows := CompareSnapshots(other, s, 0.01); len(rows) != 0 {
+		t.Error("device present in only one snapshot should be skipped")
+	}
+}
+
+func TestPathUniverseDrift(t *testing.T) {
+	if d, flagged := PathUniverseDrift(1000, 1050, 0.2); flagged || math.Abs(d-0.05) > 1e-12 {
+		t.Errorf("small drift flagged: %v %v", d, flagged)
+	}
+	if d, flagged := PathUniverseDrift(1000, 400, 0.2); !flagged || d > 0 {
+		t.Errorf("big shrink not flagged: %v %v", d, flagged)
+	}
+	if _, flagged := PathUniverseDrift(1000, 1500, 0.2); !flagged {
+		t.Error("big growth not flagged")
+	}
+	if _, flagged := PathUniverseDrift(0, 0, 0.2); flagged {
+		t.Error("zero-to-zero flagged")
+	}
+	if d, flagged := PathUniverseDrift(0, 10, 0.2); !flagged || !math.IsInf(d, 1) {
+		t.Error("zero-to-some not flagged as infinite drift")
+	}
+}

@@ -1,0 +1,41 @@
+package service_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"yardstick/internal/service"
+	"yardstick/internal/topogen"
+)
+
+// Example shows the remote workflow: run a suite server-side, then read
+// the aggregate coverage.
+func Example() {
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(service.WithNetwork(rg.Net).Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/run?suite=default,connected", "", nil)
+	if err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Println("run:", resp.Status)
+
+	resp, err = http.Get(ts.URL + "/gaps")
+	if err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Println("gaps:", resp.Status)
+	// Output:
+	// run: 200 OK
+	// gaps: 200 OK
+}

@@ -1,0 +1,283 @@
+// Package service exposes Yardstick as an HTTP service — the shape it
+// has in production (§7: "Yardstick is deployed in Azure as part of a
+// service to evaluate the impact of changes"). A server holds one
+// network and one accumulating coverage trace; testing tools report
+// coverage remotely by POSTing trace fragments (the §5.1 markPacket/
+// markRule feed, serialized as BDD cubes), or ask the server to run its
+// built-in suites; engineers read metrics, role breakdowns, and gap
+// reports.
+//
+// Endpoints:
+//
+//	PUT    /network          load a network (JSON body; ?format=text for the text format)
+//	GET    /network          current network stats
+//	POST   /trace            merge a trace fragment (trace JSON)
+//	GET    /trace            download the accumulated trace
+//	DELETE /trace            reset the trace
+//	POST   /run?suite=a,b    run built-in tests server-side, accumulate coverage
+//	GET    /coverage         headline metrics + per-role rows
+//	GET    /gaps             untested rules by origin and role
+//
+// The server serializes all requests: the underlying BDD manager is
+// single-threaded by design.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"yardstick/internal/core"
+	"yardstick/internal/netmodel"
+	"yardstick/internal/report"
+	"yardstick/internal/testkit"
+)
+
+// Server is the HTTP coverage service. Create with New and mount via
+// Handler.
+type Server struct {
+	mu    sync.Mutex
+	net   *netmodel.Network
+	trace *core.Trace
+}
+
+// New returns a server with no network loaded.
+func New() *Server {
+	return &Server{trace: core.NewTrace()}
+}
+
+// WithNetwork returns a server pre-loaded with a network.
+func WithNetwork(net *netmodel.Network) *Server {
+	return &Server{net: net, trace: core.NewTrace()}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /network", s.putNetwork)
+	mux.HandleFunc("GET /network", s.getNetwork)
+	mux.HandleFunc("POST /trace", s.postTrace)
+	mux.HandleFunc("GET /trace", s.getTrace)
+	mux.HandleFunc("DELETE /trace", s.deleteTrace)
+	mux.HandleFunc("POST /run", s.postRun)
+	mux.HandleFunc("GET /coverage", s.getCoverage)
+	mux.HandleFunc("GET /gaps", s.getGaps)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) putNetwork(w http.ResponseWriter, r *http.Request) {
+	var (
+		net *netmodel.Network
+		err error
+	)
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		net, err = netmodel.DecodeJSON(r.Body)
+	case "text":
+		net, err = netmodel.ParseText(r.Body)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q", r.URL.Query().Get("format"))
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse network: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.net = net
+	s.trace = core.NewTrace() // a new network invalidates the old trace
+	writeJSON(w, http.StatusOK, statsBody(net))
+}
+
+type networkStats struct {
+	Family  string `json:"family"`
+	Devices int    `json:"devices"`
+	Ifaces  int    `json:"ifaces"`
+	Links   int    `json:"links"`
+	Rules   int    `json:"rules"`
+}
+
+func statsBody(net *netmodel.Network) networkStats {
+	st := net.Stats()
+	return networkStats{
+		Family:  net.Family().String(),
+		Devices: st.Devices,
+		Ifaces:  st.Ifaces,
+		Links:   st.Links,
+		Rules:   st.Rules,
+	}
+}
+
+func (s *Server) getNetwork(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.net == nil {
+		httpError(w, http.StatusNotFound, "no network loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, statsBody(s.net))
+}
+
+func (s *Server) postTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.net == nil {
+		httpError(w, http.StatusConflict, "no network loaded")
+		return
+	}
+	frag, err := core.DecodeTraceJSON(s.net, r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse trace: %v", err)
+		return
+	}
+	s.trace.Merge(frag)
+	st := s.trace.Stats()
+	writeJSON(w, http.StatusOK, map[string]int{
+		"locations":   st.Locations,
+		"markedRules": st.MarkedRules,
+	})
+}
+
+func (s *Server) getTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.trace.EncodeJSON(w); err != nil {
+		httpError(w, http.StatusInternalServerError, "encode trace: %v", err)
+	}
+}
+
+func (s *Server) deleteTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trace = core.NewTrace()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type runResult struct {
+	Name     string   `json:"name"`
+	Kind     string   `json:"kind"`
+	Checks   int      `json:"checks"`
+	Pass     bool     `json:"pass"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.net == nil {
+		httpError(w, http.StatusConflict, "no network loaded")
+		return
+	}
+	suite, err := builtinSuite(r.URL.Query().Get("suite"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var out []runResult
+	for _, res := range suite.Run(s.net, s.trace) {
+		rr := runResult{
+			Name:   res.Name,
+			Kind:   string(res.Kind),
+			Checks: res.Checks,
+			Pass:   res.Pass(),
+		}
+		for i, f := range res.Failures {
+			if i == 10 {
+				rr.Failures = append(rr.Failures, fmt.Sprintf("... %d more", len(res.Failures)-10))
+				break
+			}
+			rr.Failures = append(rr.Failures, fmt.Sprintf("%s: %s", s.net.Device(f.Device).Name, f.Detail))
+		}
+		out = append(out, rr)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// builtinSuite resolves the suite names the CLI tools also accept.
+func builtinSuite(arg string) (testkit.Suite, error) {
+	return testkit.BuiltinSuite(arg)
+}
+
+type coverageBody struct {
+	Total  metricsBody   `json:"total"`
+	ByRole []metricsBody `json:"byRole"`
+}
+
+type metricsBody struct {
+	Group            string  `json:"group"`
+	Devices          int     `json:"devices"`
+	DeviceFractional float64 `json:"deviceFractional"`
+	IfaceFractional  float64 `json:"ifaceFractional"`
+	RuleFractional   float64 `json:"ruleFractional"`
+	RuleWeighted     float64 `json:"ruleWeighted"`
+}
+
+func toMetricsBody(m report.Metrics) metricsBody {
+	return metricsBody{
+		Group:            m.Label,
+		Devices:          m.Devices,
+		DeviceFractional: m.DeviceFractional,
+		IfaceFractional:  m.IfaceFractional,
+		RuleFractional:   m.RuleFractional,
+		RuleWeighted:     m.RuleWeighted,
+	}
+}
+
+func (s *Server) getCoverage(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.net == nil {
+		httpError(w, http.StatusConflict, "no network loaded")
+		return
+	}
+	cov := core.NewCoverage(s.net, s.trace)
+	body := coverageBody{Total: toMetricsBody(report.Total(cov, "total"))}
+	seen := map[netmodel.Role]bool{}
+	var roles []netmodel.Role
+	for _, d := range s.net.Devices {
+		if !seen[d.Role] {
+			seen[d.Role] = true
+			roles = append(roles, d.Role)
+		}
+	}
+	for _, row := range report.ByRole(cov, roles) {
+		body.ByRole = append(body.ByRole, toMetricsBody(row))
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+type gapBody struct {
+	Origin string `json:"origin"`
+	Role   string `json:"role"`
+	Count  int    `json:"count"`
+}
+
+func (s *Server) getGaps(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.net == nil {
+		httpError(w, http.StatusConflict, "no network loaded")
+		return
+	}
+	cov := core.NewCoverage(s.net, s.trace)
+	out := []gapBody{}
+	for _, g := range report.Gaps(cov) {
+		out = append(out, gapBody{Origin: string(g.Origin), Role: string(g.Role), Count: g.Count})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"yardstick/internal/core"
+	"yardstick/internal/dataplane"
+	"yardstick/internal/topogen"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *topogen.Regional) {
+	t.Helper()
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(WithNetwork(rg.Net).Handler())
+	t.Cleanup(ts.Close)
+	return ts, rg
+}
+
+func doJSON(t *testing.T, method, url string, body []byte, wantCode int, out any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("%s %s = %d, want %d (%v)", method, url, resp.StatusCode, wantCode, e)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	ts, rg := newTestServer(t)
+	var st networkStats
+	doJSON(t, "GET", ts.URL+"/network", nil, http.StatusOK, &st)
+	if st.Devices != rg.Net.Stats().Devices || st.Family != "ipv4" {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRunAndCoverage(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var results []runResult
+	doJSON(t, "POST", ts.URL+"/run?suite=default,internal", nil, http.StatusOK, &results)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if !r.Pass || r.Checks == 0 {
+			t.Errorf("%s: pass=%v checks=%d", r.Name, r.Pass, r.Checks)
+		}
+	}
+
+	var cov coverageBody
+	doJSON(t, "GET", ts.URL+"/coverage", nil, http.StatusOK, &cov)
+	if cov.Total.RuleFractional <= 0 || cov.Total.RuleFractional > 1 {
+		t.Errorf("total rule coverage = %v", cov.Total.RuleFractional)
+	}
+	if len(cov.ByRole) == 0 {
+		t.Error("no per-role rows")
+	}
+
+	var gaps []gapBody
+	doJSON(t, "GET", ts.URL+"/gaps", nil, http.StatusOK, &gaps)
+	found := false
+	for _, g := range gaps {
+		if g.Origin == "wide-area" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("wide-area gap should remain")
+	}
+}
+
+func TestRemoteTraceReporting(t *testing.T) {
+	ts, rg := newTestServer(t)
+
+	// A remote testing tool records coverage locally and POSTs it.
+	local := core.NewTrace()
+	local.MarkPacket(dataplane.Injected(rg.ToRs[0]), rg.Net.Space.DstPrefix(rg.HostPrefix[rg.ToRs[1]]))
+	for _, rid := range rg.Net.Device(rg.ToRs[0]).FIB {
+		local.MarkRule(rid)
+	}
+	var buf bytes.Buffer
+	if err := local.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]int
+	doJSON(t, "POST", ts.URL+"/trace", buf.Bytes(), http.StatusOK, &st)
+	if st["locations"] != 1 || st["markedRules"] == 0 {
+		t.Errorf("trace stats = %v", st)
+	}
+
+	// Coverage reflects the remote report.
+	var cov coverageBody
+	doJSON(t, "GET", ts.URL+"/coverage", nil, http.StatusOK, &cov)
+	if cov.Total.RuleFractional <= 0 {
+		t.Error("remote marks did not register")
+	}
+
+	// Round trip: download and re-upload is idempotent.
+	resp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := new(bytes.Buffer)
+	dump.ReadFrom(resp.Body)
+	resp.Body.Close()
+	doJSON(t, "POST", ts.URL+"/trace", dump.Bytes(), http.StatusOK, &st)
+	var cov2 coverageBody
+	doJSON(t, "GET", ts.URL+"/coverage", nil, http.StatusOK, &cov2)
+	if cov2.Total.RuleFractional != cov.Total.RuleFractional {
+		t.Error("re-uploading the trace changed coverage")
+	}
+
+	// Reset.
+	doJSON(t, "DELETE", ts.URL+"/trace", nil, http.StatusNoContent, nil)
+	var cov3 coverageBody
+	doJSON(t, "GET", ts.URL+"/coverage", nil, http.StatusOK, &cov3)
+	if cov3.Total.RuleFractional != 0 {
+		t.Error("trace reset did not clear coverage")
+	}
+}
+
+func TestPutNetwork(t *testing.T) {
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	// No network yet: coverage and run are 409.
+	doJSON(t, "GET", ts.URL+"/coverage", nil, http.StatusConflict, nil)
+	doJSON(t, "POST", ts.URL+"/run?suite=default", nil, http.StatusConflict, nil)
+	doJSON(t, "GET", ts.URL+"/network", nil, http.StatusNotFound, nil)
+
+	var buf bytes.Buffer
+	if err := rg.Net.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var st networkStats
+	doJSON(t, "PUT", ts.URL+"/network", buf.Bytes(), http.StatusOK, &st)
+	if st.Devices != rg.Net.Stats().Devices {
+		t.Errorf("stats = %+v", st)
+	}
+	// Now runs work.
+	doJSON(t, "POST", ts.URL+"/run?suite=default", nil, http.StatusOK, nil)
+
+	// Text format load.
+	textNet := `
+device a role=tor
+device b role=spine
+link a b 10.128.0.0/31
+route a 0.0.0.0/0 via b origin=default
+`
+	req, _ := http.NewRequest("PUT", ts.URL+"/network?format=text", strings.NewReader(textNet))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("text load = %d", resp.StatusCode)
+	}
+	// Loading a network resets the trace.
+	var cov coverageBody
+	doJSON(t, "GET", ts.URL+"/coverage", nil, http.StatusOK, &cov)
+	if cov.Total.RuleFractional != 0 {
+		t.Error("network reload should reset the trace")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	doJSON(t, "PUT", ts.URL+"/network", []byte("junk"), http.StatusBadRequest, nil)
+	doJSON(t, "PUT", ts.URL+"/network?format=xml", nil, http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/trace", []byte("junk"), http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/run?suite=bogus", nil, http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/run", nil, http.StatusBadRequest, nil)
+}

@@ -1,0 +1,93 @@
+package testkit
+
+import (
+	"testing"
+
+	"yardstick/internal/core"
+)
+
+func TestRankCandidates(t *testing.T) {
+	rg := buildRegional(t)
+	// Baseline: the original suite.
+	base := core.NewTrace()
+	Suite{DefaultRouteCheck{}, AggCanReachTorLoopback{}}.Run(rg.Net, base)
+
+	candidates := []Test{
+		ConnectedRouteCheck{},
+		InternalRouteCheck{},
+		DefaultRouteCheck{}, // redundant: zero gain
+	}
+	ranked := RankCandidates(rg.Net, base, candidates, core.Fractional)
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	// InternalRouteCheck covers far more rules than ConnectedRouteCheck.
+	if ranked[0].Test.Name() != "InternalRouteCheck" {
+		t.Errorf("top candidate = %s, want InternalRouteCheck", ranked[0].Test.Name())
+	}
+	// The redundant test has (near-)zero gain and ranks last.
+	last := ranked[len(ranked)-1]
+	if last.Test.Name() != "DefaultRouteCheck" || last.Gain > 1e-9 {
+		t.Errorf("redundant test should rank last with zero gain: %+v", last.Gain)
+	}
+	// Gains are ordered and coverage values consistent.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Gain > ranked[i-1].Gain {
+			t.Error("ranking not sorted by gain")
+		}
+	}
+	for _, r := range ranked {
+		if !r.Result.Pass() {
+			t.Errorf("%s failed during ranking", r.Test.Name())
+		}
+		if r.Coverage < r.Gain {
+			t.Error("coverage should include the baseline")
+		}
+	}
+	// The baseline trace must be untouched.
+	baseCov := core.NewCoverage(rg.Net, base)
+	internal := 0
+	for _, rid := range core.UncoveredRules(baseCov, nil) {
+		if rg.Net.Rule(rid).Origin == "internal" {
+			internal++
+		}
+	}
+	if internal == 0 {
+		t.Error("baseline trace was mutated by ranking")
+	}
+}
+
+func TestGreedySuite(t *testing.T) {
+	rg := buildRegional(t)
+	base := core.NewTrace()
+	DefaultRouteCheck{}.Run(rg.Net, base)
+
+	candidates := []Test{
+		ConnectedRouteCheck{},
+		InternalRouteCheck{},
+		AggCanReachTorLoopback{},
+		DefaultRouteCheck{}, // redundant
+	}
+	chosen := GreedySuite(rg.Net, base, candidates, core.Fractional, 1e-9)
+	if len(chosen) == 0 {
+		t.Fatal("greedy suite chose nothing")
+	}
+	// First pick is the biggest single contributor.
+	if chosen[0].Test.Name() != "InternalRouteCheck" {
+		t.Errorf("first pick = %s", chosen[0].Test.Name())
+	}
+	// The redundant DefaultRouteCheck is never chosen.
+	for _, c := range chosen {
+		if c.Test.Name() == "DefaultRouteCheck" {
+			t.Error("redundant test chosen")
+		}
+		if c.Gain <= 0 {
+			t.Errorf("chosen test %s has non-positive gain", c.Test.Name())
+		}
+	}
+	// AggCanReachTorLoopback adds nothing once InternalRouteCheck ran
+	// (its loopback contracts are a subset), so at most 2 picks.
+	if len(chosen) > 2 {
+		t.Errorf("greedy chose %d tests, want <= 2", len(chosen))
+	}
+}

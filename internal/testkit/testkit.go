@@ -1,0 +1,697 @@
+// Package testkit implements network tests spanning the paper's full
+// taxonomy (Figure 2) — state inspection, local and end-to-end, concrete
+// and symbolic — including every named test from the case study (§7) and
+// the performance evaluation (§8):
+//
+//	DefaultRouteCheck       state inspection
+//	ConnectedRouteCheck     state inspection
+//	InternalRouteCheck      local symbolic (RCDC-style contracts)
+//	AggCanReachTorLoopback  local symbolic
+//	ToRContract             local symbolic
+//	ToRReachability         end-to-end symbolic
+//	ToRPingmesh             end-to-end concrete
+//
+// Every test does the two things §3 distinguishes: it asserts expected
+// behavior (producing a pass/fail Result) and reports what it exercised
+// through the core.Tracker APIs (markPacket/markRule, §5.1).
+package testkit
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"yardstick/internal/core"
+	"yardstick/internal/dataplane"
+	"yardstick/internal/hdr"
+	"yardstick/internal/netmodel"
+)
+
+// Kind classifies a test per Figure 2.
+type Kind string
+
+// Test kinds.
+const (
+	StateInspection Kind = "state-inspection"
+	LocalConcrete   Kind = "local-concrete"
+	LocalSymbolic   Kind = "local-symbolic"
+	E2EConcrete     Kind = "e2e-concrete"
+	E2ESymbolic     Kind = "e2e-symbolic"
+)
+
+// Failure is one failed assertion.
+type Failure struct {
+	Device netmodel.DeviceID
+	Detail string
+}
+
+// Result is the outcome of one test run.
+type Result struct {
+	Name     string
+	Kind     Kind
+	Checks   int // assertions evaluated
+	Failures []Failure
+}
+
+// Pass reports whether all assertions held.
+func (r Result) Pass() bool { return len(r.Failures) == 0 }
+
+func (r *Result) failf(dev netmodel.DeviceID, format string, args ...any) {
+	r.Failures = append(r.Failures, Failure{Device: dev, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Test is one network test.
+type Test interface {
+	Name() string
+	Kind() Kind
+	// Run executes the test against the network, reporting coverage to
+	// the tracker and returning assertion results.
+	Run(net *netmodel.Network, tracker core.Tracker) Result
+}
+
+// Suite is an ordered collection of tests.
+type Suite []Test
+
+// Run executes every test, accumulating coverage in the tracker.
+func (s Suite) Run(net *netmodel.Network, tracker core.Tracker) []Result {
+	out := make([]Result, 0, len(s))
+	for _, t := range s {
+		out = append(out, t.Run(net, tracker))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+// roleRank orders roles bottom-up so tests can recognize "northbound".
+func roleRank(r netmodel.Role) int {
+	switch r {
+	case netmodel.RoleToR, netmodel.RoleLeaf:
+		return 0
+	case netmodel.RoleAgg:
+		return 1
+	case netmodel.RoleSpine:
+		return 2
+	case netmodel.RoleHub, netmodel.RoleBorder, netmodel.RoleCore:
+		return 3
+	}
+	return -1
+}
+
+// findFIBRule returns the device's FIB rule for an exact prefix.
+func findFIBRule(net *netmodel.Network, dev netmodel.DeviceID, p netip.Prefix) *netmodel.Rule {
+	r, ok := net.FIBRuleFor(dev, p)
+	if !ok {
+		return nil
+	}
+	return r
+}
+
+// outDevices resolves a forward action's out-interfaces to the set of
+// neighbor devices (external interfaces map to -1).
+func outDevices(net *netmodel.Network, act netmodel.Action) map[netmodel.DeviceID]bool {
+	out := make(map[netmodel.DeviceID]bool)
+	for _, ifid := range act.OutIfaces {
+		ifc := net.Iface(ifid)
+		if ifc.Peer == netmodel.NoIface {
+			out[-1] = true
+		} else {
+			out[net.Iface(ifc.Peer).Device] = true
+		}
+	}
+	return out
+}
+
+func sameDeviceSet(a map[netmodel.DeviceID]bool, b []netmodel.DeviceID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, d := range b {
+		if !a[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func devSetString(m map[netmodel.DeviceID]bool) string {
+	ids := make([]int, 0, len(m))
+	for d := range m {
+		ids = append(ids, int(d))
+	}
+	sort.Ints(ids)
+	return fmt.Sprint(ids)
+}
+
+// defaultRoutePrefix returns the family's default route (0.0.0.0/0 or
+// ::/0).
+func defaultRoutePrefix(net *netmodel.Network) netip.Prefix {
+	if net.Family() == hdr.V6 {
+		return netip.MustParsePrefix("::/0")
+	}
+	return netip.MustParsePrefix("0.0.0.0/0")
+}
+
+// ---------------------------------------------------------------------------
+// DefaultRouteCheck (state inspection)
+// ---------------------------------------------------------------------------
+
+// DefaultRouteCheck verifies that every device expected to carry the
+// default route has one whose next hops are exactly its northbound
+// neighbors (or an external uplink). Devices at the top of the hierarchy
+// without an uplink are excluded, mirroring the case-study exclusion of
+// some regional hubs. This is the RCDC-derived state-inspection test of
+// §7.2, and it reports coverage via MarkRule.
+type DefaultRouteCheck struct {
+	// Exclude skips devices the default route is not expected on. Nil
+	// excludes devices with no northbound neighbor and no external
+	// uplink.
+	Exclude func(d *netmodel.Device) bool
+}
+
+// Name implements Test.
+func (DefaultRouteCheck) Name() string { return "DefaultRouteCheck" }
+
+// Kind implements Test.
+func (DefaultRouteCheck) Kind() Kind { return StateInspection }
+
+// Run implements Test.
+func (t DefaultRouteCheck) Run(net *netmodel.Network, tracker core.Tracker) Result {
+	res := Result{Name: t.Name(), Kind: t.Kind()}
+	for _, d := range net.Devices {
+		if t.Exclude != nil && t.Exclude(d) {
+			continue
+		}
+		// Expected next hops: all strictly-northern neighbors; an
+		// external uplink (WAN edge) also qualifies.
+		var north []netmodel.DeviceID
+		hasUplink := false
+		for _, ifid := range d.Ifaces {
+			ifc := net.Iface(ifid)
+			if ifc.Peer == netmodel.NoIface {
+				if ifc.External && !ifc.Addr.IsValid() {
+					hasUplink = true // WAN-facing edge (no host subnet)
+				}
+				continue
+			}
+			nb := net.Device(net.Iface(ifc.Peer).Device)
+			if roleRank(nb.Role) > roleRank(d.Role) {
+				north = append(north, nb.ID)
+			}
+		}
+		if t.Exclude == nil && len(north) == 0 && !hasUplink {
+			continue // top of the hierarchy; excluded
+		}
+		res.Checks++
+		rule := findFIBRule(net, d.ID, defaultRoutePrefix(net))
+		if rule == nil {
+			res.failf(d.ID, "no default route")
+			continue
+		}
+		// Inspecting the rule covers its full match set (§5.1).
+		tracker.MarkRule(rule.ID)
+		if rule.Action.Kind != netmodel.ActForward {
+			res.failf(d.ID, "default route does not forward (null-routed?)")
+			continue
+		}
+		got := outDevices(net, rule.Action)
+		if hasUplink && got[-1] && len(got) == 1 {
+			continue // forwards out the uplink: correct for a WAN device
+		}
+		delete(got, -1)
+		if !sameDeviceSet(got, north) {
+			res.failf(d.ID, "default next hops %s != northbound neighbors", devSetString(got))
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// ConnectedRouteCheck (state inspection)
+// ---------------------------------------------------------------------------
+
+// ConnectedRouteCheck verifies that both ends of every point-to-point
+// link carry the connected route for the link's /31 (§7.3).
+type ConnectedRouteCheck struct{}
+
+// Name implements Test.
+func (ConnectedRouteCheck) Name() string { return "ConnectedRouteCheck" }
+
+// Kind implements Test.
+func (ConnectedRouteCheck) Kind() Kind { return StateInspection }
+
+// Run implements Test.
+func (t ConnectedRouteCheck) Run(net *netmodel.Network, tracker core.Tracker) Result {
+	res := Result{Name: t.Name(), Kind: t.Kind()}
+	for _, ifc := range net.Ifaces {
+		if ifc.Peer == netmodel.NoIface || !ifc.Addr.IsValid() {
+			continue
+		}
+		res.Checks++
+		p := ifc.Addr.Masked()
+		rule := findFIBRule(net, ifc.Device, p)
+		if rule == nil || rule.Origin != netmodel.OriginConnected {
+			res.failf(ifc.Device, "missing connected route %v on %s", p, ifc.Name)
+			continue
+		}
+		tracker.MarkRule(rule.ID)
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Shortest-path contracts (local symbolic): InternalRouteCheck,
+// ToRContract, AggCanReachTorLoopback
+// ---------------------------------------------------------------------------
+
+// contractCheck validates, for each (origin, prefix) pair, that every
+// other eligible device forwards the prefix through exactly the full set
+// of topological shortest paths toward the origin — the RCDC idea of
+// decomposing an end-to-end invariant into local forwarding contracts
+// (§7.3). It reports coverage with one markPacket per exercised device.
+func contractCheck(net *netmodel.Network, tracker core.Tracker, res *Result,
+	origins []netmodel.DeviceID, prefixes func(d *netmodel.Device) []netip.Prefix,
+	eligible func(d *netmodel.Device) bool) {
+
+	// Batch coverage marking: union of prefix sets checked per device.
+	marked := make(map[netmodel.DeviceID]hdr.Set)
+	mark := func(dev netmodel.DeviceID, s hdr.Set) {
+		if cur, ok := marked[dev]; ok {
+			marked[dev] = cur.Union(s)
+		} else {
+			marked[dev] = s
+		}
+	}
+
+	for _, origin := range origins {
+		prefs := prefixes(net.Device(origin))
+		if len(prefs) == 0 {
+			continue
+		}
+		dist := dataplane.BFSDistances(net, origin)
+		for _, d := range net.Devices {
+			if d.ID == origin || dist[d.ID] <= 0 {
+				continue
+			}
+			if eligible != nil && !eligible(d) {
+				continue
+			}
+			// Expected: ECMP across all neighbors one hop closer.
+			var want []netmodel.DeviceID
+			for _, nb := range net.Neighbors(d.ID) {
+				if dist[nb] == dist[d.ID]-1 {
+					want = append(want, nb)
+				}
+			}
+			for _, p := range prefs {
+				res.Checks++
+				mark(d.ID, net.Space.DstPrefix(p))
+				rule := findFIBRule(net, d.ID, p)
+				if rule == nil {
+					res.failf(d.ID, "no route for %v", p)
+					continue
+				}
+				if rule.Action.Kind != netmodel.ActForward {
+					res.failf(d.ID, "route for %v does not forward", p)
+					continue
+				}
+				got := outDevices(net, rule.Action)
+				if !sameDeviceSet(got, want) {
+					res.failf(d.ID, "route for %v uses next hops %s, want full shortest-path set", p, devSetString(got))
+				}
+			}
+		}
+	}
+	for dev, s := range marked {
+		tracker.MarkPacket(dataplane.Injected(dev), s)
+	}
+}
+
+// InternalRouteCheck validates that all prefixes originating within the
+// region — host subnets and loopbacks — are forwarded through and only
+// through the full set of topological shortest paths (§7.3). Local
+// symbolic.
+type InternalRouteCheck struct{}
+
+// Name implements Test.
+func (InternalRouteCheck) Name() string { return "InternalRouteCheck" }
+
+// Kind implements Test.
+func (InternalRouteCheck) Kind() Kind { return LocalSymbolic }
+
+// Run implements Test.
+func (t InternalRouteCheck) Run(net *netmodel.Network, tracker core.Tracker) Result {
+	res := Result{Name: t.Name(), Kind: t.Kind()}
+	origins := make([]netmodel.DeviceID, len(net.Devices))
+	for i := range origins {
+		origins[i] = netmodel.DeviceID(i)
+	}
+	contractCheck(net, tracker, &res, origins, func(d *netmodel.Device) []netip.Prefix {
+		return append(append([]netip.Prefix(nil), d.Subnets...), d.Loopbacks...)
+	}, nil)
+	return res
+}
+
+// ToRContract is the §8 local-symbolic benchmark test: the ToRReachability
+// invariant decomposed into per-device forwarding contracts for the hosted
+// prefixes only (a subset of RCDC).
+type ToRContract struct{}
+
+// Name implements Test.
+func (ToRContract) Name() string { return "ToRContract" }
+
+// Kind implements Test.
+func (ToRContract) Kind() Kind { return LocalSymbolic }
+
+// Run implements Test.
+func (t ToRContract) Run(net *netmodel.Network, tracker core.Tracker) Result {
+	res := Result{Name: t.Name(), Kind: t.Kind()}
+	var origins []netmodel.DeviceID
+	for _, d := range net.Devices {
+		if len(d.Subnets) > 0 {
+			origins = append(origins, d.ID)
+		}
+	}
+	contractCheck(net, tracker, &res, origins, func(d *netmodel.Device) []netip.Prefix {
+		return d.Subnets
+	}, nil)
+	return res
+}
+
+// AggCanReachTorLoopback checks that aggregation routers correctly
+// forward packets for ToR loopback interfaces (§7.2). Local symbolic,
+// restricted to aggregation devices.
+type AggCanReachTorLoopback struct{}
+
+// Name implements Test.
+func (AggCanReachTorLoopback) Name() string { return "AggCanReachTorLoopback" }
+
+// Kind implements Test.
+func (AggCanReachTorLoopback) Kind() Kind { return LocalSymbolic }
+
+// Run implements Test.
+func (t AggCanReachTorLoopback) Run(net *netmodel.Network, tracker core.Tracker) Result {
+	res := Result{Name: t.Name(), Kind: t.Kind()}
+	var tors []netmodel.DeviceID
+	for _, d := range net.Devices {
+		if d.Role == netmodel.RoleToR && len(d.Loopbacks) > 0 {
+			tors = append(tors, d.ID)
+		}
+	}
+	contractCheck(net, tracker, &res, tors, func(d *netmodel.Device) []netip.Prefix {
+		return d.Loopbacks
+	}, func(d *netmodel.Device) bool {
+		return d.Role == netmodel.RoleAgg
+	})
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// ToRReachability (end-to-end symbolic)
+// ---------------------------------------------------------------------------
+
+// ToRReachability checks that all packets originating at a ToR with a
+// destination address in another ToR's hosted prefix reach that ToR (§8).
+// End-to-end symbolic: one symbolic flood per source ToR, per-hop packet
+// sets reported via MarkPacket.
+type ToRReachability struct{}
+
+// Name implements Test.
+func (ToRReachability) Name() string { return "ToRReachability" }
+
+// Kind implements Test.
+func (ToRReachability) Kind() Kind { return E2ESymbolic }
+
+// Run implements Test.
+func (t ToRReachability) Run(net *netmodel.Network, tracker core.Tracker) Result {
+	res := Result{Name: t.Name(), Kind: t.Kind()}
+	type hosted struct {
+		dev   netmodel.DeviceID
+		iface netmodel.IfaceID
+		set   hdr.Set
+	}
+	var all []hosted
+	for _, d := range net.Devices {
+		for _, p := range d.Subnets {
+			// The hosted edge interface carries the subnet address.
+			for _, ifid := range d.Ifaces {
+				ifc := net.Iface(ifid)
+				if ifc.External && ifc.Addr == p {
+					all = append(all, hosted{d.ID, ifid, net.Space.DstPrefix(p)})
+				}
+			}
+		}
+	}
+	for _, src := range all {
+		// Union of every other ToR's hosted prefix.
+		dsts := net.Space.Empty()
+		for _, h := range all {
+			if h.dev != src.dev {
+				dsts = dsts.Union(h.set)
+			}
+		}
+		if dsts.IsEmpty() {
+			continue
+		}
+		r, err := dataplane.Reach(net, dataplane.Injected(src.dev), dsts, dataplane.ReachOpts{
+			OnHop: func(loc dataplane.Loc, pkts hdr.Set) { tracker.MarkPacket(loc, pkts) },
+		})
+		if err != nil {
+			res.failf(src.dev, "symbolic flood failed: %v", err)
+			continue
+		}
+		for _, h := range all {
+			if h.dev == src.dev {
+				continue
+			}
+			res.Checks++
+			got, ok := r.Egressed[h.iface]
+			if !ok || !got.Equal(h.set) {
+				res.failf(src.dev, "packets for %s did not fully reach it", net.Device(h.dev).Name)
+			}
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// ToRPingmesh (end-to-end concrete)
+// ---------------------------------------------------------------------------
+
+// ToRPingmesh checks the ToRReachability invariant with one sampled
+// concrete address per prefix instead of reasoning about all packets —
+// the Pingmesh idea (§8). End-to-end concrete.
+type ToRPingmesh struct{}
+
+// Name implements Test.
+func (ToRPingmesh) Name() string { return "ToRPingmesh" }
+
+// Kind implements Test.
+func (ToRPingmesh) Kind() Kind { return E2EConcrete }
+
+// Run implements Test.
+func (t ToRPingmesh) Run(net *netmodel.Network, tracker core.Tracker) Result {
+	res := Result{Name: t.Name(), Kind: t.Kind()}
+	type hosted struct {
+		dev    netmodel.DeviceID
+		prefix netip.Prefix
+	}
+	var all []hosted
+	for _, d := range net.Devices {
+		for _, p := range d.Subnets {
+			all = append(all, hosted{d.ID, p})
+		}
+	}
+	for _, src := range all {
+		srcAddr := src.prefix.Addr().Next() // .1 of the hosted subnet
+		for _, dst := range all {
+			if dst.dev == src.dev {
+				continue
+			}
+			res.Checks++
+			pkt := hdr.Packet{
+				Dst:     dst.prefix.Addr().Next(),
+				Src:     srcAddr,
+				Proto:   1, // ICMP echo
+				DstPort: 0,
+				SrcPort: 0,
+			}
+			tr := dataplane.Traceroute(net, dataplane.Injected(src.dev), pkt)
+			single := net.Space.Singleton(pkt)
+			for _, hop := range tr.Hops {
+				tracker.MarkPacket(hop.Loc, single)
+			}
+			if tr.End != dataplane.TraceEgressed || len(tr.Hops) == 0 ||
+				tr.Hops[len(tr.Hops)-1].Loc.Device != dst.dev {
+				res.failf(src.dev, "ping to %s ended %v", net.Device(dst.dev).Name, tr.End)
+			}
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Generic taxonomy tests
+// ---------------------------------------------------------------------------
+
+// PingTest is a generic end-to-end concrete test: one packet injected at
+// From must terminate with End (e.g. egress somewhere specific).
+type PingTest struct {
+	TestName   string
+	From       netmodel.DeviceID
+	Packet     hdr.Packet
+	WantEnd    dataplane.TraceEnd
+	WantDevice netmodel.DeviceID // device at the final hop; -1 = any
+}
+
+// Name implements Test.
+func (t PingTest) Name() string {
+	if t.TestName != "" {
+		return t.TestName
+	}
+	return "PingTest"
+}
+
+// Kind implements Test.
+func (PingTest) Kind() Kind { return E2EConcrete }
+
+// Run implements Test.
+func (t PingTest) Run(net *netmodel.Network, tracker core.Tracker) Result {
+	res := Result{Name: t.Name(), Kind: t.Kind(), Checks: 1}
+	tr := dataplane.Traceroute(net, dataplane.Injected(t.From), t.Packet)
+	single := net.Space.Singleton(t.Packet)
+	for _, hop := range tr.Hops {
+		tracker.MarkPacket(hop.Loc, single)
+	}
+	if tr.End != t.WantEnd {
+		res.failf(t.From, "trace ended %v, want %v", tr.End, t.WantEnd)
+		return res
+	}
+	if t.WantDevice >= 0 {
+		if len(tr.Hops) == 0 || tr.Hops[len(tr.Hops)-1].Loc.Device != t.WantDevice {
+			res.failf(t.From, "trace did not end at %s", net.Device(t.WantDevice).Name)
+		}
+	}
+	return res
+}
+
+// ReachabilityTest is a generic end-to-end symbolic test: all packets in
+// Pkts injected at From must egress via exactly the WantEgress interfaces
+// (each receiving the full set), and optionally traverse Waypoint.
+type ReachabilityTest struct {
+	TestName   string
+	From       netmodel.DeviceID
+	Pkts       hdr.Set
+	WantEgress []netmodel.IfaceID
+	Waypoint   netmodel.DeviceID // -1 = none
+}
+
+// Name implements Test.
+func (t ReachabilityTest) Name() string {
+	if t.TestName != "" {
+		return t.TestName
+	}
+	return "ReachabilityTest"
+}
+
+// Kind implements Test.
+func (ReachabilityTest) Kind() Kind { return E2ESymbolic }
+
+// Run implements Test.
+func (t ReachabilityTest) Run(net *netmodel.Network, tracker core.Tracker) Result {
+	res := Result{Name: t.Name(), Kind: t.Kind()}
+	r, err := dataplane.Reach(net, dataplane.Injected(t.From), t.Pkts, dataplane.ReachOpts{
+		OnHop: func(loc dataplane.Loc, pkts hdr.Set) { tracker.MarkPacket(loc, pkts) },
+	})
+	if err != nil {
+		res.Checks++
+		res.failf(t.From, "symbolic flood failed: %v", err)
+		return res
+	}
+	for _, ifid := range t.WantEgress {
+		res.Checks++
+		got, ok := r.Egressed[ifid]
+		if !ok || !got.Equal(t.Pkts) {
+			res.failf(net.Iface(ifid).Device, "egress %s did not receive the full packet set", net.Iface(ifid).Name)
+		}
+	}
+	if t.Waypoint >= 0 {
+		res.Checks++
+		if !r.AtDevice(net, t.Waypoint).Equal(t.Pkts) {
+			res.failf(t.Waypoint, "waypoint %s not traversed by all packets", net.Device(t.Waypoint).Name)
+		}
+	}
+	return res
+}
+
+// ACLDenyCheck is a local symbolic test: the device must drop all packets
+// matching Match (e.g. "router R1 must drop all packets to port 23").
+type ACLDenyCheck struct {
+	TestName string
+	Device   netmodel.DeviceID
+	Match    hdr.Set
+}
+
+// Name implements Test.
+func (t ACLDenyCheck) Name() string {
+	if t.TestName != "" {
+		return t.TestName
+	}
+	return "ACLDenyCheck"
+}
+
+// Kind implements Test.
+func (ACLDenyCheck) Kind() Kind { return LocalSymbolic }
+
+// Run implements Test.
+func (t ACLDenyCheck) Run(net *netmodel.Network, tracker core.Tracker) Result {
+	res := Result{Name: t.Name(), Kind: t.Kind(), Checks: 1}
+	tracker.MarkPacket(dataplane.Injected(t.Device), t.Match)
+	dr := dataplane.ApplyDevice(net, t.Device, t.Match)
+	for _, hit := range dr.Hits {
+		if len(hit.Out) > 0 {
+			res.failf(t.Device, "packets escape via rule %d", hit.Rule.ID)
+			return res
+		}
+	}
+	return res
+}
+
+// BuiltinSuite resolves a comma-separated list of built-in test names —
+// the vocabulary shared by the CLI tools and the HTTP service:
+// default, connected, internal, agg, contract, reach, pingmesh, host.
+// (WideAreaRouteCheck is not name-addressable: it needs a WAN route
+// specification; callers add it explicitly.)
+func BuiltinSuite(arg string) (Suite, error) {
+	var suite Suite
+	for _, name := range strings.Split(arg, ",") {
+		switch strings.TrimSpace(name) {
+		case "default":
+			suite = append(suite, DefaultRouteCheck{})
+		case "connected":
+			suite = append(suite, ConnectedRouteCheck{})
+		case "internal":
+			suite = append(suite, InternalRouteCheck{})
+		case "agg":
+			suite = append(suite, AggCanReachTorLoopback{})
+		case "contract":
+			suite = append(suite, ToRContract{})
+		case "reach":
+			suite = append(suite, ToRReachability{})
+		case "pingmesh":
+			suite = append(suite, ToRPingmesh{})
+		case "host":
+			suite = append(suite, HostInterfaceCheck{})
+		case "":
+		default:
+			return nil, fmt.Errorf("testkit: unknown test %q", name)
+		}
+	}
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("testkit: empty test suite")
+	}
+	return suite, nil
+}

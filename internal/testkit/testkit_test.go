@@ -1,0 +1,422 @@
+package testkit
+
+import (
+	"net/netip"
+	"testing"
+
+	"yardstick/internal/core"
+	"yardstick/internal/dataplane"
+	"yardstick/internal/hdr"
+	"yardstick/internal/netmodel"
+	"yardstick/internal/topogen"
+)
+
+func buildRegional(t *testing.T) *topogen.Regional {
+	t.Helper()
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rg
+}
+
+func TestDefaultRouteCheckPassesOnRegional(t *testing.T) {
+	rg := buildRegional(t)
+	tr := core.NewTrace()
+	res := DefaultRouteCheck{}.Run(rg.Net, tr)
+	if !res.Pass() {
+		t.Fatalf("failures: %+v", res.Failures)
+	}
+	// Checks cover ToRs, aggs, spines, and WAN hubs, but not
+	// interconnect-only hubs.
+	want := len(rg.ToRs) + len(rg.Aggs) + len(rg.Spines) + len(rg.WANHubs)
+	if res.Checks != want {
+		t.Errorf("checks = %d, want %d", res.Checks, want)
+	}
+	// Exactly one marked rule per checked device.
+	if st := tr.Stats(); st.MarkedRules != want {
+		t.Errorf("marked rules = %d, want %d", st.MarkedRules, want)
+	}
+}
+
+func TestDefaultRouteCheckCatchesNullRoute(t *testing.T) {
+	ex, err := topogen.BuildExample(topogen.ExampleOpts{BugNullRoute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DefaultRouteCheck{}.Run(ex.Net, core.NewTrace())
+	if res.Pass() {
+		t.Fatal("null-routed default should fail the check")
+	}
+	b2, _ := ex.Net.DeviceByName("b2")
+	found := false
+	for _, f := range res.Failures {
+		if f.Device == b2.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("failure should implicate b2: %+v", res.Failures)
+	}
+}
+
+func TestDefaultRouteCheckCatchesMissingDefault(t *testing.T) {
+	// Spines in the buggy example still have a default via B1; remove B1
+	// too and they have none.
+	ex, err := topogen.BuildExample(topogen.ExampleOpts{BugNullRoute: true, OmitB1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DefaultRouteCheck{}.Run(ex.Net, core.NewTrace())
+	fails := map[netmodel.DeviceID]bool{}
+	for _, f := range res.Failures {
+		fails[f.Device] = true
+	}
+	for _, s := range ex.Spines {
+		if !fails[s] {
+			t.Errorf("spine %d missing-default not flagged", s)
+		}
+	}
+}
+
+func TestConnectedRouteCheckPasses(t *testing.T) {
+	rg := buildRegional(t)
+	tr := core.NewTrace()
+	res := ConnectedRouteCheck{}.Run(rg.Net, tr)
+	if !res.Pass() {
+		t.Fatalf("failures: %+v", res.Failures)
+	}
+	// One check per internal interface end.
+	want := 2 * rg.Net.Stats().Links
+	if res.Checks != want {
+		t.Errorf("checks = %d, want %d", res.Checks, want)
+	}
+	if st := tr.Stats(); st.MarkedRules != want {
+		t.Errorf("marked rules = %d, want %d", st.MarkedRules, want)
+	}
+}
+
+func TestInternalRouteCheckPasses(t *testing.T) {
+	rg := buildRegional(t)
+	tr := core.NewTrace()
+	res := InternalRouteCheck{}.Run(rg.Net, tr)
+	if !res.Pass() {
+		t.Fatalf("failures (%d): %+v", len(res.Failures), res.Failures[:min(5, len(res.Failures))])
+	}
+	if res.Checks == 0 {
+		t.Fatal("no checks ran")
+	}
+	// Coverage marked on every device except none (origins excluded per
+	// prefix but every device transits some prefix).
+	if st := tr.Stats(); st.Locations != len(rg.Net.Devices) {
+		t.Errorf("marked locations = %d, want %d", st.Locations, len(rg.Net.Devices))
+	}
+}
+
+func TestInternalRouteCheckSkipsOriginDelivery(t *testing.T) {
+	// The origin's own rule must not be covered by the contract test:
+	// host-facing interfaces stay untested (the §7.3 residual gap).
+	rg := buildRegional(t)
+	tr := core.NewTrace()
+	InternalRouteCheck{}.Run(rg.Net, tr)
+	c := core.NewCoverage(rg.Net, tr)
+	tor := rg.ToRs[0]
+	hostIface := rg.HostIface[tor]
+	spec := core.OutIfaceSpec(rg.Net, hostIface)
+	if got := core.ComponentCoverage(c, spec); got != 0 {
+		t.Errorf("host-facing interface coverage = %v, want 0", got)
+	}
+}
+
+func TestAggCanReachTorLoopback(t *testing.T) {
+	rg := buildRegional(t)
+	tr := core.NewTrace()
+	res := AggCanReachTorLoopback{}.Run(rg.Net, tr)
+	if !res.Pass() {
+		t.Fatalf("failures: %+v", res.Failures)
+	}
+	// Marks only aggregation devices.
+	for _, loc := range tr.Locations() {
+		if rg.Net.Device(loc.Device).Role != netmodel.RoleAgg {
+			t.Errorf("marked non-agg device %s", rg.Net.Device(loc.Device).Name)
+		}
+	}
+	if len(tr.Locations()) != len(rg.Aggs) {
+		t.Errorf("marked %d devices, want %d aggs", len(tr.Locations()), len(rg.Aggs))
+	}
+}
+
+func TestToRReachabilityFatTree(t *testing.T) {
+	ft, err := topogen.BuildFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := core.NewTrace()
+	res := ToRReachability{}.Run(ft.Net, tr)
+	if !res.Pass() {
+		t.Fatalf("failures: %+v", res.Failures[:min(5, len(res.Failures))])
+	}
+	nt := len(ft.ToRs)
+	if res.Checks != nt*(nt-1) {
+		t.Errorf("checks = %d, want %d", res.Checks, nt*(nt-1))
+	}
+	// Every ToR device is marked (as source or transit/destination).
+	c := core.NewCoverage(ft.Net, tr)
+	if got := core.DeviceCoverage(c, ft.ToRs, core.Fractional); got != 1 {
+		t.Errorf("ToR fractional device coverage = %v, want 1", got)
+	}
+}
+
+func TestToRContractFatTree(t *testing.T) {
+	ft, err := topogen.BuildFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := core.NewTrace()
+	res := ToRContract{}.Run(ft.Net, tr)
+	if !res.Pass() {
+		t.Fatalf("failures: %+v", res.Failures[:min(5, len(res.Failures))])
+	}
+	if res.Checks == 0 {
+		t.Fatal("no checks")
+	}
+}
+
+func TestToRPingmeshFatTree(t *testing.T) {
+	ft, err := topogen.BuildFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := core.NewTrace()
+	res := ToRPingmesh{}.Run(ft.Net, tr)
+	if !res.Pass() {
+		t.Fatalf("failures: %+v", res.Failures[:min(5, len(res.Failures))])
+	}
+	nt := len(ft.ToRs)
+	if res.Checks != nt*(nt-1) {
+		t.Errorf("checks = %d, want %d", res.Checks, nt*(nt-1))
+	}
+}
+
+// TestSymbolicSubsumesConcrete verifies the compositional property at the
+// test level: the pingmesh trace is contained in the reachability trace.
+func TestSymbolicSubsumesConcrete(t *testing.T) {
+	ft, err := topogen.BuildFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trSym := core.NewTrace()
+	ToRReachability{}.Run(ft.Net, trSym)
+	trPing := core.NewTrace()
+	ToRPingmesh{}.Run(ft.Net, trPing)
+
+	cSym := core.NewCoverage(ft.Net, trSym)
+	cPing := core.NewCoverage(ft.Net, trPing)
+	for _, r := range ft.Net.Rules {
+		sym := cSym.Covered(r.ID)
+		ping := cPing.Covered(r.ID)
+		if !sym.Contains(ping) {
+			t.Fatalf("rule %d: concrete coverage not contained in symbolic", r.ID)
+		}
+	}
+	// And strictly more rules are partially covered or equally many,
+	// with symbolic fraction >= concrete.
+	symRule := core.RuleCoverage(cSym, nil, Weighted())
+	pingRule := core.RuleCoverage(cPing, nil, Weighted())
+	if symRule < pingRule {
+		t.Errorf("symbolic weighted rule coverage (%v) < concrete (%v)", symRule, pingRule)
+	}
+}
+
+// Weighted avoids importing core.Weighted at every call site above.
+func Weighted() core.AggKind { return core.Weighted }
+
+func TestSuiteRunAccumulates(t *testing.T) {
+	rg := buildRegional(t)
+	tr := core.NewTrace()
+	suite := Suite{DefaultRouteCheck{}, AggCanReachTorLoopback{}}
+	results := suite.Run(rg.Net, tr)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if !r.Pass() {
+			t.Errorf("%s failed: %+v", r.Name, r.Failures)
+		}
+	}
+	st := tr.Stats()
+	if st.MarkedRules == 0 || st.Locations == 0 {
+		t.Error("suite should mark both rules and packets")
+	}
+}
+
+func TestPingTest(t *testing.T) {
+	ex, err := topogen.BuildExample(topogen.ExampleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := ex.Leaves[1]
+	pkt := pktTo(ex.LeafPrefix[dst].Addr().Next())
+	res := PingTest{
+		From: ex.Leaves[0], Packet: pkt,
+		WantEnd: dataplane.TraceEgressed, WantDevice: dst,
+	}.Run(ex.Net, core.NewTrace())
+	if !res.Pass() {
+		t.Fatalf("failures: %+v", res.Failures)
+	}
+	// Wrong expectation fails.
+	res = PingTest{
+		From: ex.Leaves[0], Packet: pkt,
+		WantEnd: dataplane.TraceDropped, WantDevice: -1,
+	}.Run(ex.Net, core.NewTrace())
+	if res.Pass() {
+		t.Fatal("mismatched expectation should fail")
+	}
+}
+
+func pktTo(dst netip.Addr) hdr.Packet {
+	return hdr.Packet{Dst: dst, Src: netip.MustParseAddr("10.0.0.1"), Proto: 1}
+}
+
+func TestReachabilityTest(t *testing.T) {
+	ex, err := topogen.BuildExample(topogen.ExampleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ex.Net
+	dst := ex.Leaves[1]
+	pkts := n.Space.DstPrefix(ex.LeafPrefix[dst])
+	res := ReachabilityTest{
+		From: ex.Leaves[0], Pkts: pkts,
+		WantEgress: []netmodel.IfaceID{ex.LeafIface[dst]},
+		Waypoint:   -1,
+	}.Run(n, core.NewTrace())
+	if !res.Pass() {
+		t.Fatalf("failures: %+v", res.Failures)
+	}
+	// Waypoint assertion: a single spine does NOT see all packets (ECMP
+	// splits symbolically means both spines see all packets actually —
+	// symbolic floods traverse both). So the waypoint check passes for a
+	// spine.
+	res = ReachabilityTest{
+		From: ex.Leaves[0], Pkts: pkts,
+		WantEgress: []netmodel.IfaceID{ex.LeafIface[dst]},
+		Waypoint:   ex.Spines[0],
+	}.Run(n, core.NewTrace())
+	if !res.Pass() {
+		t.Fatalf("waypoint failures: %+v", res.Failures)
+	}
+	// A border is not on the path: waypoint check fails.
+	res = ReachabilityTest{
+		From: ex.Leaves[0], Pkts: pkts,
+		WantEgress: []netmodel.IfaceID{ex.LeafIface[dst]},
+		Waypoint:   ex.Borders[0],
+	}.Run(n, core.NewTrace())
+	if res.Pass() {
+		t.Fatal("border waypoint should fail")
+	}
+}
+
+func TestACLDenyCheck(t *testing.T) {
+	n := netmodel.New()
+	d := n.AddDevice("fw", netmodel.RoleBorder, 1)
+	up := n.AddIface(d, "up")
+	deny := netmodel.MatchAll()
+	deny.DstPortLo, deny.DstPortHi = 23, 23
+	n.AddACLRule(d, deny, true)
+	n.AddACLRule(d, netmodel.MatchAll(), false)
+	n.AddFIBRule(d, netmodel.MatchDst(netip.MustParsePrefix("0.0.0.0/0")),
+		netmodel.Action{Kind: netmodel.ActForward, OutIfaces: []netmodel.IfaceID{up}}, netmodel.OriginDefault)
+	n.ComputeMatchSets()
+
+	res := ACLDenyCheck{Device: d, Match: n.Space.DstPort(23)}.Run(n, core.NewTrace())
+	if !res.Pass() {
+		t.Fatalf("port-23 deny should pass: %+v", res.Failures)
+	}
+	res = ACLDenyCheck{Device: d, Match: n.Space.DstPort(80)}.Run(n, core.NewTrace())
+	if res.Pass() {
+		t.Fatal("port-80 traffic is forwarded; deny check should fail")
+	}
+}
+
+func TestKindsAndNames(t *testing.T) {
+	tests := []Test{
+		DefaultRouteCheck{}, ConnectedRouteCheck{}, InternalRouteCheck{},
+		AggCanReachTorLoopback{}, ToRContract{}, ToRReachability{}, ToRPingmesh{},
+		PingTest{}, ReachabilityTest{}, ACLDenyCheck{},
+	}
+	wantKinds := []Kind{
+		StateInspection, StateInspection, LocalSymbolic,
+		LocalSymbolic, LocalSymbolic, E2ESymbolic, E2EConcrete,
+		E2EConcrete, E2ESymbolic, LocalSymbolic,
+	}
+	for i, tc := range tests {
+		if tc.Name() == "" {
+			t.Errorf("test %d has no name", i)
+		}
+		if tc.Kind() != wantKinds[i] {
+			t.Errorf("%s kind = %v, want %v", tc.Name(), tc.Kind(), wantKinds[i])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestBuiltinSuite(t *testing.T) {
+	suite, err := BuiltinSuite("default,connected,internal,agg,contract,reach,pingmesh,host")
+	if err != nil || len(suite) != 8 {
+		t.Fatalf("suite = %d, err = %v", len(suite), err)
+	}
+	if _, err := BuiltinSuite("bogus"); err == nil {
+		t.Error("unknown name should error")
+	}
+	if _, err := BuiltinSuite(""); err == nil {
+		t.Error("empty suite should error")
+	}
+	if _, err := BuiltinSuite("wan"); err == nil {
+		t.Error("wan is not name-addressable (needs a spec)")
+	}
+	// Whitespace and empties are tolerated.
+	suite, err = BuiltinSuite(" default , ,connected ")
+	if err != nil || len(suite) != 2 {
+		t.Fatalf("tolerant parse: %d, %v", len(suite), err)
+	}
+}
+
+func TestCustomNames(t *testing.T) {
+	// Generic tests default their names and honor overrides.
+	if (PingTest{}).Name() != "PingTest" || (PingTest{TestName: "x"}).Name() != "x" {
+		t.Error("PingTest naming")
+	}
+	if (ReachabilityTest{}).Name() != "ReachabilityTest" || (ReachabilityTest{TestName: "y"}).Name() != "y" {
+		t.Error("ReachabilityTest naming")
+	}
+	if (ACLDenyCheck{}).Name() != "ACLDenyCheck" || (ACLDenyCheck{TestName: "z"}).Name() != "z" {
+		t.Error("ACLDenyCheck naming")
+	}
+}
+
+func TestReachabilityTestFailurePaths(t *testing.T) {
+	ex, err := topogen.BuildExample(topogen.ExampleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ex.Net
+	dst := ex.Leaves[1]
+	pkts := n.Space.DstPrefix(ex.LeafPrefix[dst])
+	// Wrong egress interface: the WAN iface never sees leaf-bound traffic.
+	b1 := ex.Borders[0]
+	res := ReachabilityTest{
+		From: ex.Leaves[0], Pkts: pkts,
+		WantEgress: []netmodel.IfaceID{ex.WANIface[b1]},
+		Waypoint:   -1,
+	}.Run(n, core.NewTrace())
+	if res.Pass() {
+		t.Error("wrong egress expectation should fail")
+	}
+}

@@ -1,0 +1,596 @@
+// Package topogen builds the three network families used in the paper:
+//
+//   - Example: the §2 / Figure 1 data-center network (borders, spines,
+//     leaves) with the optional null-routed static default on border B2
+//     that causes the motivating outage.
+//   - FatTree: k-ary fat-trees [Al-Fares et al.] used for the §8
+//     performance benchmarks.
+//   - Regional: the §7.1 case-study network — a region of Clos data
+//     centers (ToR/Agg pods, DC spines) interconnected by regional hub
+//     routers, some of which face the WAN.
+//
+// All generators wire the topology, configure the control plane per §7.1
+// (eBGP with ECMP, static default routes pointing north, connected /31s,
+// redistributed loopbacks and host subnets, scoped wide-area routes), run
+// the BGP simulator, and return a frozen network with match sets computed.
+package topogen
+
+import (
+	"fmt"
+	"net/netip"
+
+	"yardstick/internal/bgp"
+	"yardstick/internal/hdr"
+	"yardstick/internal/netmodel"
+)
+
+// family maps the IPv6 flag to an hdr family.
+func family(v6 bool) hdr.Family {
+	if v6 {
+		return hdr.V6
+	}
+	return hdr.V4
+}
+
+// alloc hands out non-overlapping address blocks for either family.
+type alloc struct {
+	v6   bool
+	next uint32 // next free address in the v4 link space
+	lb   uint32 // next free v4 loopback
+	n6   uint64 // v6 link counter
+	lb6  uint64 // v6 loopback counter
+}
+
+func newAlloc() *alloc {
+	return &alloc{
+		next: ipToU32(netip.MustParseAddr("10.128.0.0")),
+		lb:   ipToU32(netip.MustParseAddr("172.16.0.0")),
+	}
+}
+
+func newAllocFamily(v6 bool) *alloc {
+	a := newAlloc()
+	a.v6 = v6
+	return a
+}
+
+// v6At builds an IPv6 address from a 4-byte prefix, a 16-bit index in
+// bytes 4-5, and a 64-bit value in the low 8 bytes.
+func v6At(b0, b1, b2, b3 byte, idx uint16, low uint64) netip.Addr {
+	var b [16]byte
+	b[0], b[1], b[2], b[3] = b0, b1, b2, b3
+	b[4] = byte(idx >> 8)
+	b[5] = byte(idx)
+	for i := 0; i < 8; i++ {
+		b[8+i] = byte(low >> (56 - 8*i))
+	}
+	return netip.AddrFrom16(b)
+}
+
+func ipToU32(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func u32ToIP(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// linkSubnet returns the next point-to-point subnet: a /31 for IPv4 or a
+// /126 for IPv6 (the paper's §7.2 dual-stack convention).
+func (a *alloc) linkSubnet() netip.Prefix {
+	if a.v6 {
+		p := netip.PrefixFrom(v6At(0xfd, 0, 0, 0xff, 0, a.n6*4), 126)
+		a.n6++
+		return p
+	}
+	p := netip.PrefixFrom(u32ToIP(a.next), 31)
+	a.next += 2
+	return p
+}
+
+// loopback returns the next loopback prefix (/32 or /128).
+func (a *alloc) loopback() netip.Prefix {
+	if a.v6 {
+		p := netip.PrefixFrom(v6At(0xfd, 0, 0, 0x99, 0, a.lb6), 128)
+		a.lb6++
+		return p
+	}
+	p := netip.PrefixFrom(u32ToIP(a.lb), 32)
+	a.lb++
+	return p
+}
+
+// addLoopback assigns a fresh loopback to dev and returns its origination.
+func (a *alloc) addLoopback(n *netmodel.Network, dev netmodel.DeviceID) bgp.Origination {
+	lb := a.loopback()
+	n.Device(dev).Loopbacks = append(n.Device(dev).Loopbacks, lb)
+	return bgp.Origination{Device: dev, Prefix: lb, Origin: netmodel.OriginInternal, EdgeIface: netmodel.NoIface}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 example network
+// ---------------------------------------------------------------------------
+
+// ExampleOpts configures the Figure 1 network.
+type ExampleOpts struct {
+	// BugNullRoute installs the null-routed static default on border B2
+	// (the root cause of the §2 outage).
+	BugNullRoute bool
+	// OmitB1 removes border B1, simulating its failure.
+	OmitB1 bool
+	// Leaves is the number of leaf routers (default 3, as drawn).
+	Leaves int
+}
+
+// Example is the built Figure 1 network.
+type Example struct {
+	Net          *netmodel.Network
+	RIB          *bgp.Result
+	Borders      []netmodel.DeviceID
+	Spines       []netmodel.DeviceID
+	Leaves       []netmodel.DeviceID
+	LeafPrefix   map[netmodel.DeviceID]netip.Prefix
+	LeafIface    map[netmodel.DeviceID]netmodel.IfaceID // host-facing edge
+	WANIface     map[netmodel.DeviceID]netmodel.IfaceID // border WAN edge
+	DefaultDst   netip.Prefix
+	DCSuperblock netip.Prefix // covers all leaf prefixes
+}
+
+// BuildExample constructs the §2 example: two borders, two spines, and a
+// row of leaves; the WAN announces the default route at the borders.
+func BuildExample(opts ExampleOpts) (*Example, error) {
+	if opts.Leaves == 0 {
+		opts.Leaves = 3
+	}
+	if opts.Leaves < 1 || opts.Leaves > 200 {
+		return nil, fmt.Errorf("topogen: leaves = %d out of range", opts.Leaves)
+	}
+	n := netmodel.New()
+	al := newAlloc()
+	ex := &Example{
+		Net:          n,
+		LeafPrefix:   make(map[netmodel.DeviceID]netip.Prefix),
+		LeafIface:    make(map[netmodel.DeviceID]netmodel.IfaceID),
+		WANIface:     make(map[netmodel.DeviceID]netmodel.IfaceID),
+		DefaultDst:   netip.MustParsePrefix("0.0.0.0/0"),
+		DCSuperblock: netip.MustParsePrefix("10.0.0.0/16"),
+	}
+
+	asn := uint32(65000)
+	nextASN := func() uint32 { asn++; return asn }
+
+	borders := []string{"b1", "b2"}
+	if opts.OmitB1 {
+		borders = []string{"b2"}
+	}
+	for _, name := range borders {
+		ex.Borders = append(ex.Borders, n.AddDevice(name, netmodel.RoleBorder, nextASN()))
+	}
+	for i := 0; i < 2; i++ {
+		ex.Spines = append(ex.Spines, n.AddDevice(fmt.Sprintf("s%d", i+1), netmodel.RoleSpine, nextASN()))
+	}
+	for i := 0; i < opts.Leaves; i++ {
+		ex.Leaves = append(ex.Leaves, n.AddDevice(fmt.Sprintf("l%d", i+1), netmodel.RoleLeaf, nextASN()))
+	}
+
+	// Full mesh between adjacent layers.
+	for _, s := range ex.Spines {
+		for _, b := range ex.Borders {
+			n.Connect(s, b, al.linkSubnet())
+		}
+		for _, l := range ex.Leaves {
+			n.Connect(l, s, al.linkSubnet())
+		}
+	}
+
+	var origins []bgp.Origination
+	var statics []bgp.StaticRoute
+
+	// Borders: WAN edge interface; the WAN announces the default there.
+	for _, b := range ex.Borders {
+		wan := n.AddEdgeIface(b, "wan0", netip.Prefix{})
+		ex.WANIface[b] = wan
+		origins = append(origins, bgp.Origination{
+			Device: b, Prefix: ex.DefaultDst, Origin: netmodel.OriginDefault, EdgeIface: wan,
+		})
+	}
+
+	// Leaves: hosted prefixes 10.0.i.0/24 within the DC superblock.
+	for i, l := range ex.Leaves {
+		p := netip.PrefixFrom(u32ToIP(ipToU32(ex.DCSuperblock.Addr())+uint32(i)<<8), 24)
+		host := n.AddEdgeIface(l, "host0", p)
+		ex.LeafPrefix[l] = p
+		ex.LeafIface[l] = host
+		n.Device(l).Subnets = append(n.Device(l).Subnets, p)
+		origins = append(origins, bgp.Origination{
+			Device: l, Prefix: p, Origin: netmodel.OriginInternal, EdgeIface: host,
+		})
+	}
+
+	// Loopbacks everywhere, redistributed into BGP.
+	for _, d := range n.Devices {
+		origins = append(origins, al.addLoopback(n, d.ID))
+	}
+
+	// The bug: B2's default is a null-routed static, so B2 never
+	// propagates the default route to the spines.
+	if opts.BugNullRoute {
+		b2, ok := n.DeviceByName("b2")
+		if !ok {
+			return nil, fmt.Errorf("topogen: b2 missing")
+		}
+		statics = append(statics, bgp.StaticRoute{
+			Device: b2.ID, Prefix: ex.DefaultDst, Null: true, Origin: netmodel.OriginDefault,
+		})
+	}
+
+	rib, err := bgp.Run(bgp.Config{Net: n, Origins: origins, Statics: statics})
+	if err != nil {
+		return nil, err
+	}
+	ex.RIB = rib
+	n.ComputeMatchSets()
+	return ex, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fat-tree (§8 benchmarks)
+// ---------------------------------------------------------------------------
+
+// FatTree is a built k-ary fat-tree.
+type FatTree struct {
+	Net        *netmodel.Network
+	K          int
+	ToRs       []netmodel.DeviceID // k²/2 edge switches
+	Aggs       []netmodel.DeviceID // k²/2 aggregation switches
+	Cores      []netmodel.DeviceID // (k/2)² core switches
+	PodOf      map[netmodel.DeviceID]int
+	HostPrefix map[netmodel.DeviceID]netip.Prefix // per ToR
+	HostIface  map[netmodel.DeviceID]netmodel.IfaceID
+}
+
+// BuildFatTree constructs a k-ary fat-tree with one hosted /24 per ToR,
+// routing per §7.1: eBGP+ECMP for hosted prefixes and loopbacks, static
+// default routes pointing at the next layer up (ToR→pod aggs, agg→its
+// cores), no default at the core layer.
+func BuildFatTree(k int) (*FatTree, error) {
+	if k < 2 || k%2 != 0 || k > 88 {
+		return nil, fmt.Errorf("topogen: fat-tree k = %d must be even and in [2,88]", k)
+	}
+	n := netmodel.New()
+	al := newAlloc()
+	ft := &FatTree{
+		Net:        n,
+		K:          k,
+		PodOf:      make(map[netmodel.DeviceID]int),
+		HostPrefix: make(map[netmodel.DeviceID]netip.Prefix),
+		HostIface:  make(map[netmodel.DeviceID]netmodel.IfaceID),
+	}
+	h := k / 2
+	asn := uint32(64512)
+	nextASN := func() uint32 { asn++; return asn }
+
+	// Devices.
+	tors := make([][]netmodel.DeviceID, k) // [pod][i]
+	aggs := make([][]netmodel.DeviceID, k)
+	for p := 0; p < k; p++ {
+		for i := 0; i < h; i++ {
+			t := n.AddDevice(fmt.Sprintf("p%d-tor%d", p, i), netmodel.RoleToR, nextASN())
+			tors[p] = append(tors[p], t)
+			ft.ToRs = append(ft.ToRs, t)
+			ft.PodOf[t] = p
+		}
+		for i := 0; i < h; i++ {
+			a := n.AddDevice(fmt.Sprintf("p%d-agg%d", p, i), netmodel.RoleAgg, nextASN())
+			aggs[p] = append(aggs[p], a)
+			ft.Aggs = append(ft.Aggs, a)
+			ft.PodOf[a] = p
+		}
+	}
+	cores := make([][]netmodel.DeviceID, h) // [group][j]
+	for g := 0; g < h; g++ {
+		for j := 0; j < h; j++ {
+			c := n.AddDevice(fmt.Sprintf("core%d-%d", g, j), netmodel.RoleCore, nextASN())
+			cores[g] = append(cores[g], c)
+			ft.Cores = append(ft.Cores, c)
+			ft.PodOf[c] = -1
+		}
+	}
+
+	// Links: complete bipartite ToR×Agg within each pod; agg i of every
+	// pod connects to all cores in group i.
+	for p := 0; p < k; p++ {
+		for _, t := range tors[p] {
+			for _, a := range aggs[p] {
+				n.Connect(t, a, al.linkSubnet())
+			}
+		}
+		for i, a := range aggs[p] {
+			for _, c := range cores[i] {
+				n.Connect(a, c, al.linkSubnet())
+			}
+		}
+	}
+
+	var origins []bgp.Origination
+	var statics []bgp.StaticRoute
+
+	// Hosted prefixes: 10.p.i.0/24 per ToR.
+	for p := 0; p < k; p++ {
+		for i, t := range tors[p] {
+			pref := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(p), byte(i), 0}), 24)
+			host := n.AddEdgeIface(t, "host0", pref)
+			ft.HostPrefix[t] = pref
+			ft.HostIface[t] = host
+			n.Device(t).Subnets = append(n.Device(t).Subnets, pref)
+			origins = append(origins, bgp.Origination{
+				Device: t, Prefix: pref, Origin: netmodel.OriginInternal, EdgeIface: host,
+			})
+		}
+	}
+	// Loopbacks everywhere.
+	for _, d := range n.Devices {
+		origins = append(origins, al.addLoopback(n, d.ID))
+	}
+	// Static defaults pointing north.
+	def := netip.MustParsePrefix("0.0.0.0/0")
+	for p := 0; p < k; p++ {
+		for _, t := range tors[p] {
+			statics = append(statics, bgp.StaticRoute{
+				Device: t, Prefix: def, NextHops: append([]netmodel.DeviceID(nil), aggs[p]...),
+				Origin: netmodel.OriginDefault,
+			})
+		}
+		for i, a := range aggs[p] {
+			statics = append(statics, bgp.StaticRoute{
+				Device: a, Prefix: def, NextHops: append([]netmodel.DeviceID(nil), cores[i]...),
+				Origin: netmodel.OriginDefault,
+			})
+		}
+	}
+
+	if _, err := bgp.Run(bgp.Config{Net: n, Origins: origins, Statics: statics}); err != nil {
+		return nil, err
+	}
+	n.ComputeMatchSets()
+	return ft, nil
+}
+
+// FatTreeSize returns the number of routers in a k-ary fat-tree without
+// building it: 5k²/4.
+func FatTreeSize(k int) int { return 5 * k * k / 4 }
+
+// ---------------------------------------------------------------------------
+// Regional case-study network (§7.1)
+// ---------------------------------------------------------------------------
+
+// RegionalOpts sizes the case-study network.
+type RegionalOpts struct {
+	DCs         int // data centers in the region (default 2)
+	PodsPerDC   int // pods per DC (default 2)
+	ToRsPerPod  int // ToRs per pod (default 4)
+	AggsPerPod  int // aggregation routers per pod (default 2)
+	SpinesPerDC int // spine routers per DC (default 4)
+	Hubs        int // regional hub routers (default 4)
+	WANHubs     int // hubs with WAN connectivity (default 3; < Hubs leaves
+	// interconnect-only hubs that legitimately lack a default route)
+	WANPrefixes int // wide-area prefixes announced by the WAN (default 16)
+	// SubnetsPerToR is the number of host-facing ports, each with its
+	// own /24, per ToR (default 1). Production ToRs carry many host
+	// ports — the reason Figure 6d's ToR interface coverage sits near
+	// 25%; raise this for that fidelity.
+	SubnetsPerToR int
+	// IPv6 builds the IPv6 twin of the network (the case-study network
+	// is dual-stack, §7.2): /126 point-to-point links, /128 loopbacks,
+	// /64 host subnets, ::/0 default, /48 wide-area prefixes. Build one
+	// network per family and analyze each in its own header space.
+	IPv6 bool
+}
+
+func (o *RegionalOpts) fill() {
+	if o.DCs == 0 {
+		o.DCs = 2
+	}
+	if o.PodsPerDC == 0 {
+		o.PodsPerDC = 2
+	}
+	if o.ToRsPerPod == 0 {
+		o.ToRsPerPod = 4
+	}
+	if o.AggsPerPod == 0 {
+		o.AggsPerPod = 2
+	}
+	if o.SpinesPerDC == 0 {
+		o.SpinesPerDC = 4
+	}
+	if o.Hubs == 0 {
+		o.Hubs = 4
+	}
+	if o.WANHubs == 0 {
+		o.WANHubs = 3
+	}
+	if o.WANPrefixes == 0 {
+		o.WANPrefixes = 16
+	}
+	if o.SubnetsPerToR == 0 {
+		o.SubnetsPerToR = 1
+	}
+}
+
+// Regional is the built case-study network.
+type Regional struct {
+	Net         *netmodel.Network
+	RIB         *bgp.Result
+	ToRs        []netmodel.DeviceID
+	Aggs        []netmodel.DeviceID
+	Spines      []netmodel.DeviceID
+	Hubs        []netmodel.DeviceID
+	WANHubs     []netmodel.DeviceID
+	HostPrefix  map[netmodel.DeviceID]netip.Prefix
+	HostIface   map[netmodel.DeviceID]netmodel.IfaceID
+	WANIface    map[netmodel.DeviceID]netmodel.IfaceID
+	WANPrefixes []netip.Prefix
+	DCOf        map[netmodel.DeviceID]int
+	PodAggs     map[netmodel.DeviceID][]netmodel.DeviceID // ToR → its pod's aggs
+	Opts        RegionalOpts
+}
+
+// BuildRegional constructs the §7.1 regional network: per DC, pods of ToRs
+// and aggregation routers, a DC spine layer, and a shared regional hub
+// layer; WAN-facing hubs originate the default route and the wide-area
+// prefixes. Wide-area routes are export-filtered so they reach only the
+// hub and spine layers (§7.2 gap 3). Every router below the hub layer has
+// a static default pointing at its northern neighbors (WAN-facing hubs for
+// spines).
+func BuildRegional(opts RegionalOpts) (*Regional, error) {
+	opts.fill()
+	if opts.WANHubs > opts.Hubs {
+		return nil, fmt.Errorf("topogen: WANHubs %d > Hubs %d", opts.WANHubs, opts.Hubs)
+	}
+	if opts.DCs*opts.PodsPerDC*opts.ToRsPerPod > 16384 {
+		return nil, fmt.Errorf("topogen: regional network too large")
+	}
+	n := netmodel.NewFamily(family(opts.IPv6))
+	al := newAllocFamily(opts.IPv6)
+	rg := &Regional{
+		Net:        n,
+		HostPrefix: make(map[netmodel.DeviceID]netip.Prefix),
+		HostIface:  make(map[netmodel.DeviceID]netmodel.IfaceID),
+		WANIface:   make(map[netmodel.DeviceID]netmodel.IfaceID),
+		DCOf:       make(map[netmodel.DeviceID]int),
+		PodAggs:    make(map[netmodel.DeviceID][]netmodel.DeviceID),
+		Opts:       opts,
+	}
+	asn := uint32(64512)
+	nextASN := func() uint32 { asn++; return asn }
+
+	// Hubs.
+	for i := 0; i < opts.Hubs; i++ {
+		hub := n.AddDevice(fmt.Sprintf("hub%d", i), netmodel.RoleHub, nextASN())
+		rg.Hubs = append(rg.Hubs, hub)
+		rg.DCOf[hub] = -1
+		if i < opts.WANHubs {
+			rg.WANHubs = append(rg.WANHubs, hub)
+		}
+	}
+
+	var origins []bgp.Origination
+	var statics []bgp.StaticRoute
+	def := netip.MustParsePrefix("0.0.0.0/0")
+	if opts.IPv6 {
+		def = netip.MustParsePrefix("::/0")
+	}
+
+	hostCounter := 0
+	for dc := 0; dc < opts.DCs; dc++ {
+		// Spines for this DC.
+		var spines []netmodel.DeviceID
+		for s := 0; s < opts.SpinesPerDC; s++ {
+			sp := n.AddDevice(fmt.Sprintf("dc%d-spine%d", dc, s), netmodel.RoleSpine, nextASN())
+			spines = append(spines, sp)
+			rg.Spines = append(rg.Spines, sp)
+			rg.DCOf[sp] = dc
+			for _, hub := range rg.Hubs {
+				n.Connect(sp, hub, al.linkSubnet())
+			}
+			statics = append(statics, bgp.StaticRoute{
+				Device: sp, Prefix: def, NextHops: append([]netmodel.DeviceID(nil), rg.Hubs...),
+				Origin: netmodel.OriginDefault,
+			})
+		}
+		for pod := 0; pod < opts.PodsPerDC; pod++ {
+			var podAggs []netmodel.DeviceID
+			for a := 0; a < opts.AggsPerPod; a++ {
+				ag := n.AddDevice(fmt.Sprintf("dc%d-p%d-agg%d", dc, pod, a), netmodel.RoleAgg, nextASN())
+				podAggs = append(podAggs, ag)
+				rg.Aggs = append(rg.Aggs, ag)
+				rg.DCOf[ag] = dc
+				for _, sp := range spines {
+					n.Connect(ag, sp, al.linkSubnet())
+				}
+				statics = append(statics, bgp.StaticRoute{
+					Device: ag, Prefix: def, NextHops: append([]netmodel.DeviceID(nil), spines...),
+					Origin: netmodel.OriginDefault,
+				})
+			}
+			for tr := 0; tr < opts.ToRsPerPod; tr++ {
+				tor := n.AddDevice(fmt.Sprintf("dc%d-p%d-tor%d", dc, pod, tr), netmodel.RoleToR, nextASN())
+				rg.ToRs = append(rg.ToRs, tor)
+				rg.DCOf[tor] = dc
+				rg.PodAggs[tor] = podAggs
+				for _, ag := range podAggs {
+					n.Connect(tor, ag, al.linkSubnet())
+				}
+				statics = append(statics, bgp.StaticRoute{
+					Device: tor, Prefix: def, NextHops: append([]netmodel.DeviceID(nil), podAggs...),
+					Origin: netmodel.OriginDefault,
+				})
+				// Hosted /24s within 10.0.0.0/10 (below the 10.128/9
+				// link space), one per host-facing port. The first is
+				// the ToR's canonical prefix in HostPrefix/HostIface.
+				for s := 0; s < opts.SubnetsPerToR; s++ {
+					pref := netip.PrefixFrom(u32ToIP(ipToU32(netip.MustParseAddr("10.0.0.0"))+uint32(hostCounter)<<8), 24)
+					if opts.IPv6 {
+						pref = netip.PrefixFrom(v6At(0xfd, 0, 0, 1, uint16(hostCounter), 0), 64)
+					}
+					hostCounter++
+					host := n.AddEdgeIface(tor, fmt.Sprintf("host%d", s), pref)
+					if s == 0 {
+						rg.HostPrefix[tor] = pref
+						rg.HostIface[tor] = host
+					}
+					n.Device(tor).Subnets = append(n.Device(tor).Subnets, pref)
+					origins = append(origins, bgp.Origination{
+						Device: tor, Prefix: pref, Origin: netmodel.OriginInternal, EdgeIface: host,
+					})
+				}
+			}
+		}
+	}
+
+	// Loopbacks everywhere.
+	for _, d := range n.Devices {
+		origins = append(origins, al.addLoopback(n, d.ID))
+	}
+
+	// WAN-facing hubs: default route and wide-area prefixes out the WAN
+	// edge.
+	for _, hub := range rg.WANHubs {
+		wan := n.AddEdgeIface(hub, "wan0", netip.Prefix{})
+		rg.WANIface[hub] = wan
+		origins = append(origins, bgp.Origination{
+			Device: hub, Prefix: def, Origin: netmodel.OriginDefault, EdgeIface: wan,
+		})
+	}
+	for i := 0; i < opts.WANPrefixes; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{8, byte(i), 0, 0}), 16)
+		if opts.IPv6 {
+			p = netip.PrefixFrom(v6At(0x20, 0x01, 0x0d, 0xb8, uint16(i), 0), 48)
+		}
+		rg.WANPrefixes = append(rg.WANPrefixes, p)
+		for _, hub := range rg.WANHubs {
+			origins = append(origins, bgp.Origination{
+				Device: hub, Prefix: p, Origin: netmodel.OriginWideArea, EdgeIface: rg.WANIface[hub],
+			})
+		}
+	}
+
+	// Wide-area routes are advertised to the regional hub and spine
+	// layers but not leaked into pods (§7.2).
+	export := func(from, to *netmodel.Device, rt *bgp.Route) bool {
+		if rt.Origin == netmodel.OriginWideArea &&
+			(to.Role == netmodel.RoleAgg || to.Role == netmodel.RoleToR) {
+			return false
+		}
+		return true
+	}
+
+	rib, err := bgp.Run(bgp.Config{Net: n, Origins: origins, Statics: statics, Export: export})
+	if err != nil {
+		return nil, err
+	}
+	rg.RIB = rib
+	n.ComputeMatchSets()
+	return rg, nil
+}

@@ -1,0 +1,457 @@
+package topogen
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"yardstick/internal/netmodel"
+)
+
+func TestBuildExampleShape(t *testing.T) {
+	ex, err := BuildExample(ExampleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Borders) != 2 || len(ex.Spines) != 2 || len(ex.Leaves) != 3 {
+		t.Fatalf("shape: %d borders %d spines %d leaves", len(ex.Borders), len(ex.Spines), len(ex.Leaves))
+	}
+	st := ex.Net.Stats()
+	// Links: spines×borders (4) + leaves×spines (6).
+	if st.Links != 10 {
+		t.Errorf("links = %d, want 10", st.Links)
+	}
+	if !ex.Net.MatchSetsComputed() {
+		t.Error("network should be frozen")
+	}
+	// Every leaf prefix route must exist on every other device.
+	for _, l := range ex.Leaves {
+		p := ex.LeafPrefix[l]
+		for _, d := range ex.Net.Devices {
+			if d.ID == l {
+				continue
+			}
+			if ex.RIB.RIB[d.ID][p] == nil {
+				t.Errorf("device %s missing route to %v", d.Name, p)
+			}
+		}
+	}
+	// Spines learn the default from both borders (ECMP).
+	def := netip.MustParsePrefix("0.0.0.0/0")
+	for _, s := range ex.Spines {
+		rt := ex.RIB.RIB[s][def]
+		if rt == nil || len(rt.NextHops) != 2 {
+			t.Errorf("spine %d default route = %+v, want 2 next hops", s, rt)
+		}
+	}
+}
+
+func TestBuildExampleBug(t *testing.T) {
+	ex, err := BuildExample(ExampleOpts{BugNullRoute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := netip.MustParsePrefix("0.0.0.0/0")
+	b2, _ := ex.Net.DeviceByName("b2")
+	// B2's default is a drop rule.
+	var found bool
+	for _, id := range b2.FIB {
+		r := ex.Net.Rule(id)
+		if r.Match.DstPrefix == def {
+			found = true
+			if r.Action.Kind != netmodel.ActDrop {
+				t.Error("b2 default should be null-routed")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("b2 has no default rule")
+	}
+	// Spines see only B1 as the default next hop.
+	b1, _ := ex.Net.DeviceByName("b1")
+	for _, s := range ex.Spines {
+		rt := ex.RIB.RIB[s][def]
+		if rt == nil || len(rt.NextHops) != 1 || rt.NextHops[0] != b1.ID {
+			t.Errorf("spine %d default = %+v, want next hop only b1", s, rt)
+		}
+	}
+}
+
+func TestBuildExampleB1FailureOutage(t *testing.T) {
+	// With the bug and B1 removed, spines have no default: the outage.
+	ex, err := BuildExample(ExampleOpts{BugNullRoute: true, OmitB1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := netip.MustParsePrefix("0.0.0.0/0")
+	for _, s := range ex.Spines {
+		if ex.RIB.RIB[s][def] != nil {
+			t.Error("spine should have no default after B1 failure")
+		}
+	}
+	// Without the bug, B2 alone still provides the default.
+	ex2, err := BuildExample(ExampleOpts{OmitB1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ex2.Spines {
+		if ex2.RIB.RIB[s][def] == nil {
+			t.Error("healthy B2 should provide the default")
+		}
+	}
+}
+
+func TestBuildFatTreeShape(t *testing.T) {
+	for _, k := range []int{4, 6, 8} {
+		ft, err := BuildFatTree(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := k / 2
+		if len(ft.ToRs) != k*h || len(ft.Aggs) != k*h || len(ft.Cores) != h*h {
+			t.Fatalf("k=%d: %d tors %d aggs %d cores", k, len(ft.ToRs), len(ft.Aggs), len(ft.Cores))
+		}
+		if got := ft.Net.Stats().Devices; got != FatTreeSize(k) {
+			t.Errorf("k=%d: %d devices, want %d", k, got, FatTreeSize(k))
+		}
+		// Links: k pods × h×h + h×h groups × k... = k³/2.
+		if got, want := ft.Net.Stats().Links, k*k*k/2; got != want {
+			t.Errorf("k=%d: %d links, want %d", k, got, want)
+		}
+	}
+}
+
+func TestBuildFatTreeRejectsBadK(t *testing.T) {
+	for _, k := range []int{0, 3, 90} {
+		if _, err := BuildFatTree(k); err == nil {
+			t.Errorf("k=%d should be rejected", k)
+		}
+	}
+}
+
+func TestFatTreeAllPairsRoutes(t *testing.T) {
+	ft, err := BuildFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every ToR prefix must be reachable (routed) from every device.
+	// ToRs in other pods route via default? No: hosted prefixes are in
+	// BGP, so every router has a specific route.
+	n := ft.Net
+	for _, src := range ft.ToRs {
+		for _, dst := range ft.ToRs {
+			if src == dst {
+				continue
+			}
+			p := ft.HostPrefix[dst]
+			var found bool
+			for _, id := range n.Device(src).FIB {
+				if n.Rule(id).Match.DstPrefix == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s has no route to %v", n.Device(src).Name, p)
+			}
+		}
+	}
+}
+
+func TestFatTreeECMPWidths(t *testing.T) {
+	ft, err := BuildFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ft.Net
+	// A ToR reaching another pod's prefix should ECMP across all its pod
+	// aggs (k/2 = 2).
+	src := ft.ToRs[0]
+	var dst netmodel.DeviceID = -1
+	for _, d := range ft.ToRs {
+		if ft.PodOf[d] != ft.PodOf[src] {
+			dst = d
+			break
+		}
+	}
+	p := ft.HostPrefix[dst]
+	for _, id := range n.Device(src).FIB {
+		r := n.Rule(id)
+		if r.Match.DstPrefix == p {
+			if len(r.Action.OutIfaces) != 2 {
+				t.Errorf("cross-pod ECMP width = %d, want 2", len(r.Action.OutIfaces))
+			}
+		}
+	}
+}
+
+func TestBuildRegionalShape(t *testing.T) {
+	rg, err := BuildRegional(RegionalOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rg.Opts
+	if len(rg.ToRs) != o.DCs*o.PodsPerDC*o.ToRsPerPod {
+		t.Errorf("tors = %d", len(rg.ToRs))
+	}
+	if len(rg.Aggs) != o.DCs*o.PodsPerDC*o.AggsPerPod {
+		t.Errorf("aggs = %d", len(rg.Aggs))
+	}
+	if len(rg.Spines) != o.DCs*o.SpinesPerDC {
+		t.Errorf("spines = %d", len(rg.Spines))
+	}
+	if len(rg.Hubs) != o.Hubs || len(rg.WANHubs) != o.WANHubs {
+		t.Errorf("hubs = %d wan = %d", len(rg.Hubs), len(rg.WANHubs))
+	}
+}
+
+func TestRegionalRouteScoping(t *testing.T) {
+	rg, err := BuildRegional(RegionalOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wan := rg.WANPrefixes[0]
+	// Spines and hubs carry wide-area routes; aggs and ToRs don't.
+	for _, s := range rg.Spines {
+		if rg.RIB.RIB[s][wan] == nil {
+			t.Errorf("spine %d missing wide-area route", s)
+		}
+	}
+	for _, h := range rg.Hubs {
+		if rg.RIB.RIB[h][wan] == nil {
+			t.Errorf("hub %d missing wide-area route", h)
+		}
+	}
+	for _, a := range rg.Aggs {
+		if rg.RIB.RIB[a][wan] != nil {
+			t.Errorf("agg %d leaked wide-area route", a)
+		}
+	}
+	for _, tor := range rg.ToRs {
+		if rg.RIB.RIB[tor][wan] != nil {
+			t.Errorf("tor %d leaked wide-area route", tor)
+		}
+	}
+}
+
+func TestRegionalDefaultPlacement(t *testing.T) {
+	rg, err := BuildRegional(RegionalOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := netip.MustParsePrefix("0.0.0.0/0")
+	// Every ToR, agg, spine has a default; WAN hubs originate one;
+	// interconnect-only hubs have none.
+	for _, group := range [][]netmodel.DeviceID{rg.ToRs, rg.Aggs, rg.Spines} {
+		for _, d := range group {
+			if rg.RIB.RIB[d][def] == nil {
+				t.Errorf("device %s missing default", rg.Net.Device(d).Name)
+			}
+		}
+	}
+	wanSet := map[netmodel.DeviceID]bool{}
+	for _, h := range rg.WANHubs {
+		wanSet[h] = true
+		if rg.RIB.RIB[h][def] == nil {
+			t.Errorf("WAN hub %d missing default", h)
+		}
+	}
+	for _, h := range rg.Hubs {
+		if !wanSet[h] && rg.RIB.RIB[h][def] != nil {
+			t.Errorf("interconnect hub %d should have no default", h)
+		}
+	}
+}
+
+func TestRegionalCrossDCRoutes(t *testing.T) {
+	rg, err := BuildRegional(RegionalOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ToR in DC0 must have a specific route to a DC1 hosted prefix.
+	var src, dst netmodel.DeviceID = -1, -1
+	for _, tor := range rg.ToRs {
+		if rg.DCOf[tor] == 0 && src == -1 {
+			src = tor
+		}
+		if rg.DCOf[tor] == 1 && dst == -1 {
+			dst = tor
+		}
+	}
+	if src == -1 || dst == -1 {
+		t.Fatal("need two DCs")
+	}
+	if rg.RIB.RIB[src][rg.HostPrefix[dst]] == nil {
+		t.Error("cross-DC hosted route missing")
+	}
+}
+
+func TestRegionalConnectedRulesPresent(t *testing.T) {
+	rg, err := BuildRegional(RegionalOpts{DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2, SpinesPerDC: 2, Hubs: 2, WANHubs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rg.Net
+	count := 0
+	for _, r := range n.Rules {
+		if r.Origin == netmodel.OriginConnected {
+			count++
+		}
+	}
+	// Two connected rules per link (one per end).
+	if want := 2 * n.Stats().Links; count != want {
+		t.Errorf("connected rules = %d, want %d", count, want)
+	}
+}
+
+// TestBuildDeterminism guards rule-ID stability across builds: coverage
+// traces and network JSON reference rules by ID, so regenerating the
+// same configuration must produce byte-identical networks.
+func TestBuildDeterminism(t *testing.T) {
+	encode := func(build func() (*netmodel.Network, error)) string {
+		t.Helper()
+		n, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := n.EncodeJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	builds := map[string]func() (*netmodel.Network, error){
+		"example": func() (*netmodel.Network, error) {
+			ex, err := BuildExample(ExampleOpts{BugNullRoute: true})
+			if err != nil {
+				return nil, err
+			}
+			return ex.Net, nil
+		},
+		"fattree": func() (*netmodel.Network, error) {
+			ft, err := BuildFatTree(4)
+			if err != nil {
+				return nil, err
+			}
+			return ft.Net, nil
+		},
+		"regional": func() (*netmodel.Network, error) {
+			rg, err := BuildRegional(RegionalOpts{})
+			if err != nil {
+				return nil, err
+			}
+			return rg.Net, nil
+		},
+	}
+	for name, build := range builds {
+		if encode(build) != encode(build) {
+			t.Errorf("%s: two builds differ", name)
+		}
+	}
+}
+
+func TestRegionalSubnetsPerToR(t *testing.T) {
+	rg, err := BuildRegional(RegionalOpts{DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2, SpinesPerDC: 2, Hubs: 2, WANHubs: 1, SubnetsPerToR: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tor := range rg.ToRs {
+		d := rg.Net.Device(tor)
+		if len(d.Subnets) != 3 {
+			t.Errorf("%s subnets = %d, want 3", d.Name, len(d.Subnets))
+		}
+		hostPorts := 0
+		for _, ifid := range d.Ifaces {
+			if rg.Net.Iface(ifid).External {
+				hostPorts++
+			}
+		}
+		if hostPorts != 3 {
+			t.Errorf("%s host ports = %d, want 3", d.Name, hostPorts)
+		}
+		// All three subnets are routed from elsewhere.
+		other := rg.ToRs[0]
+		if other == tor {
+			other = rg.ToRs[1]
+		}
+		for _, p := range d.Subnets {
+			if rg.RIB.RIB[other][p] == nil {
+				t.Errorf("subnet %v not propagated", p)
+			}
+		}
+	}
+	// Canonical prefix maps point at host0.
+	tor := rg.ToRs[0]
+	if rg.Net.Iface(rg.HostIface[tor]).Name != "host0" {
+		t.Error("canonical host iface should be host0")
+	}
+}
+
+func TestBuildRegionalIPv6(t *testing.T) {
+	rg, err := BuildRegional(RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4, IPv6: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rg.Net
+	if n.Family().String() != "ipv6" {
+		t.Fatalf("family = %v", n.Family())
+	}
+	// Link interfaces carry /126s with ::1/::2 ends.
+	for _, ifc := range n.Ifaces {
+		if ifc.Peer == netmodel.NoIface || !ifc.Addr.IsValid() {
+			continue
+		}
+		if ifc.Addr.Bits() != 126 {
+			t.Fatalf("link addr %v is not a /126", ifc.Addr)
+		}
+		low := ifc.Addr.Addr().As16()[15] & 0x3
+		if low != 1 && low != 2 {
+			t.Fatalf("link end %v not ::1/::2 of its /126", ifc.Addr)
+		}
+	}
+	// Default route is ::/0 on every ToR.
+	def := netip.MustParsePrefix("::/0")
+	for _, tor := range rg.ToRs {
+		if rg.RIB.RIB[tor][def] == nil {
+			t.Errorf("tor missing ::/0")
+		}
+	}
+	// WAN prefixes are /48s under 2001:db8::/32.
+	for _, p := range rg.WANPrefixes {
+		if p.Bits() != 48 || p.Addr().As16()[0] != 0x20 {
+			t.Errorf("wan prefix %v", p)
+		}
+	}
+	// Host prefixes are /64s, routed across the network.
+	other := rg.ToRs[1]
+	if p := rg.HostPrefix[rg.ToRs[0]]; p.Bits() != 64 || rg.RIB.RIB[other][p] == nil {
+		t.Errorf("host prefix %v not routed", p)
+	}
+}
+
+func TestRegionalIPv6SuitePasses(t *testing.T) {
+	rg, err := BuildRegional(RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4, IPv6: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exercised via testkit in its own package tests; here just verify the
+	// forwarding state is sane end-to-end: a symbolic membership check on
+	// one host prefix match set.
+	tor := rg.ToRs[0]
+	r, ok := rg.Net.FIBRuleFor(tor, rg.HostPrefix[rg.ToRs[1]])
+	if !ok {
+		t.Fatal("missing cross-ToR v6 route")
+	}
+	if r.MatchSet().IsEmpty() {
+		t.Fatal("empty v6 match set")
+	}
+	if !rg.Net.Space.DstPrefix(rg.HostPrefix[rg.ToRs[1]]).Contains(r.MatchSet()) {
+		t.Fatal("v6 match set exceeds its prefix")
+	}
+}
