@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all vet build test race ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector gates every PR: the service serializes a
+# single-threaded BDD manager behind a mutex, and the concurrent
+# service tests exist to catch lock-discipline regressions.
+race:
+	$(GO) test -race ./...
+
+ci: vet build race

@@ -2,83 +2,182 @@
 // of §7, where testing tools report coverage to a service and engineers
 // read metrics and gap reports from it.
 //
-//	yardstickd -listen :8080 -topology regional
+//	yardstickd -listen :8080 -topology regional -snapshot /var/lib/yardstick/trace.snap
 //	curl -X POST 'localhost:8080/run?suite=default,internal'
 //	curl localhost:8080/coverage
 //	curl localhost:8080/gaps
 //
-// Remote testing tools report coverage by POSTing trace fragments (the
-// JSON written by the library's CoverageTrace.EncodeJSON) to /trace.
+// Remote testing tools report coverage with the internal/client
+// package, or by POSTing trace fragments (the JSON written by the
+// library's CoverageTrace.EncodeJSON) to /trace.
+//
+// The daemon is hardened for long-running deployment: the HTTP server
+// carries read/write/idle timeouts, request bodies are size-capped,
+// handler panics answer 500 without killing the process, and SIGINT or
+// SIGTERM triggers a graceful shutdown that drains in-flight requests
+// up to -drain. With -snapshot, the accumulated trace is checkpointed
+// to an atomic-rename snapshot file every -snapshot-interval and on
+// shutdown, then recovered on the next start if the snapshot still
+// matches the loaded network.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
 
 	"yardstick"
 	"yardstick/internal/service"
 )
 
 func main() {
-	var (
-		listen   = flag.String("listen", "127.0.0.1:8080", "listen address")
-		topology = flag.String("topology", "", "preload a generated network: example, fattree, or regional (empty = start without one)")
-		netFile  = flag.String("net", "", "preload a network from a JSON or text file")
-		k        = flag.Int("k", 8, "fat-tree arity")
-	)
-	flag.Parse()
-
-	srv := service.New()
-	switch {
-	case *netFile != "":
-		f, err := os.Open(*netFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "yardstickd:", err)
-			os.Exit(1)
-		}
-		var net *yardstick.Network
-		if len(*netFile) > 4 && (*netFile)[len(*netFile)-4:] == ".txt" {
-			net, err = yardstick.ParseNetworkText(f)
-		} else {
-			net, err = yardstick.DecodeNetworkJSON(f)
-		}
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "yardstickd:", err)
-			os.Exit(1)
-		}
-		srv = service.WithNetwork(net)
-	case *topology == "example":
-		ex, err := yardstick.BuildExample(yardstick.ExampleOpts{})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "yardstickd:", err)
-			os.Exit(1)
-		}
-		srv = service.WithNetwork(ex.Net)
-	case *topology == "fattree":
-		ft, err := yardstick.BuildFatTree(*k)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "yardstickd:", err)
-			os.Exit(1)
-		}
-		srv = service.WithNetwork(ft.Net)
-	case *topology == "regional":
-		rg, err := yardstick.BuildRegional(yardstick.RegionalOpts{})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "yardstickd:", err)
-			os.Exit(1)
-		}
-		srv = service.WithNetwork(rg.Net)
-	case *topology != "":
-		fmt.Fprintf(os.Stderr, "yardstickd: unknown topology %q\n", *topology)
-		os.Exit(1)
-	}
-
-	fmt.Printf("yardstickd listening on %s\n", *listen)
-	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "yardstickd:", err)
 		os.Exit(1)
 	}
+}
+
+// loadNetwork resolves the -net / -topology flags to a network, or nil
+// when neither is set (the server starts empty and waits for
+// PUT /network).
+func loadNetwork(netFile, topology string, k int) (*yardstick.Network, error) {
+	switch {
+	case netFile != "":
+		f, err := os.Open(netFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if filepath.Ext(netFile) == ".txt" {
+			return yardstick.ParseNetworkText(f)
+		}
+		return yardstick.DecodeNetworkJSON(f)
+	case topology == "example":
+		ex, err := yardstick.BuildExample(yardstick.ExampleOpts{})
+		if err != nil {
+			return nil, err
+		}
+		return ex.Net, nil
+	case topology == "fattree":
+		ft, err := yardstick.BuildFatTree(k)
+		if err != nil {
+			return nil, err
+		}
+		return ft.Net, nil
+	case topology == "regional":
+		rg, err := yardstick.BuildRegional(yardstick.RegionalOpts{})
+		if err != nil {
+			return nil, err
+		}
+		return rg.Net, nil
+	case topology != "":
+		return nil, fmt.Errorf("unknown topology %q", topology)
+	}
+	return nil, nil
+}
+
+// run is the daemon body, factored out of main so tests can drive the
+// full lifecycle: ctx cancellation plays the role of SIGINT/SIGTERM,
+// and onReady (when non-nil) receives the bound listen address.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady func(addr string)) error {
+	fs := flag.NewFlagSet("yardstickd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen       = fs.String("listen", "127.0.0.1:8080", "listen address")
+		topology     = fs.String("topology", "", "preload a generated network: example, fattree, or regional (empty = start without one)")
+		netFile      = fs.String("net", "", "preload a network from a JSON or text file (.txt = text format)")
+		k            = fs.Int("k", 8, "fat-tree arity")
+		snapshot     = fs.String("snapshot", "", "trace snapshot file for crash-safe persistence (empty = in-memory only)")
+		snapInterval = fs.Duration("snapshot-interval", time.Minute, "how often to checkpoint the trace to -snapshot")
+		drain        = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining in-flight requests")
+		maxBody      = fs.Int64("max-body", service.DefaultMaxBody, "request body size cap in bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(stderr, "yardstickd: ", log.LstdFlags)
+	nw, err := loadNetwork(*netFile, *topology, *k)
+	if err != nil {
+		return err
+	}
+
+	opts := []service.Option{
+		service.WithLogger(logger),
+		service.WithMaxBody(*maxBody),
+	}
+	if *snapshot != "" {
+		opts = append(opts, service.WithSnapshot(*snapshot, *snapInterval))
+	}
+	var srv *service.Server
+	if nw != nil {
+		srv = service.WithNetwork(nw, opts...)
+	} else {
+		srv = service.New(opts...)
+	}
+	restored, err := srv.Restore()
+	if err != nil {
+		return fmt.Errorf("restore snapshot: %w", err)
+	}
+	if restored {
+		logger.Printf("recovered trace snapshot from %s", *snapshot)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute, // server-side suite runs on large networks are slow
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          logger,
+	}
+
+	checkpointerDone := make(chan struct{})
+	go func() {
+		defer close(checkpointerDone)
+		srv.RunCheckpointer(ctx)
+	}()
+
+	fmt.Fprintf(stdout, "yardstickd listening on %s\n", ln.Addr())
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down, draining for up to %s", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err = hs.Shutdown(drainCtx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("drain deadline exceeded, closing remaining connections")
+		hs.Close()
+		err = nil
+	}
+	<-checkpointerDone // final checkpoint ran (RunCheckpointer exits on ctx.Done)
+	<-serveErr         // Serve returned http.ErrServerClosed
+	return err
 }

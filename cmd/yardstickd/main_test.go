@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"yardstick"
+	"yardstick/internal/client"
+)
+
+// startDaemon runs the daemon in a goroutine and returns its base URL
+// and a stop function that cancels (the test stand-in for SIGINT/
+// SIGTERM — main wires the same cancellation through
+// signal.NotifyContext) and waits for a clean exit.
+func startDaemon(t *testing.T, args []string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, args, io.Discard, io.Discard, func(addr string) { addrc <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-errc:
+		cancel()
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+	stop := func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not exit after cancellation")
+			return nil
+		}
+	}
+	return "http://" + addr, stop
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	base, stop := startDaemon(t, []string{"-listen", "127.0.0.1:0", "-topology", "example"})
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz with preloaded topology = %d", resp.StatusCode)
+	}
+
+	// An in-flight request started just before shutdown is drained, not
+	// severed: fire a suite run concurrently with the cancellation.
+	inflight := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/run?suite=default", "", nil)
+		if err != nil {
+			inflight <- err
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			inflight <- fmt.Errorf("in-flight run = %d, want 200", resp.StatusCode)
+			return
+		}
+		inflight <- nil
+	}()
+	time.Sleep(10 * time.Millisecond) // let the request reach the server
+
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown after signal: %v", err)
+	}
+	if err := <-inflight; err != nil {
+		t.Errorf("in-flight request during drain: %v", err)
+	}
+
+	// The listener is really gone.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}
+
+// TestSnapshotSurvivesRestart accumulates trace state, shuts the daemon
+// down, restarts it on the same snapshot file, and expects coverage to
+// carry over.
+func TestSnapshotSurvivesRestart(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "trace.snap")
+	args := []string{"-listen", "127.0.0.1:0", "-topology", "example", "-snapshot", snap}
+
+	base, stop := startDaemon(t, args)
+	c := client.New(base)
+	ctx := context.Background()
+
+	// Accumulate coverage server-side, then shut down: the final
+	// checkpoint must persist it.
+	if _, err := c.Run(ctx, "default"); err != nil {
+		t.Fatal(err)
+	}
+	cov, err := c.Coverage(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Total.RuleFractional <= 0 {
+		t.Fatal("no coverage accumulated before restart")
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+
+	// Restart on the same snapshot: coverage is recovered.
+	base2, stop2 := startDaemon(t, args)
+	defer stop2()
+	c2 := client.New(base2)
+	cov2, err := c2.Coverage(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov2.Total.RuleFractional != cov.Total.RuleFractional {
+		t.Errorf("coverage after restart = %v, want %v", cov2.Total.RuleFractional, cov.Total.RuleFractional)
+	}
+}
+
+// TestStaleSnapshotDiscarded restarts on a different topology: the
+// snapshot's fingerprint no longer matches, so it must be discarded.
+func TestStaleSnapshotDiscarded(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "trace.snap")
+
+	base, stop := startDaemon(t, []string{"-listen", "127.0.0.1:0", "-topology", "example", "-snapshot", snap})
+	c := client.New(base)
+	ctx := context.Background()
+	if _, err := c.Run(ctx, "default"); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	base2, stop2 := startDaemon(t, []string{"-listen", "127.0.0.1:0", "-topology", "fattree", "-k", "4", "-snapshot", snap})
+	defer stop2()
+	cov, err := client.New(base2).Coverage(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Total.RuleFractional != 0 {
+		t.Errorf("coverage on new topology = %v, want 0 (stale snapshot discarded)", cov.Total.RuleFractional)
+	}
+}
+
+func TestLoadNetworkFromFile(t *testing.T) {
+	dir := t.TempDir()
+
+	// JSON file.
+	ex, err := yardstick.BuildExample(yardstick.ExampleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ex.Net.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "net.json")
+	if err := os.WriteFile(jsonPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nw, err := loadNetwork(jsonPath, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Stats().Devices != ex.Net.Stats().Devices {
+		t.Errorf("JSON load: %d devices, want %d", nw.Stats().Devices, ex.Net.Stats().Devices)
+	}
+
+	// Text file, detected by extension.
+	txtPath := filepath.Join(dir, "net.txt")
+	text := []byte("device a role=tor\ndevice b role=spine\nlink a b 10.128.0.0/31\nroute a 0.0.0.0/0 via b origin=default\n")
+	if err := os.WriteFile(txtPath, text, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nw, err = loadNetwork(txtPath, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Stats().Devices != 2 {
+		t.Errorf("text load: %d devices, want 2", nw.Stats().Devices)
+	}
+
+	// Generated topologies and error cases.
+	if nw, err := loadNetwork("", "example", 0); err != nil || nw == nil {
+		t.Errorf("topology example = (%v, %v)", nw, err)
+	}
+	if nw, err := loadNetwork("", "", 0); err != nil || nw != nil {
+		t.Errorf("no flags should mean no network, got (%v, %v)", nw, err)
+	}
+	if _, err := loadNetwork("", "bogus", 0); err == nil {
+		t.Error("unknown topology should error")
+	}
+}

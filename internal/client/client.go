@@ -1,0 +1,293 @@
+// Package client is the typed Go client for the Yardstick coverage
+// service (package service) — the library remote testing tools embed to
+// report coverage and read metrics, instead of hand-rolling "POST trace
+// JSON" calls.
+//
+// The client is built for flaky production networks: every call takes a
+// context, each HTTP attempt gets a per-request timeout, and transient
+// failures (connection errors and 5xx responses) are retried with
+// exponential backoff plus jitter. 4xx responses are never retried —
+// they are the caller's bug, not the network's. Retrying is safe for
+// every endpoint: trace-fragment merge is idempotent by BDD-union
+// semantics, so a fragment that was actually applied before the
+// response was lost merges to the same trace when resent.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"yardstick/internal/core"
+	"yardstick/internal/netmodel"
+	"yardstick/internal/service"
+)
+
+// APIError is a non-2xx response from the service, carrying the status
+// code and the server's error message. Errors with a 4xx code are
+// returned without retries.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// RetryPolicy bounds the retry loop. Attempt n waits roughly
+// BaseDelay·2ⁿ (capped at MaxDelay) with equal jitter — half the delay
+// is deterministic, half uniformly random — so a fleet of reporters
+// that failed together does not retry in lockstep.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (default 4; values < 1 mean one attempt, i.e. no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the per-attempt backoff (default 3s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 3 * time.Second
+	}
+	return p
+}
+
+// backoff returns the jittered delay before attempt n (n >= 1).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseDelay << (n - 1)
+	if d <= 0 || d > p.MaxDelay { // <= 0 guards shift overflow
+		d = p.MaxDelay
+	}
+	return d/2 + rand.N(d/2+1)
+}
+
+// DefaultRetry is the retry policy used when WithRetry is not given.
+var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 3 * time.Second}
+
+// Client talks to one coverage service. The zero value is not usable;
+// create with New. A Client is safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retry   RetryPolicy
+	timeout time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default
+// http.DefaultClient).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetry substitutes the retry policy. RetryPolicy{MaxAttempts: 1}
+// disables retries.
+func WithRetry(p RetryPolicy) Option { return func(c *Client) { c.retry = p.withDefaults() } }
+
+// WithRequestTimeout caps each individual HTTP attempt (default 30s).
+// The caller's context still bounds the call as a whole, backoff sleeps
+// included.
+func WithRequestTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
+
+// New returns a client for the service at baseURL (e.g.
+// "http://cov.internal:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      http.DefaultClient,
+		retry:   DefaultRetry,
+		timeout: 30 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// attempt runs one HTTP round trip. It returns the response body when
+// the status matches wantCode, an *APIError for other statuses, and the
+// transport error otherwise.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, wantCode int) ([]byte, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != wantCode {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(data, &e)
+		if e.Error == "" {
+			e.Error = strings.TrimSpace(string(data))
+		}
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+	}
+	return data, nil
+}
+
+// retryable reports whether an attempt error is transient: connection
+// errors and 5xx responses are, 4xx responses are not.
+func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode >= 500
+	}
+	return true
+}
+
+// do runs attempts under the retry policy and decodes the final body
+// into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path string, body []byte, wantCode int, out any) error {
+	var lastErr error
+	for n := 0; n < c.retry.MaxAttempts; n++ {
+		if n > 0 {
+			t := time.NewTimer(c.retry.backoff(n))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("client: %s %s: %w (last error: %v)", method, path, ctx.Err(), lastErr)
+			}
+		}
+		data, err := c.attempt(ctx, method, path, body, wantCode)
+		if err == nil {
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(data, out)
+		}
+		lastErr = err
+		if !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("client: %s %s: giving up after %d attempts: %w", method, path, c.retry.MaxAttempts, lastErr)
+}
+
+// LoadNetwork uploads a network (PUT /network), replacing the server's
+// network and resetting its trace.
+func (c *Client) LoadNetwork(ctx context.Context, net *netmodel.Network) (service.NetworkStats, error) {
+	var buf bytes.Buffer
+	var st service.NetworkStats
+	if err := net.EncodeJSON(&buf); err != nil {
+		return st, fmt.Errorf("client: encode network: %w", err)
+	}
+	err := c.do(ctx, http.MethodPut, "/network", buf.Bytes(), http.StatusOK, &st)
+	return st, err
+}
+
+// NetworkStats fetches the loaded network's stats (GET /network).
+func (c *Client) NetworkStats(ctx context.Context) (service.NetworkStats, error) {
+	var st service.NetworkStats
+	err := c.do(ctx, http.MethodGet, "/network", nil, http.StatusOK, &st)
+	return st, err
+}
+
+// ReportTrace merges a locally recorded trace fragment into the
+// server's accumulated trace (POST /trace). The merge is idempotent, so
+// retried reports never double count.
+func (c *Client) ReportTrace(ctx context.Context, t *core.Trace) (service.TraceStats, error) {
+	var buf bytes.Buffer
+	var st service.TraceStats
+	if err := t.EncodeJSON(&buf); err != nil {
+		return st, fmt.Errorf("client: encode trace: %w", err)
+	}
+	err := c.do(ctx, http.MethodPost, "/trace", buf.Bytes(), http.StatusOK, &st)
+	return st, err
+}
+
+// FetchTrace downloads the accumulated trace (GET /trace), decoded
+// against net — which must be the network the server holds.
+func (c *Client) FetchTrace(ctx context.Context, net *netmodel.Network) (*core.Trace, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/trace", nil, http.StatusOK, &raw); err != nil {
+		return nil, err
+	}
+	return core.DecodeTraceJSON(net, bytes.NewReader(raw))
+}
+
+// ResetTrace clears the server's accumulated trace (DELETE /trace).
+func (c *Client) ResetTrace(ctx context.Context) error {
+	return c.do(ctx, http.MethodDelete, "/trace", nil, http.StatusNoContent, nil)
+}
+
+// Run asks the server to run built-in suites (POST /run?suite=...),
+// accumulating their coverage into the server trace.
+func (c *Client) Run(ctx context.Context, suites ...string) ([]service.RunResult, error) {
+	var out []service.RunResult
+	path := "/run?suite=" + url.QueryEscape(strings.Join(suites, ","))
+	err := c.do(ctx, http.MethodPost, path, nil, http.StatusOK, &out)
+	return out, err
+}
+
+// Coverage fetches headline metrics and per-role rows (GET /coverage).
+func (c *Client) Coverage(ctx context.Context) (service.CoverageReport, error) {
+	var out service.CoverageReport
+	err := c.do(ctx, http.MethodGet, "/coverage", nil, http.StatusOK, &out)
+	return out, err
+}
+
+// Gaps fetches untested rules by origin and role (GET /gaps).
+func (c *Client) Gaps(ctx context.Context) ([]service.Gap, error) {
+	var out []service.Gap
+	err := c.do(ctx, http.MethodGet, "/gaps", nil, http.StatusOK, &out)
+	return out, err
+}
+
+// Healthz checks liveness (GET /healthz), with retries.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, http.StatusOK, nil)
+}
+
+// Ready checks readiness (GET /readyz) with a single attempt: "not
+// ready yet" is an expected state, not a transient failure to retry.
+func (c *Client) Ready(ctx context.Context) (bool, error) {
+	_, err := c.attempt(ctx, http.MethodGet, "/readyz", nil, http.StatusOK)
+	var ae *APIError
+	if errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}

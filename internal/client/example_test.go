@@ -1,0 +1,64 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"yardstick/internal/client"
+	"yardstick/internal/core"
+	"yardstick/internal/dataplane"
+	"yardstick/internal/service"
+	"yardstick/internal/topogen"
+)
+
+// Example shows the remote-reporter workflow: a testing tool records
+// coverage locally while its tests run, then reports the fragment to
+// the always-on coverage service and reads back the aggregate.
+func Example() {
+	// Stand-in for the deployed yardstickd.
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(service.WithNetwork(rg.Net,
+		service.WithLogger(log.New(io.Discard, "", 0))).Handler())
+	defer ts.Close()
+
+	c := client.New(ts.URL,
+		client.WithRequestTimeout(10*time.Second),
+		client.WithRetry(client.RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond}),
+	)
+	ctx := context.Background()
+
+	if ready, err := c.Ready(ctx); err != nil || !ready {
+		panic(fmt.Sprint("service not ready: ", err))
+	}
+
+	// The testing tool's local trace: its tests call MarkPacket and
+	// MarkRule while they run.
+	local := core.NewTrace()
+	local.MarkPacket(dataplane.Injected(rg.ToRs[0]), rg.Net.Space.DstPrefix(rg.HostPrefix[rg.ToRs[1]]))
+	for _, rid := range rg.Net.Device(rg.ToRs[0]).FIB {
+		local.MarkRule(rid)
+	}
+
+	// Report the fragment (idempotent: safe to retry), then read the
+	// aggregate the service accumulated across all reporters.
+	if _, err := c.ReportTrace(ctx, local); err != nil {
+		panic(err)
+	}
+	cov, err := c.Coverage(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("coverage above zero:", cov.Total.RuleFractional > 0)
+	// Output:
+	// coverage above zero: true
+}

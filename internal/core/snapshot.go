@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"yardstick/internal/netmodel"
+)
+
+// Trace snapshots make the accumulate-and-query service model crash
+// safe: a daemon periodically writes the accumulated trace together
+// with a fingerprint of the network it was recorded against, and on
+// restart recovers the trace — but only if the loaded network still
+// matches, since rule and location IDs are meaningless against any
+// other network.
+
+// ErrSnapshotMismatch is returned by DecodeSnapshot and LoadSnapshot
+// when the snapshot was recorded against a different network than the
+// one provided. Callers should discard the snapshot and start from an
+// empty trace.
+var ErrSnapshotMismatch = errors.New("core: snapshot network fingerprint mismatch")
+
+// Fingerprint returns a stable hex digest identifying a network's
+// topology and rules. It hashes the canonical JSON encoding, which is
+// deterministic (devices, interfaces, and rules serialize in ID order).
+func Fingerprint(net *netmodel.Network) (string, error) {
+	h := sha256.New()
+	if err := net.EncodeJSON(h); err != nil {
+		return "", fmt.Errorf("core: fingerprint network: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+type snapshotJSON struct {
+	Fingerprint string          `json:"fingerprint"`
+	Trace       json.RawMessage `json:"trace"`
+}
+
+// EncodeSnapshot writes the trace plus the network's fingerprint.
+func EncodeSnapshot(w io.Writer, net *netmodel.Network, t *Trace) error {
+	fp, err := Fingerprint(net)
+	if err != nil {
+		return err
+	}
+	var trace bytes.Buffer
+	if err := t.EncodeJSON(&trace); err != nil {
+		return fmt.Errorf("core: encode snapshot trace: %w", err)
+	}
+	return json.NewEncoder(w).Encode(snapshotJSON{
+		Fingerprint: fp,
+		Trace:       json.RawMessage(trace.Bytes()),
+	})
+}
+
+// DecodeSnapshot reads a snapshot recorded against net. It returns
+// ErrSnapshotMismatch when the fingerprint does not match net's.
+func DecodeSnapshot(r io.Reader, net *netmodel.Network) (*Trace, error) {
+	var sj snapshotJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sj); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	fp, err := Fingerprint(net)
+	if err != nil {
+		return nil, err
+	}
+	if sj.Fingerprint != fp {
+		return nil, ErrSnapshotMismatch
+	}
+	return DecodeTraceJSON(net, bytes.NewReader(sj.Trace))
+}
+
+// SaveSnapshot atomically writes a snapshot file: the snapshot is
+// written to a temporary file in the same directory and renamed into
+// place, so a crash mid-write never corrupts the previous snapshot.
+func SaveSnapshot(path string, net *netmodel.Network, t *Trace) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: save snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := EncodeSnapshot(tmp, net, t); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: save snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: save snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads a snapshot file recorded against net. It returns
+// fs.ErrNotExist (wrapped) when no snapshot exists and
+// ErrSnapshotMismatch when the snapshot belongs to a different network.
+func LoadSnapshot(path string, net *netmodel.Network) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeSnapshot(f, net)
+}

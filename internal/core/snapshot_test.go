@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"yardstick/internal/dataplane"
+	"yardstick/internal/netmodel"
+)
+
+func TestFingerprintStableAndDiscriminating(t *testing.T) {
+	cn := buildChain(t)
+	fp1, err := Fingerprint(cn.n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := Fingerprint(cn.n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Errorf("fingerprint not stable: %s != %s", fp1, fp2)
+	}
+	if len(fp1) != 64 {
+		t.Errorf("fingerprint length = %d, want 64 hex chars", len(fp1))
+	}
+
+	fpOther, err := Fingerprint(buildVariantNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpOther == fp1 {
+		t.Error("different networks should have different fingerprints")
+	}
+}
+
+// buildVariantNet is a chain like buildChain's but with an extra drop
+// rule, so its fingerprint must differ.
+func buildVariantNet(t testing.TB) *netmodel.Network {
+	t.Helper()
+	n := netmodel.New()
+	d1 := n.AddDevice("d1", netmodel.RoleLeaf, 1)
+	d2 := n.AddDevice("d2", netmodel.RoleSpine, 2)
+	i1, _ := n.Connect(d1, d2, pfx(t, "10.255.0.0/31"))
+	n.AddFIBRule(d1, netmodel.MatchDst(pfx(t, "10.0.0.0/8")),
+		netmodel.Action{Kind: netmodel.ActForward, OutIfaces: []netmodel.IfaceID{i1}}, netmodel.OriginInternal)
+	n.AddFIBRule(d2, netmodel.MatchDst(pfx(t, "192.168.0.0/16")),
+		netmodel.Action{Kind: netmodel.ActDrop}, netmodel.OriginStatic)
+	n.ComputeMatchSets()
+	return n
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	cn := buildChain(t)
+	tr := NewTrace()
+	tr.MarkRule(cn.r1)
+	tr.MarkPacket(dataplane.Injected(cn.d1), cn.n.Space.DstPrefix(pfx(t, "10.0.0.0/16")))
+
+	path := filepath.Join(t.TempDir(), "trace.snap")
+	if err := SaveSnapshot(path, cn.n, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadSnapshot(path, cn.n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.RuleMarked(cn.r1) {
+		t.Error("restored trace lost the marked rule")
+	}
+	want := tr.PacketsAt(cn.n.Space, dataplane.Injected(cn.d1))
+	if !got.PacketsAt(cn.n.Space, dataplane.Injected(cn.d1)).Equal(want) {
+		t.Error("restored trace packets differ")
+	}
+
+	// Saving again overwrites atomically and leaves no temp files.
+	if err := SaveSnapshot(path, cn.n, tr); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestSnapshotFingerprintMismatch(t *testing.T) {
+	cn := buildChain(t)
+	tr := NewTrace()
+	tr.MarkRule(cn.r1)
+	path := filepath.Join(t.TempDir(), "trace.snap")
+	if err := SaveSnapshot(path, cn.n, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := LoadSnapshot(path, buildVariantNet(t)); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Errorf("LoadSnapshot against a different network = %v, want ErrSnapshotMismatch", err)
+	}
+}
+
+func TestLoadSnapshotMissing(t *testing.T) {
+	cn := buildChain(t)
+	_, err := LoadSnapshot(filepath.Join(t.TempDir(), "absent.snap"), cn.n)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("LoadSnapshot on missing file = %v, want fs.ErrNotExist", err)
+	}
+}

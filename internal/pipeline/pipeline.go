@@ -68,9 +68,10 @@ type Config struct {
 	// RegressionEpsilon is the per-device coverage drop tolerated
 	// before flagging (default 0.01).
 	RegressionEpsilon float64
-	// DriftThreshold is the tolerated relative path-universe change
-	// (default 0.2). Zero or negative disables the guard together with
-	// SkipPathUniverse.
+	// DriftThreshold is the tolerated relative path-universe change.
+	// Zero selects the default (0.2); a negative value disables the
+	// drift guard while still reporting path-universe sizes and drift.
+	// (SkipPathUniverse disables the counting itself.)
 	DriftThreshold float64
 	// SkipPathUniverse disables path-universe counting (it is the
 	// expensive step; §8 engineers run it daily, not per change).
@@ -149,6 +150,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if !cfg.SkipPathUniverse {
 		res.Drift, res.DriftFlagged = report.PathUniverseDrift(beforeSnap.PathUniverse, afterSnap.PathUniverse, cfg.DriftThreshold)
+		if cfg.DriftThreshold < 0 { // guard disabled: report drift, never flag
+			res.DriftFlagged = false
+		}
 	}
 
 	switch {

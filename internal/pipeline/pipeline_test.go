@@ -97,6 +97,33 @@ func TestSilentChangeFlaggedByDrift(t *testing.T) {
 	}
 }
 
+func TestNegativeDriftThresholdDisablesGuard(t *testing.T) {
+	// The same silent change, but with the guard explicitly disabled:
+	// drift is still reported, never flagged.
+	blindSuite := testkit.Suite{testkit.ConnectedRouteCheck{}}
+	res, err := Run(Config{
+		Before:         exampleBuilder(topogen.ExampleOpts{}),
+		After:          exampleBuilder(topogen.ExampleOpts{BugNullRoute: true}),
+		Suite:          blindSuite,
+		DriftThreshold: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DriftFlagged {
+		t.Error("negative DriftThreshold must disable the drift guard")
+	}
+	if res.Verdict == UniverseDrifted {
+		t.Errorf("verdict = %v with guard disabled", res.Verdict)
+	}
+	if res.Drift == 0 {
+		t.Error("drift should still be reported with the guard disabled")
+	}
+	if res.PathsBefore == 0 || res.PathsAfter == 0 {
+		t.Error("path universe should still be counted with the guard disabled")
+	}
+}
+
 func TestTopologyGrowthRegressesCoverage(t *testing.T) {
 	// Growing the network without growing the (role-limited) suite:
 	// AggCanReachTorLoopback doesn't test spines, so new spine rules

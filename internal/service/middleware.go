@@ -1,0 +1,78 @@
+package service
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// Middleware wraps an http.Handler with a cross-cutting concern.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies middleware outermost-first: Chain(h, a, b) serves
+// requests through a, then b, then h.
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// Recover isolates handler panics: the stack is logged, the client gets
+// a 500 (when the response has not started), and the server keeps
+// serving. A panicking coverage computation must not take down a daemon
+// holding a day of accumulated trace state.
+func Recover(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if rec == http.ErrAbortHandler {
+						panic(rec)
+					}
+					logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+					httpError(w, http.StatusInternalServerError, "internal error")
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// LimitBody caps request-body size with http.MaxBytesReader, so a
+// misbehaving reporter cannot exhaust server memory. Handlers that read
+// past the limit see a *http.MaxBytesError and answer 413.
+func LimitBody(n int64) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Body != nil {
+				r.Body = http.MaxBytesReader(w, r.Body, n)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// statusRecorder captures the response code for request logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// LogRequests logs one line per request: method, path, status, elapsed.
+func LogRequests(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+			start := time.Now()
+			next.ServeHTTP(sr, r)
+			logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sr.status, time.Since(start).Round(time.Microsecond))
+		})
+	}
+}

@@ -1,0 +1,281 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"yardstick/internal/core"
+	"yardstick/internal/dataplane"
+	"yardstick/internal/topogen"
+)
+
+func discardLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// TestConcurrentRequests hammers the hot endpoints from parallel
+// goroutines. The server serializes on its mutex (the BDD manager is
+// single-threaded); under -race this validates the lock discipline.
+func TestConcurrentRequests(t *testing.T) {
+	ts, rg := newTestServer(t)
+
+	// Pre-encode a trace fragment once: encoding touches the network's
+	// BDD manager, which must not be shared across goroutines.
+	local := core.NewTrace()
+	local.MarkPacket(dataplane.Injected(rg.ToRs[0]), rg.Net.Space.DstPrefix(rg.HostPrefix[rg.ToRs[1]]))
+	for _, rid := range rg.Net.Device(rg.ToRs[0]).FIB {
+		local.MarkRule(rid)
+	}
+	var frag bytes.Buffer
+	if err := local.EncodeJSON(&frag); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	do := func(method, url string, body []byte) {
+		defer wg.Done()
+		req, err := http.NewRequest(method, url, bytes.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s %s = %d", method, url, resp.StatusCode)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(4)
+		go do("POST", ts.URL+"/trace", frag.Bytes())
+		go do("GET", ts.URL+"/coverage", nil)
+		go do("POST", ts.URL+"/run?suite=connected", nil)
+		go do("GET", ts.URL+"/trace", nil)
+	}
+	wg.Wait()
+}
+
+// TestPanicRecovery drives a panicking handler through the full
+// middleware chain: the panic answers 500 and the server keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusOK) })
+	var logbuf bytes.Buffer
+	logger := log.New(&logbuf, "", 0)
+	ts := httptest.NewServer(Chain(mux, Recover(logger), LogRequests(logger)))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("panicking handler = %d, want 500", resp.StatusCode)
+	}
+	if !bytes.Contains(logbuf.Bytes(), []byte("kaboom")) {
+		t.Error("panic value not logged")
+	}
+	if !bytes.Contains(logbuf.Bytes(), []byte("goroutine")) {
+		t.Error("stack trace not logged")
+	}
+
+	// The server survives and keeps answering.
+	resp, err = http.Get(ts.URL + "/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("request after panic = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(WithNetwork(rg.Net, WithMaxBody(512), WithLogger(discardLogger())).Handler())
+	defer ts.Close()
+
+	// Leading whitespace is valid JSON, so the decoder must read past
+	// the cap and hit the MaxBytesReader limit rather than a syntax
+	// error.
+	big := append(bytes.Repeat([]byte(" "), 4096), []byte("{}")...)
+	resp, err := http.Post(ts.URL+"/trace", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body = %d, want 413", resp.StatusCode)
+	}
+
+	// A small (if invalid) body still gets the ordinary 400.
+	resp, err = http.Post(ts.URL+"/trace", "application/json", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("small junk body = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	ts := httptest.NewServer(New(WithLogger(discardLogger())).Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", code)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz without network = %d, want 503", code)
+	}
+
+	// Loading a network flips readiness.
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rg.Net.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doJSON(t, "PUT", ts.URL+"/network", buf.Bytes(), http.StatusOK, nil)
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz with network = %d, want 200", code)
+	}
+}
+
+// TestSnapshotPersistence accumulates a trace, checkpoints, and brings
+// up a fresh server on the same snapshot: coverage survives the
+// "restart". A third server with a different network must discard the
+// stale snapshot.
+func TestSnapshotPersistence(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "trace.snap")
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv1 := WithNetwork(rg.Net, WithSnapshot(snap, time.Hour), WithLogger(discardLogger()))
+	ts1 := httptest.NewServer(srv1.Handler())
+	local := core.NewTrace()
+	local.MarkPacket(dataplane.Injected(rg.ToRs[0]), rg.Net.Space.DstPrefix(rg.HostPrefix[rg.ToRs[1]]))
+	for _, rid := range rg.Net.Device(rg.ToRs[0]).FIB {
+		local.MarkRule(rid)
+	}
+	var frag bytes.Buffer
+	if err := local.EncodeJSON(&frag); err != nil {
+		t.Fatal(err)
+	}
+	doJSON(t, "POST", ts1.URL+"/trace", frag.Bytes(), http.StatusOK, nil)
+	var covBefore CoverageReport
+	doJSON(t, "GET", ts1.URL+"/coverage", nil, http.StatusOK, &covBefore)
+	if covBefore.Total.RuleFractional <= 0 {
+		t.Fatal("no coverage accumulated")
+	}
+	if err := srv1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// "Restart": same network, same snapshot path.
+	srv2 := WithNetwork(rg.Net, WithSnapshot(snap, time.Hour), WithLogger(discardLogger()))
+	restored, err := srv2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored {
+		t.Fatal("snapshot not restored on matching network")
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	var covAfter CoverageReport
+	doJSON(t, "GET", ts2.URL+"/coverage", nil, http.StatusOK, &covAfter)
+	if covAfter.Total.RuleFractional != covBefore.Total.RuleFractional {
+		t.Errorf("coverage after restart = %v, want %v",
+			covAfter.Total.RuleFractional, covBefore.Total.RuleFractional)
+	}
+
+	// A different network must reject the stale snapshot.
+	other, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv3 := WithNetwork(other.Net, WithSnapshot(snap, time.Hour), WithLogger(discardLogger()))
+	restored, err = srv3.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored {
+		t.Error("stale snapshot (different network) must be discarded, not merged")
+	}
+	if st := srv3.trace.Stats(); st.Locations != 0 || st.MarkedRules != 0 {
+		t.Errorf("trace after discarded restore = %+v, want empty", st)
+	}
+}
+
+// TestCheckpointerFinalSave verifies RunCheckpointer writes a final
+// snapshot when its context is canceled — the shutdown path.
+func TestCheckpointerFinalSave(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "trace.snap")
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := WithNetwork(rg.Net, WithSnapshot(snap, time.Hour), WithLogger(discardLogger()))
+	srv.trace.MarkRule(rg.Net.Device(rg.ToRs[0]).FIB[0])
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); srv.RunCheckpointer(ctx) }()
+	cancel()
+	<-done
+
+	got, err := core.LoadSnapshot(snap, rg.Net)
+	if err != nil {
+		t.Fatalf("no snapshot after checkpointer shutdown: %v", err)
+	}
+	if !got.RuleMarked(rg.Net.Device(rg.ToRs[0]).FIB[0]) {
+		t.Error("final checkpoint lost the marked rule")
+	}
+}

@@ -5,7 +5,8 @@
 // coverage remotely by POSTing trace fragments (the §5.1 markPacket/
 // markRule feed, serialized as BDD cubes), or ask the server to run its
 // built-in suites; engineers read metrics, role breakdowns, and gap
-// reports.
+// reports. Package client provides a typed, retrying Go client for
+// every endpoint.
 //
 // Endpoints:
 //
@@ -17,16 +18,32 @@
 //	POST   /run?suite=a,b    run built-in tests server-side, accumulate coverage
 //	GET    /coverage         headline metrics + per-role rows
 //	GET    /gaps             untested rules by origin and role
+//	GET    /healthz          liveness: 200 once the process serves traffic
+//	GET    /readyz           readiness: 200 when a network is loaded, 503 before
 //
 // The server serializes all requests: the underlying BDD manager is
 // single-threaded by design.
+//
+// The handler chain hardens the service for long-running deployment:
+// panics are recovered (500, logged stack, server survives), request
+// bodies are size-capped (413 past the limit), and requests are logged.
+// With WithSnapshot, the accumulated trace is checkpointed to an
+// atomic-rename snapshot file — periodically and on shutdown — and
+// recovered on startup when the snapshot's network fingerprint matches
+// the loaded network, so accumulated coverage survives a restart.
 package service
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
+	"log"
 	"net/http"
 	"sync"
+	"time"
 
 	"yardstick/internal/core"
 	"yardstick/internal/netmodel"
@@ -34,25 +51,70 @@ import (
 	"yardstick/internal/testkit"
 )
 
+// DefaultMaxBody is the request-body size cap when WithMaxBody is not
+// given. Trace fragments for large networks run to a few MB of BDD
+// cubes; 64 MiB leaves ample headroom.
+const DefaultMaxBody int64 = 64 << 20
+
 // Server is the HTTP coverage service. Create with New and mount via
 // Handler.
 type Server struct {
 	mu    sync.Mutex
 	net   *netmodel.Network
 	trace *core.Trace
+
+	logger       *log.Logger
+	maxBody      int64
+	snapPath     string
+	snapInterval time.Duration
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger routes request and panic logs to l (default: the standard
+// logger).
+func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l } }
+
+// WithMaxBody caps request-body size at n bytes (default DefaultMaxBody).
+func WithMaxBody(n int64) Option { return func(s *Server) { s.maxBody = n } }
+
+// WithSnapshot enables crash-safe trace persistence: the accumulated
+// trace is checkpointed to path every interval (see RunCheckpointer)
+// and on Checkpoint calls, and Restore recovers it on startup. An
+// interval <= 0 keeps the default of one minute.
+func WithSnapshot(path string, interval time.Duration) Option {
+	return func(s *Server) {
+		s.snapPath = path
+		if interval > 0 {
+			s.snapInterval = interval
+		}
+	}
 }
 
 // New returns a server with no network loaded.
-func New() *Server {
-	return &Server{trace: core.NewTrace()}
+func New(opts ...Option) *Server {
+	s := &Server{
+		trace:        core.NewTrace(),
+		logger:       log.Default(),
+		maxBody:      DefaultMaxBody,
+		snapInterval: time.Minute,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // WithNetwork returns a server pre-loaded with a network.
-func WithNetwork(net *netmodel.Network) *Server {
-	return &Server{net: net, trace: core.NewTrace()}
+func WithNetwork(net *netmodel.Network, opts ...Option) *Server {
+	s := New(opts...)
+	s.net = net
+	return s
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler, wrapped in the hardening
+// middleware chain (panic recovery, request logging, body-size limits).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /network", s.putNetwork)
@@ -63,13 +125,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /run", s.postRun)
 	mux.HandleFunc("GET /coverage", s.getCoverage)
 	mux.HandleFunc("GET /gaps", s.getGaps)
-	return mux
+	mux.HandleFunc("GET /healthz", s.getHealthz)
+	mux.HandleFunc("GET /readyz", s.getReadyz)
+	return Chain(mux,
+		Recover(s.logger),
+		LogRequests(s.logger),
+		LimitBody(s.maxBody),
+	)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeError maps a request-body decode failure to a status code:
+// bodies truncated by the LimitBody middleware are the client's fault
+// at 413, everything else is a plain bad request.
+func decodeError(w http.ResponseWriter, what string, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		httpError(w, http.StatusRequestEntityTooLarge, "parse %s: body exceeds %d bytes", what, mbe.Limit)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "parse %s: %v", what, err)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -93,7 +173,7 @@ func (s *Server) putNetwork(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "parse network: %v", err)
+		decodeError(w, "network", err)
 		return
 	}
 	s.mu.Lock()
@@ -103,7 +183,8 @@ func (s *Server) putNetwork(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsBody(net))
 }
 
-type networkStats struct {
+// NetworkStats is the GET /network (and PUT /network) response body.
+type NetworkStats struct {
 	Family  string `json:"family"`
 	Devices int    `json:"devices"`
 	Ifaces  int    `json:"ifaces"`
@@ -111,9 +192,9 @@ type networkStats struct {
 	Rules   int    `json:"rules"`
 }
 
-func statsBody(net *netmodel.Network) networkStats {
+func statsBody(net *netmodel.Network) NetworkStats {
 	st := net.Stats()
-	return networkStats{
+	return NetworkStats{
 		Family:  net.Family().String(),
 		Devices: st.Devices,
 		Ifaces:  st.Ifaces,
@@ -132,6 +213,13 @@ func (s *Server) getNetwork(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsBody(s.net))
 }
 
+// TraceStats is the POST /trace response body: the size of the
+// accumulated trace after the merge.
+type TraceStats struct {
+	Locations   int `json:"locations"`
+	MarkedRules int `json:"markedRules"`
+}
+
 func (s *Server) postTrace(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -141,24 +229,30 @@ func (s *Server) postTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	frag, err := core.DecodeTraceJSON(s.net, r.Body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "parse trace: %v", err)
+		decodeError(w, "trace", err)
 		return
 	}
 	s.trace.Merge(frag)
 	st := s.trace.Stats()
-	writeJSON(w, http.StatusOK, map[string]int{
-		"locations":   st.Locations,
-		"markedRules": st.MarkedRules,
+	writeJSON(w, http.StatusOK, TraceStats{
+		Locations:   st.Locations,
+		MarkedRules: st.MarkedRules,
 	})
 }
 
 func (s *Server) getTrace(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	if err := s.trace.EncodeJSON(w); err != nil {
+	// Buffer the encoding so a failure can still produce a clean 500
+	// instead of corrupting an already-started 200 response.
+	var buf bytes.Buffer
+	if err := s.trace.EncodeJSON(&buf); err != nil {
 		httpError(w, http.StatusInternalServerError, "encode trace: %v", err)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
 }
 
 func (s *Server) deleteTrace(w http.ResponseWriter, r *http.Request) {
@@ -168,7 +262,8 @@ func (s *Server) deleteTrace(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-type runResult struct {
+// RunResult is one element of the POST /run response body.
+type RunResult struct {
 	Name     string   `json:"name"`
 	Kind     string   `json:"kind"`
 	Checks   int      `json:"checks"`
@@ -188,9 +283,9 @@ func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	var out []runResult
+	var out []RunResult
 	for _, res := range suite.Run(s.net, s.trace) {
-		rr := runResult{
+		rr := RunResult{
 			Name:   res.Name,
 			Kind:   string(res.Kind),
 			Checks: res.Checks,
@@ -213,12 +308,14 @@ func builtinSuite(arg string) (testkit.Suite, error) {
 	return testkit.BuiltinSuite(arg)
 }
 
-type coverageBody struct {
-	Total  metricsBody   `json:"total"`
-	ByRole []metricsBody `json:"byRole"`
+// CoverageReport is the GET /coverage response body.
+type CoverageReport struct {
+	Total  MetricsRow   `json:"total"`
+	ByRole []MetricsRow `json:"byRole"`
 }
 
-type metricsBody struct {
+// MetricsRow is one group's coverage metrics.
+type MetricsRow struct {
 	Group            string  `json:"group"`
 	Devices          int     `json:"devices"`
 	DeviceFractional float64 `json:"deviceFractional"`
@@ -227,8 +324,8 @@ type metricsBody struct {
 	RuleWeighted     float64 `json:"ruleWeighted"`
 }
 
-func toMetricsBody(m report.Metrics) metricsBody {
-	return metricsBody{
+func toMetricsRow(m report.Metrics) MetricsRow {
+	return MetricsRow{
 		Group:            m.Label,
 		Devices:          m.Devices,
 		DeviceFractional: m.DeviceFractional,
@@ -246,7 +343,7 @@ func (s *Server) getCoverage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cov := core.NewCoverage(s.net, s.trace)
-	body := coverageBody{Total: toMetricsBody(report.Total(cov, "total"))}
+	body := CoverageReport{Total: toMetricsRow(report.Total(cov, "total"))}
 	seen := map[netmodel.Role]bool{}
 	var roles []netmodel.Role
 	for _, d := range s.net.Devices {
@@ -256,12 +353,13 @@ func (s *Server) getCoverage(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for _, row := range report.ByRole(cov, roles) {
-		body.ByRole = append(body.ByRole, toMetricsBody(row))
+		body.ByRole = append(body.ByRole, toMetricsRow(row))
 	}
 	writeJSON(w, http.StatusOK, body)
 }
 
-type gapBody struct {
+// Gap is one element of the GET /gaps response body.
+type Gap struct {
 	Origin string `json:"origin"`
 	Role   string `json:"role"`
 	Count  int    `json:"count"`
@@ -275,9 +373,91 @@ func (s *Server) getGaps(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cov := core.NewCoverage(s.net, s.trace)
-	out := []gapBody{}
+	out := []Gap{}
 	for _, g := range report.Gaps(cov) {
-		out = append(out, gapBody{Origin: string(g.Origin), Role: string(g.Role), Count: g.Count})
+		out = append(out, Gap{Origin: string(g.Origin), Role: string(g.Role), Count: g.Count})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) getHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// getReadyz reports readiness: the service is ready once a network is
+// loaded, since every coverage endpoint needs one.
+func (s *Server) getReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ready := s.net != nil
+	s.mu.Unlock()
+	if !ready {
+		httpError(w, http.StatusServiceUnavailable, "no network loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// Checkpoint writes the current trace to the snapshot file (atomic
+// rename; see core.SaveSnapshot). It is a no-op without WithSnapshot or
+// before a network is loaded.
+func (s *Server) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snapPath == "" || s.net == nil {
+		return nil
+	}
+	return core.SaveSnapshot(s.snapPath, s.net, s.trace)
+}
+
+// Restore recovers the trace from the snapshot file. It reports whether
+// a snapshot was merged: a missing file or a fingerprint mismatch
+// (snapshot recorded against a different network) is not an error — the
+// stale snapshot is discarded and the server starts from the current
+// trace. It is a no-op without WithSnapshot or before a network is
+// loaded.
+func (s *Server) Restore() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snapPath == "" || s.net == nil {
+		return false, nil
+	}
+	snap, err := core.LoadSnapshot(s.snapPath, s.net)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return false, nil
+	case errors.Is(err, core.ErrSnapshotMismatch):
+		s.logger.Printf("snapshot %s recorded against a different network; discarding", s.snapPath)
+		return false, nil
+	case err != nil:
+		return false, err
+	}
+	s.trace.Merge(snap)
+	return true, nil
+}
+
+// RunCheckpointer checkpoints every WithSnapshot interval until ctx is
+// done, then takes a final checkpoint so shutdown never loses trace
+// state. It returns immediately when persistence is not configured.
+func (s *Server) RunCheckpointer(ctx context.Context) {
+	s.mu.Lock()
+	path, interval := s.snapPath, s.snapInterval
+	s.mu.Unlock()
+	if path == "" {
+		return
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if err := s.Checkpoint(); err != nil {
+				s.logger.Printf("checkpoint: %v", err)
+			}
+		case <-ctx.Done():
+			if err := s.Checkpoint(); err != nil {
+				s.logger.Printf("final checkpoint: %v", err)
+			}
+			return
+		}
+	}
 }

@@ -22,7 +22,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *topogen.Regional) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(WithNetwork(rg.Net).Handler())
+	ts := httptest.NewServer(WithNetwork(rg.Net, WithLogger(discardLogger())).Handler())
 	t.Cleanup(ts.Close)
 	return ts, rg
 }
@@ -52,7 +52,7 @@ func doJSON(t *testing.T, method, url string, body []byte, wantCode int, out any
 
 func TestNetworkStats(t *testing.T) {
 	ts, rg := newTestServer(t)
-	var st networkStats
+	var st NetworkStats
 	doJSON(t, "GET", ts.URL+"/network", nil, http.StatusOK, &st)
 	if st.Devices != rg.Net.Stats().Devices || st.Family != "ipv4" {
 		t.Errorf("stats = %+v", st)
@@ -62,7 +62,7 @@ func TestNetworkStats(t *testing.T) {
 func TestRunAndCoverage(t *testing.T) {
 	ts, _ := newTestServer(t)
 
-	var results []runResult
+	var results []RunResult
 	doJSON(t, "POST", ts.URL+"/run?suite=default,internal", nil, http.StatusOK, &results)
 	if len(results) != 2 {
 		t.Fatalf("results = %d", len(results))
@@ -73,7 +73,7 @@ func TestRunAndCoverage(t *testing.T) {
 		}
 	}
 
-	var cov coverageBody
+	var cov CoverageReport
 	doJSON(t, "GET", ts.URL+"/coverage", nil, http.StatusOK, &cov)
 	if cov.Total.RuleFractional <= 0 || cov.Total.RuleFractional > 1 {
 		t.Errorf("total rule coverage = %v", cov.Total.RuleFractional)
@@ -82,7 +82,7 @@ func TestRunAndCoverage(t *testing.T) {
 		t.Error("no per-role rows")
 	}
 
-	var gaps []gapBody
+	var gaps []Gap
 	doJSON(t, "GET", ts.URL+"/gaps", nil, http.StatusOK, &gaps)
 	found := false
 	for _, g := range gaps {
@@ -115,7 +115,7 @@ func TestRemoteTraceReporting(t *testing.T) {
 	}
 
 	// Coverage reflects the remote report.
-	var cov coverageBody
+	var cov CoverageReport
 	doJSON(t, "GET", ts.URL+"/coverage", nil, http.StatusOK, &cov)
 	if cov.Total.RuleFractional <= 0 {
 		t.Error("remote marks did not register")
@@ -130,7 +130,7 @@ func TestRemoteTraceReporting(t *testing.T) {
 	dump.ReadFrom(resp.Body)
 	resp.Body.Close()
 	doJSON(t, "POST", ts.URL+"/trace", dump.Bytes(), http.StatusOK, &st)
-	var cov2 coverageBody
+	var cov2 CoverageReport
 	doJSON(t, "GET", ts.URL+"/coverage", nil, http.StatusOK, &cov2)
 	if cov2.Total.RuleFractional != cov.Total.RuleFractional {
 		t.Error("re-uploading the trace changed coverage")
@@ -138,7 +138,7 @@ func TestRemoteTraceReporting(t *testing.T) {
 
 	// Reset.
 	doJSON(t, "DELETE", ts.URL+"/trace", nil, http.StatusNoContent, nil)
-	var cov3 coverageBody
+	var cov3 CoverageReport
 	doJSON(t, "GET", ts.URL+"/coverage", nil, http.StatusOK, &cov3)
 	if cov3.Total.RuleFractional != 0 {
 		t.Error("trace reset did not clear coverage")
@@ -153,7 +153,7 @@ func TestPutNetwork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New().Handler())
+	ts := httptest.NewServer(New(WithLogger(discardLogger())).Handler())
 	defer ts.Close()
 
 	// No network yet: coverage and run are 409.
@@ -165,7 +165,7 @@ func TestPutNetwork(t *testing.T) {
 	if err := rg.Net.EncodeJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	var st networkStats
+	var st NetworkStats
 	doJSON(t, "PUT", ts.URL+"/network", buf.Bytes(), http.StatusOK, &st)
 	if st.Devices != rg.Net.Stats().Devices {
 		t.Errorf("stats = %+v", st)
@@ -190,7 +190,7 @@ route a 0.0.0.0/0 via b origin=default
 		t.Fatalf("text load = %d", resp.StatusCode)
 	}
 	// Loading a network resets the trace.
-	var cov coverageBody
+	var cov CoverageReport
 	doJSON(t, "GET", ts.URL+"/coverage", nil, http.StatusOK, &cov)
 	if cov.Total.RuleFractional != 0 {
 		t.Error("network reload should reset the trace")
