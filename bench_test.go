@@ -11,6 +11,7 @@
 package yardstick_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -80,7 +81,7 @@ func BenchmarkFigure6(b *testing.B) {
 	for _, p := range panels {
 		b.Run(p.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				experiments.Figure6(rg, p.name, p.suite)
+				experiments.Figure6(context.Background(), rg, p.name, p.suite)
 			}
 		})
 	}
@@ -92,7 +93,7 @@ func BenchmarkFigure7(b *testing.B) {
 	rg := regionalNet(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		experiments.Figure7(rg)
+		experiments.Figure7(context.Background(), rg)
 	}
 }
 
@@ -133,7 +134,7 @@ func BenchmarkFigure9(b *testing.B) {
 			{"interface", func(c *core.Coverage) { core.InterfaceCoverage(c, nil, core.Fractional) }},
 			{"rule", func(c *core.Coverage) { core.RuleCoverage(c, nil, core.Fractional) }},
 			{"path", func(c *core.Coverage) {
-				core.PathCoverage(c, nil, dataplane.EnumOpts{MaxPaths: 100000}, core.Fractional)
+				core.PathCoverage(context.Background(), c, nil, dataplane.EnumOpts{MaxPaths: 100000}, core.Fractional)
 			}},
 		}
 		for _, m := range metrics {
@@ -185,7 +186,7 @@ func BenchmarkPathEnumeration(b *testing.B) {
 	starts := dataplane.EdgeStarts(ft.Net)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n, _ := dataplane.EnumeratePaths(ft.Net, starts, dataplane.EnumOpts{}, func(dataplane.Path) bool { return true })
+		n, _ := dataplane.EnumeratePaths(context.Background(), ft.Net, starts, dataplane.EnumOpts{}, func(dataplane.Path) bool { return true })
 		if n == 0 {
 			b.Fatal("no paths")
 		}
@@ -231,7 +232,7 @@ func BenchmarkAblationFamily(b *testing.B) {
 		b.Run(name+"/suite", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				trace := core.NewTrace()
-				testkit.Suite{testkit.DefaultRouteCheck{}, testkit.InternalRouteCheck{}}.Run(rg.Net, trace)
+				testkit.Suite{testkit.DefaultRouteCheck{}, testkit.InternalRouteCheck{}}.Run(context.Background(), rg.Net, trace)
 				core.RuleCoverage(core.NewCoverage(rg.Net, trace), nil, core.Fractional)
 			}
 		})
@@ -270,7 +271,7 @@ func BenchmarkProbeGeneration(b *testing.B) {
 	cov := core.NewCoverage(ft.Net, core.NewTrace())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		probegen.Generate(core.NewCoverage(ft.Net, core.NewTrace()), probegen.Options{})
+		probegen.Generate(context.Background(), core.NewCoverage(ft.Net, core.NewTrace()), probegen.Options{})
 	}
 	_ = cov
 }

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"yardstick"
 )
@@ -40,7 +43,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := yardstick.EvaluateChange(yardstick.PipelineConfig{
+	// Ctrl-C / SIGTERM abort the evaluation cleanly: the partial result
+	// still prints (verdict "incomplete"), then we exit nonzero below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := yardstick.EvaluateChange(ctx, yardstick.PipelineConfig{
 		Before:            loader(*before),
 		After:             loader(*after),
 		Suite:             suite,
@@ -50,14 +58,18 @@ func main() {
 		PathBudget:        *budget,
 	})
 	if err != nil {
+		// Partial results are still worth printing: the before phase may
+		// have completed even when the after phase was cut short.
 		fmt.Fprintln(os.Stderr, "changecheck:", err)
-		os.Exit(1)
 	}
 
 	fmt.Println("test results on the post-change state:")
 	for _, r := range res.Results {
 		status := "PASS"
-		if !r.Pass() {
+		switch {
+		case r.Errored():
+			status = fmt.Sprintf("ERROR (%s)", r.Err)
+		case !r.Pass():
 			status = fmt.Sprintf("FAIL (%d failures)", len(r.Failures))
 		}
 		fmt.Printf("  %-24s %6d checks  %s\n", r.Name, r.Checks, status)
@@ -76,6 +88,12 @@ func main() {
 	if !*noPaths {
 		fmt.Printf("\npath universe: %d -> %d (drift %+.1f%%)\n",
 			res.PathsBefore, res.PathsAfter, 100*res.Drift)
+		if res.PathsTruncated {
+			fmt.Println("  (path enumeration truncated by -pathbudget)")
+		}
+		if res.DriftNote != "" {
+			fmt.Printf("  note: %s\n", res.DriftNote)
+		}
 	}
 
 	fmt.Printf("\nverdict: %s\n", res.Verdict)

@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"yardstick/internal/experiments"
 	"yardstick/internal/report"
@@ -40,13 +43,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Ctrl-C / SIGTERM stop mid-figure; completed sweep points for the
+	// current figure still render before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	want := func(name string) bool {
 		return *fig == "all" || *fig == name || (len(name) == 2 && *fig == name[:1])
 	}
 
 	if want("6a") || want("6b") || want("6c") || want("6d") || *fig == "6" {
 		rg := mustRegional(*subnets)
-		for _, panel := range experiments.Figure6All(rg) {
+		for _, panel := range experiments.Figure6All(ctx, rg) {
 			if !(want(panel.Panel) || *fig == "6" || *fig == "all") {
 				continue
 			}
@@ -58,7 +66,7 @@ func main() {
 
 	if want("7") {
 		rg := mustRegional(*subnets)
-		res := experiments.Figure7(rg)
+		res := experiments.Figure7(ctx, rg)
 		fmt.Println("=== Figure 7: coverage improvement with test suite iterations ===")
 		rows := make([]report.Metrics, 0, len(res.Rows))
 		for _, r := range res.Rows {
@@ -71,18 +79,18 @@ func main() {
 
 	if want("8") {
 		fmt.Println("=== Figure 8: overhead of coverage tracking ===")
-		rows, err := experiments.Figure8(ks)
+		rows, err := experiments.Figure8(ctx, ks)
+		fmt.Print(experiments.RenderFigure8(rows))
+		fmt.Println()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		fmt.Print(experiments.RenderFigure8(rows))
-		fmt.Println()
 	}
 
 	if want("mutation") {
 		rg := mustRegional(*subnets)
-		res, err := experiments.MutationStudy(rg, *mutations, 1)
+		res, err := experiments.MutationStudy(ctx, rg, *mutations, 1)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -94,14 +102,14 @@ func main() {
 
 	if want("9") {
 		fmt.Println("=== Figure 9: time to compute coverage metrics ===")
-		rows, err := experiments.Figure9(ks, experiments.Figure9Opts{
+		rows, err := experiments.Figure9(ctx, ks, experiments.Figure9Opts{
 			PathBudget: *pathBudget, SkipPaths: *skipPaths,
 		})
+		fmt.Print(experiments.RenderFigure9(rows))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		fmt.Print(experiments.RenderFigure9(rows))
 	}
 }
 

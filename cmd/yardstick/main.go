@@ -13,17 +13,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/netip"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"yardstick"
 	"yardstick/internal/dataplane"
 )
 
 func main() {
+	// Ctrl-C / SIGTERM cancel long evaluations cleanly: suites stop
+	// between tests, path walks stop mid-stream, and whatever partial
+	// output was produced still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	_ = ctx
+
 	var (
 		topology = flag.String("topology", "regional", "network to generate: example, fattree, or regional")
 		netFile  = flag.String("net", "", "load network from JSON instead of generating")
@@ -78,12 +88,22 @@ func main() {
 		st := prev.Stats()
 		fmt.Printf("merged prior trace: %d locations, %d inspected rules\n\n", st.Locations, st.MarkedRules)
 	}
-	results := suite.Run(net, trace)
+	stopWatch := net.Space.WatchContext(ctx)
+	var results []yardstick.TestResult
+	if err := yardstick.GuardBudget(func() { results = suite.Run(ctx, net, trace) }); err != nil {
+		fmt.Fprintln(os.Stderr, "yardstick: run aborted:", err)
+	}
+	stopWatch()
 	fmt.Println("test results:")
 	failed := false
+	errored := false
 	for _, r := range results {
 		status := "PASS"
-		if !r.Pass() {
+		switch {
+		case r.Errored():
+			status = fmt.Sprintf("ERROR (%s)", r.Err)
+			errored = true
+		case !r.Pass():
 			status = fmt.Sprintf("FAIL (%d failures)", len(r.Failures))
 			failed = true
 		}
@@ -106,7 +126,7 @@ func main() {
 
 	if *paths {
 		fmt.Println()
-		res := yardstick.PathCoverage(cov, nil, dataplane.EnumOpts{MaxPaths: *pathMax}, yardstick.Fractional)
+		res := yardstick.PathCoverage(ctx, cov, nil, dataplane.EnumOpts{MaxPaths: *pathMax}, yardstick.Fractional)
 		complete := "complete"
 		if !res.Complete {
 			complete = "budget exhausted"
@@ -188,13 +208,13 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Println("suggested next tests (by marginal rule-coverage gain):")
-		for _, r := range yardstick.RankCandidates(net, trace, candidates, yardstick.Fractional) {
+		for _, r := range yardstick.RankCandidates(ctx, net, trace, candidates, yardstick.Fractional) {
 			fmt.Printf("  %-24s +%5.1f%% -> %5.1f%%\n", r.Test.Name(), 100*r.Gain, 100*r.Coverage)
 		}
 	}
 
 	if *genN > 0 {
-		res := yardstick.GenerateProbes(cov, yardstick.ProbeGenOptions{MaxProbes: *genN})
+		res := yardstick.GenerateProbes(ctx, cov, yardstick.ProbeGenOptions{MaxProbes: *genN})
 		fmt.Println()
 		fmt.Printf("generated probes (%d, covering %s):\n", len(res.Probes), "previously untested rules")
 		for _, p := range res.Probes {
@@ -226,6 +246,11 @@ func main() {
 
 	if failed {
 		os.Exit(2)
+	}
+	if errored {
+		// Errored tests never vouch for the network: distinct exit code
+		// so CI can tell "tests failed" from "tests did not finish".
+		os.Exit(4)
 	}
 
 	// Coverage gates: like software coverage thresholds in CI, a suite

@@ -103,6 +103,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 		snapInterval = fs.Duration("snapshot-interval", time.Minute, "how often to checkpoint the trace to -snapshot")
 		drain        = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining in-flight requests")
 		maxBody      = fs.Int64("max-body", service.DefaultMaxBody, "request body size cap in bytes")
+		runTimeout   = fs.Duration("run-timeout", 0, "per-request deadline for /run, /coverage and /gaps evaluation work (0 = bounded only by the HTTP write timeout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,6 +118,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 	opts := []service.Option{
 		service.WithLogger(logger),
 		service.WithMaxBody(*maxBody),
+	}
+	if *runTimeout > 0 {
+		opts = append(opts, service.WithRunTimeout(*runTimeout))
 	}
 	if *snapshot != "" {
 		opts = append(opts, service.WithSnapshot(*snapshot, *snapInterval))

@@ -1,6 +1,7 @@
 package yardstick_test
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 
@@ -20,7 +21,7 @@ func Example() {
 		yardstick.InternalRouteCheck{},
 		yardstick.ConnectedRouteCheck{},
 	}
-	for _, res := range suite.Run(rg.Net, trace) {
+	for _, res := range suite.Run(context.Background(), rg.Net, trace) {
 		fmt.Printf("%s: pass=%v\n", res.Name, res.Pass())
 	}
 	cov := yardstick.NewCoverage(rg.Net, trace)
@@ -96,9 +97,9 @@ func ExampleRankCandidates() {
 		panic(err)
 	}
 	base := yardstick.NewTrace()
-	yardstick.Suite{yardstick.DefaultRouteCheck{}, yardstick.AggCanReachTorLoopback{}}.Run(rg.Net, base)
+	yardstick.Suite{yardstick.DefaultRouteCheck{}, yardstick.AggCanReachTorLoopback{}}.Run(context.Background(), rg.Net, base)
 
-	ranked := yardstick.RankCandidates(rg.Net, base, []yardstick.Test{
+	ranked := yardstick.RankCandidates(context.Background(), rg.Net, base, []yardstick.Test{
 		yardstick.ConnectedRouteCheck{},
 		yardstick.InternalRouteCheck{},
 	}, yardstick.Fractional)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,7 +22,7 @@ func caseStudyRoles() []yardstick.Role {
 
 func runAndReport(rg *yardstick.RegionalNet, label string, suite yardstick.Suite) yardstick.Metrics {
 	trace := yardstick.NewTrace()
-	for _, res := range suite.Run(rg.Net, trace) {
+	for _, res := range suite.Run(context.Background(), rg.Net, trace) {
 		if !res.Pass() {
 			log.Fatalf("%s failed: %+v", res.Name, res.Failures[0])
 		}
@@ -36,6 +37,7 @@ func runAndReport(rg *yardstick.RegionalNet, label string, suite yardstick.Suite
 }
 
 func main() {
+	ctx := context.Background()
 	rg, err := yardstick.BuildRegional(yardstick.RegionalOpts{})
 	if err != nil {
 		log.Fatal(err)
@@ -50,7 +52,7 @@ func main() {
 	// Drill-down: which rules are untested, by category? This is the
 	// analysis that surfaced the three §7.2 gaps.
 	trace := yardstick.NewTrace()
-	original.Run(rg.Net, trace)
+	original.Run(ctx, rg.Net, trace)
 	cov := yardstick.NewCoverage(rg.Net, trace)
 	fmt.Println("testing gaps (untested rules by origin and role):")
 	yardstick.RenderGaps(os.Stdout, yardstick.ReportGaps(cov))

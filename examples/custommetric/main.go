@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A firewalled edge: leaf -> firewall -> border. The firewall denies
 	// telnet (port 23) and permits everything else; the border routes
 	// the default out the WAN.
@@ -77,7 +79,7 @@ func main() {
 			WantDevice: border,
 		},
 	}
-	for _, res := range suite.Run(net, trace) {
+	for _, res := range suite.Run(ctx, net, trace) {
 		fmt.Printf("%-24s %-16s pass=%v\n", res.Name, res.Kind, res.Pass())
 	}
 	cov := yardstick.NewCoverage(net, trace)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	opts := yardstick.RegionalOpts{
 		DCs: 1, PodsPerDC: 2, ToRsPerPod: 4, AggsPerPod: 2,
 		SpinesPerDC: 4, Hubs: 4, WANHubs: 3,
@@ -35,7 +37,7 @@ func main() {
 			yardstick.WideAreaRouteCheck{Prefixes: rg.WANPrefixes, WANDevices: rg.WANHubs},
 		}
 		trace := yardstick.NewTrace()
-		for _, res := range suite.Run(rg.Net, trace) {
+		for _, res := range suite.Run(ctx, rg.Net, trace) {
 			if !res.Pass() {
 				log.Fatalf("%s (%v): %+v", res.Name, rg.Net.Family(), res.Failures[0])
 			}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	rg, err := yardstick.BuildRegional(yardstick.RegionalOpts{})
 	if err != nil {
 		log.Fatal(err)
@@ -47,13 +49,13 @@ func main() {
 	detectors := make([]func() bool, len(suites))
 	for i, s := range suites {
 		trace := yardstick.NewTrace()
-		s.suite.Run(net, trace)
+		s.suite.Run(ctx, net, trace)
 		cov := yardstick.NewCoverage(net, trace)
 		coverages[i] = yardstick.RuleCoverage(cov, nil, yardstick.Fractional)
 
 		suite := s.suite
 		detectors[i] = func() bool {
-			for _, res := range suite.Run(net, yardstick.NopTracker{}) {
+			for _, res := range suite.Run(ctx, net, yardstick.NopTracker{}) {
 				if !res.Pass() {
 					return true
 				}

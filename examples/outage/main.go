@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The Figure 1 network, with the bug: B2's default route is a
 	// null-routed static, so B2 never propagates the default to spines.
 	ex, err := yardstick.BuildExample(yardstick.ExampleOpts{BugNullRoute: true})
@@ -57,7 +59,7 @@ func main() {
 
 	trace := yardstick.NewTrace()
 	pass := true
-	for _, res := range suite.Run(net, trace) {
+	for _, res := range suite.Run(ctx, net, trace) {
 		if !res.Pass() {
 			pass = false
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	rg, err := yardstick.BuildRegional(yardstick.RegionalOpts{})
 	if err != nil {
 		log.Fatal(err)
@@ -24,14 +26,14 @@ func main() {
 	// The original §7.2 suite leaves most rules untested.
 	trace := yardstick.NewTrace()
 	original := yardstick.Suite{yardstick.DefaultRouteCheck{}, yardstick.AggCanReachTorLoopback{}}
-	original.Run(net, trace)
+	original.Run(ctx, net, trace)
 	cov := yardstick.NewCoverage(net, trace)
 	fmt.Printf("original suite rule coverage: %5.1f%% (%d rules untested)\n",
 		100*yardstick.RuleCoverage(cov, nil, yardstick.Fractional),
 		len(yardstick.UncoveredRules(cov, nil)))
 
 	// Generate concrete probes for the gap.
-	res := yardstick.GenerateProbes(cov, yardstick.ProbeGenOptions{})
+	res := yardstick.GenerateProbes(ctx, cov, yardstick.ProbeGenOptions{})
 	fmt.Printf("\ngenerated %d verified probes; first three:\n", len(res.Probes))
 	for i, p := range res.Probes {
 		if i == 3 {
@@ -43,7 +45,7 @@ func main() {
 
 	// Run them as tests: all pass, and coverage jumps.
 	probeSuite := res.AsTests()
-	for _, r := range probeSuite.Run(net, trace) {
+	for _, r := range probeSuite.Run(ctx, net, trace) {
 		if !r.Pass() {
 			log.Fatalf("generated probe failed: %+v", r.Failures)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A two-tier network: two leaves under two spines, one host subnet
 	// per leaf. The control plane is eBGP with ECMP; spines learn the
 	// leaf subnets, leaves get a static default pointing north.
@@ -66,7 +68,7 @@ func main() {
 		// State inspection: default routes exist and point north.
 		yardstick.DefaultRouteCheck{},
 	}
-	for _, res := range suite.Run(net, trace) {
+	for _, res := range suite.Run(ctx, net, trace) {
 		fmt.Printf("%-20s %-18s %d checks, pass=%v\n", res.Name, res.Kind, res.Checks, res.Pass())
 	}
 

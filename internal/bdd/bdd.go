@@ -16,6 +16,7 @@
 package bdd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -71,6 +72,21 @@ type Manager struct {
 	// satCount memoizes exact model counts per node (level-adjusted to
 	// the node's own level; see satCountRec).
 	satCount map[Node]*big.Int
+
+	// Resource budgets and cancellation (see budget.go). limits bounds
+	// node-table growth and apply-loop work; budgetErr, once set, marks
+	// the manager poisoned until SetLimits resets it; ctx, when watched,
+	// is polled from chargeOp.
+	limits    Limits
+	budgetErr error
+	ctx       context.Context
+
+	// Observability counters (see Stats): charged apply-loop steps,
+	// op-cache hits/misses, and the high-water node count.
+	ops         uint64
+	cacheHits   uint64
+	cacheMisses uint64
+	peakNodes   int
 }
 
 // New returns a Manager over numVars boolean variables, ordered by index:
@@ -105,20 +121,39 @@ func (m *Manager) Size() int { return len(m.nodes) }
 // Stats reports manager health for observability: allocated nodes and
 // memoization-table sizes. Analyses that watch Nodes grow without bound
 // should start a fresh Manager (nodes are never garbage collected).
+// The cache and op counters support budget tuning: a low hit rate or an
+// Ops count near Limits.MaxOps explains a degraded (budget-limited) run.
 type Stats struct {
 	Nodes          int
 	UniqueEntries  int
 	SatFracEntries int
 	SatCntEntries  int
+	// PeakNodes is the high-water node count — with never-collected
+	// nodes it equals Nodes, but it survives intent: budget tuning reads
+	// the peak even if future managers compact.
+	PeakNodes int
+	// Ops counts charged apply-loop steps since the last SetLimits.
+	Ops uint64
+	// CacheHits and CacheMisses count op-cache consultations.
+	CacheHits   uint64
+	CacheMisses uint64
 }
 
 // Stats returns current counters.
 func (m *Manager) Stats() Stats {
+	peak := m.peakNodes
+	if n := len(m.nodes); n > peak {
+		peak = n
+	}
 	return Stats{
 		Nodes:          len(m.nodes),
 		UniqueEntries:  len(m.unique),
 		SatFracEntries: len(m.satFrac),
 		SatCntEntries:  len(m.satCount),
+		PeakNodes:      peak,
+		Ops:            m.ops,
+		CacheHits:      m.cacheHits,
+		CacheMisses:    m.cacheMisses,
 	}
 }
 
@@ -158,8 +193,12 @@ func (m *Manager) mk(level uint32, low, high Node) Node {
 }
 
 func (m *Manager) insert(key uint64, level uint32, low, high Node) Node {
+	m.chargeNode()
 	n := Node(len(m.nodes))
 	m.nodes = append(m.nodes, node{level: level, low: low, high: high})
+	if len(m.nodes) > m.peakNodes {
+		m.peakNodes = len(m.nodes)
+	}
 	m.unique[key] = n
 	return n
 }
@@ -192,12 +231,16 @@ func (m *Manager) NVar(v int) Node {
 	return m.mk(uint32(v), True, False)
 }
 
-// cacheLookup consults the direct-mapped operation cache.
+// cacheLookup consults the direct-mapped operation cache. Every apply-loop
+// step passes through here, so it doubles as the budget charge point.
 func (m *Manager) cacheLookup(op uint32, a, b, c Node) (Node, bool) {
+	m.chargeOp()
 	slot := &m.cache[mix(uint64(op), uint64(uint32(a)), mix(uint64(uint32(b)), uint64(uint32(c)), 0))&(defaultCacheSize-1)]
 	if slot.op == op && slot.a == a && slot.b == b && slot.c == c {
+		m.cacheHits++
 		return slot.result, true
 	}
+	m.cacheMisses++
 	return 0, false
 }
 

@@ -251,7 +251,13 @@ func (c *Client) ResetTrace(ctx context.Context) error {
 }
 
 // Run asks the server to run built-in suites (POST /run?suite=...),
-// accumulating their coverage into the server trace.
+// accumulating their coverage into the server trace. A returned result
+// can be errored (Errored true, Error set) rather than pass/fail when
+// that test panicked or blew a resource budget server-side; the rest of
+// the suite still ran. A run the server aborted wholesale (client
+// disconnect or its -run-timeout) answers 503, which the retry policy
+// treats as transient — lower RetryPolicy.MaxAttempts if re-running a
+// deterministically slow suite is undesirable.
 func (c *Client) Run(ctx context.Context, suites ...string) ([]service.RunResult, error) {
 	var out []service.RunResult
 	path := "/run?suite=" + url.QueryEscape(strings.Join(suites, ","))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"net/netip"
@@ -485,7 +486,7 @@ func TestPathCoverageStreaming(t *testing.T) {
 
 	// Empty trace: path coverage 0, but paths exist.
 	c0 := NewCoverage(n, NewTrace())
-	res := PathCoverage(c0, nil, dataplane.EnumOpts{}, Fractional)
+	res := PathCoverage(context.Background(), c0, nil, dataplane.EnumOpts{}, Fractional)
 	if !res.Complete || res.Paths == 0 {
 		t.Fatalf("path enumeration: %+v", res)
 	}
@@ -505,7 +506,7 @@ func TestPathCoverageStreaming(t *testing.T) {
 		}
 	}
 	c := NewCoverage(n, tr)
-	res2 := PathCoverage(c, nil, dataplane.EnumOpts{}, Fractional)
+	res2 := PathCoverage(context.Background(), c, nil, dataplane.EnumOpts{}, Fractional)
 	if res2.Value <= res.Value {
 		t.Errorf("path coverage did not improve: %v", res2.Value)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"yardstick/internal/dataplane"
 	"yardstick/internal/hdr"
 	"yardstick/internal/netmodel"
@@ -321,7 +323,7 @@ func FlowSpec(net *netmodel.Network, start dataplane.Loc, flow hdr.Set) Spec {
 		Measure: PathMeasure,
 		Combine: CombineWeightedMean,
 	}
-	dataplane.EnumeratePaths(net,
+	dataplane.EnumeratePaths(context.Background(), net,
 		[]dataplane.Start{{Loc: start, Pkts: flow}},
 		dataplane.EnumOpts{},
 		func(p dataplane.Path) bool {
@@ -351,7 +353,7 @@ func CoFlowSpec(net *netmodel.Network, flows []Flow) Spec {
 	}
 	for _, f := range flows {
 		flow := f
-		dataplane.EnumeratePaths(net,
+		dataplane.EnumeratePaths(context.Background(), net,
 			[]dataplane.Start{{Loc: flow.Start, Pkts: flow.Pkts}},
 			dataplane.EnumOpts{},
 			func(p dataplane.Path) bool {

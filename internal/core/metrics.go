@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"yardstick/internal/dataplane"
 	"yardstick/internal/hdr"
 	"yardstick/internal/netmodel"
@@ -102,13 +104,14 @@ type PathCoverageResult struct {
 // PathCoverage enumerates the path universe from the given starts
 // (EdgeStarts when nil) and aggregates Equation-3 coverage per path,
 // streaming — paths are never materialized (§5.2 Step 3). Each path's
-// weight is the size of its guard.
-func PathCoverage(c *Coverage, starts []dataplane.Start, opts dataplane.EnumOpts, kind AggKind) PathCoverageResult {
+// weight is the size of its guard. Cancelling ctx stops enumeration;
+// the result then carries the partial aggregate with Complete=false.
+func PathCoverage(ctx context.Context, c *Coverage, starts []dataplane.Start, opts dataplane.EnumOpts, kind AggKind) PathCoverageResult {
 	if starts == nil {
 		starts = dataplane.EdgeStarts(c.Net)
 	}
 	acc := NewAccum(kind)
-	n, complete := dataplane.EnumeratePaths(c.Net, starts, opts, func(p dataplane.Path) bool {
+	n, complete := dataplane.EnumeratePaths(ctx, c.Net, starts, opts, func(p dataplane.Path) bool {
 		v := PathMeasure(c, GuardedString{Rules: p.Rules})
 		acc.Add(clamp01(v), p.Guard.Fraction())
 		return true

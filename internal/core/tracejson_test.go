@@ -102,6 +102,69 @@ func TestDecodeTraceJSONErrors(t *testing.T) {
 	}
 }
 
+// FuzzTraceRoundTrip checks the encode/decode pair is a fixed point:
+// any input the decoder accepts must re-encode to a form that decodes
+// to the same trace and the same encoding (decode∘encode = identity on
+// decoder-accepted traces). FuzzDecodeTraceJSON below only checks the
+// decoder doesn't crash or produce an unusable trace; this target pins
+// the semantics cross-run accumulation (TestTraceJSONAccumulatesAcrossRuns)
+// depends on: a snapshot survives arbitrarily many store/load cycles
+// unchanged.
+func FuzzTraceRoundTrip(f *testing.F) {
+	cn := buildChain(f)
+	sp := cn.n.Space
+	tr := NewTrace()
+	tr.MarkPacket(dataplane.Injected(cn.d1), sp.DstPrefix(pfx(f, "10.0.0.0/9")).Union(sp.DstPrefix(pfx(f, "192.168.0.0/16"))))
+	tr.MarkPacket(cn.loc1Peer, sp.DstPrefix(pfx(f, "10.0.0.0/16")).Intersect(sp.Proto(6)))
+	tr.MarkRule(cn.r2)
+	var seed bytes.Buffer
+	tr.EncodeJSON(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"packets":[],"rules":[]}`))
+	f.Add([]byte(`{"packets":[{"device":0,"iface":-1,"cubes":[]}],"rules":[0]}`))
+	f.Add([]byte(`{"packets":[{"device":0,"iface":-1,"cubes":["` + strings.Repeat("-", 104) + `"]}],"rules":[]}`))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tr1, err := DecodeTraceJSON(cn.n, bytes.NewReader(in))
+		if err != nil {
+			return // decoder rejected the input; nothing to round-trip
+		}
+		var enc1 bytes.Buffer
+		if err := tr1.EncodeJSON(&enc1); err != nil {
+			t.Fatalf("encode of decoded trace failed: %v", err)
+		}
+		tr2, err := DecodeTraceJSON(cn.n, bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("decoder rejected its own encoder's output: %v\n%s", err, enc1.String())
+		}
+		// Same packet sets everywhere the decoded traces touched, same
+		// rule marks.
+		locs := map[dataplane.Loc]bool{}
+		for _, trc := range []*Trace{tr1, tr2} {
+			for _, loc := range trc.Locations() {
+				locs[loc] = true
+			}
+		}
+		for loc := range locs {
+			if !tr1.PacketsAt(sp, loc).Equal(tr2.PacketsAt(sp, loc)) {
+				t.Fatalf("packets at %+v differ after round trip", loc)
+			}
+		}
+		for _, r := range cn.n.Rules {
+			if tr1.RuleMarked(r.ID) != tr2.RuleMarked(r.ID) {
+				t.Fatalf("rule %d mark differs after round trip", r.ID)
+			}
+		}
+		// And the encoding itself is a fixed point.
+		var enc2 bytes.Buffer
+		if err := tr2.EncodeJSON(&enc2); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if enc1.String() != enc2.String() {
+			t.Fatalf("encoding is not a fixed point:\n%s\nvs\n%s", enc1.String(), enc2.String())
+		}
+	})
+}
+
 func FuzzDecodeTraceJSON(f *testing.F) {
 	cn := buildChain(f)
 	tr := NewTrace()

@@ -10,6 +10,7 @@
 package dataplane
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 
@@ -448,7 +449,11 @@ type EnumOpts struct {
 // are processed streaming via visit — they are never all materialized.
 // visit returning false stops enumeration. The return values are the
 // number of paths emitted and whether enumeration ran to completion.
-func EnumeratePaths(net *netmodel.Network, starts []Start, opts EnumOpts, visit func(Path) bool) (int, bool) {
+//
+// The context is checked in the walk loop alongside the MaxPaths cap: a
+// done ctx stops the exploration and reports incompleteness the same
+// way an exhausted path budget does.
+func EnumeratePaths(ctx context.Context, net *netmodel.Network, starts []Start, opts EnumOpts, visit func(Path) bool) (int, bool) {
 	if !net.MatchSetsComputed() {
 		panic("dataplane: match sets not computed")
 	}
@@ -475,6 +480,10 @@ func EnumeratePaths(net *netmodel.Network, starts []Start, opts EnumOpts, visit 
 
 	var dfs func(start Loc, loc Loc, pkts hdr.Set) bool
 	dfs = func(start Loc, loc Loc, pkts hdr.Set) bool {
+		if ctx.Err() != nil {
+			stopped = true
+			return false
+		}
 		if onPath[loc.Device] {
 			return emit(start, pkts, PathLoop)
 		}
@@ -527,6 +536,9 @@ func EnumeratePaths(net *netmodel.Network, starts []Start, opts EnumOpts, visit 
 	}
 
 	for _, st := range starts {
+		if ctx.Err() != nil {
+			return emitted, false
+		}
 		if st.Pkts.IsEmpty() {
 			continue
 		}

@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 
@@ -325,7 +326,7 @@ func TestEnumeratePathsSmall(t *testing.T) {
 
 	starts := []Start{{Loc: Injected(d), Pkts: n.Space.Full()}}
 	var paths []Path
-	count, complete := EnumeratePaths(n, starts, EnumOpts{}, func(p Path) bool {
+	count, complete := EnumeratePaths(context.Background(), n, starts, EnumOpts{}, func(p Path) bool {
 		paths = append(paths, p)
 		return true
 	})
@@ -354,7 +355,7 @@ func TestEnumeratePathsExampleGuards(t *testing.T) {
 	pkts := n.Space.DstPrefix(ex.LeafPrefix[dst])
 	starts := []Start{{Loc: Injected(ex.Leaves[0]), Pkts: pkts}}
 	got := 0
-	EnumeratePaths(n, starts, EnumOpts{}, func(p Path) bool {
+	EnumeratePaths(context.Background(), n, starts, EnumOpts{}, func(p Path) bool {
 		if p.End == PathEgressed {
 			got++
 			if len(p.Rules) != 3 {
@@ -376,7 +377,7 @@ func TestEnumeratePathsMaxPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	count, complete := EnumeratePaths(ex.Net, EdgeStarts(ex.Net), EnumOpts{MaxPaths: 5}, func(p Path) bool {
+	count, complete := EnumeratePaths(context.Background(), ex.Net, EdgeStarts(ex.Net), EnumOpts{MaxPaths: 5}, func(p Path) bool {
 		return true
 	})
 	if complete || count != 5 {
@@ -443,7 +444,7 @@ func TestReachLoopGuard(t *testing.T) {
 	}
 	// And path enumeration flags the loop.
 	loops := 0
-	EnumeratePaths(n, []Start{{Loc: Injected(a), Pkts: n.Space.Full()}}, EnumOpts{}, func(p Path) bool {
+	EnumeratePaths(context.Background(), n, []Start{{Loc: Injected(a), Pkts: n.Space.Full()}}, EnumOpts{}, func(p Path) bool {
 		if p.End == PathLoop {
 			loops++
 		}
@@ -637,7 +638,7 @@ func TestEnumeratePathsCountsStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	count := func() int {
-		n, complete := EnumeratePaths(ft.Net, EdgeStarts(ft.Net), EnumOpts{}, func(Path) bool { return true })
+		n, complete := EnumeratePaths(context.Background(), ft.Net, EdgeStarts(ft.Net), EnumOpts{}, func(Path) bool { return true })
 		if !complete {
 			t.Fatal("incomplete")
 		}
@@ -682,7 +683,7 @@ func TestImplicitACLDeny(t *testing.T) {
 	}
 
 	dropped := 0
-	EnumeratePaths(n, []Start{{Loc: Injected(d), Pkts: sp.Full()}}, EnumOpts{}, func(p Path) bool {
+	EnumeratePaths(context.Background(), n, []Start{{Loc: Injected(d), Pkts: sp.Full()}}, EnumOpts{}, func(p Path) bool {
 		if p.End == PathDropped {
 			dropped++
 		}

@@ -13,9 +13,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"yardstick/internal/bdd"
 	"yardstick/internal/core"
 	"yardstick/internal/dataplane"
 	"yardstick/internal/netmodel"
@@ -52,9 +54,9 @@ type Figure6Result struct {
 
 // Figure6 runs one suite against the case-study network and reports
 // coverage by router type (one panel of Figure 6).
-func Figure6(rg *topogen.Regional, panel string, suite testkit.Suite) Figure6Result {
+func Figure6(ctx context.Context, rg *topogen.Regional, panel string, suite testkit.Suite) Figure6Result {
 	trace := core.NewTrace()
-	results := suite.Run(rg.Net, trace)
+	results := suite.Run(ctx, rg.Net, trace)
 	cov := core.NewCoverage(rg.Net, trace)
 	out := Figure6Result{Panel: panel, Rows: report.ByRole(cov, CaseStudyRoles), Results: results}
 	for _, t := range suite {
@@ -66,12 +68,12 @@ func Figure6(rg *topogen.Regional, panel string, suite testkit.Suite) Figure6Res
 // Figure6All reproduces the four panels: (a) the original suite, (b)
 // InternalRouteCheck alone, (c) ConnectedRouteCheck alone, (d) the final
 // suite.
-func Figure6All(rg *topogen.Regional) []Figure6Result {
+func Figure6All(ctx context.Context, rg *topogen.Regional) []Figure6Result {
 	return []Figure6Result{
-		Figure6(rg, "6a", OriginalSuite()),
-		Figure6(rg, "6b", testkit.Suite{testkit.InternalRouteCheck{}}),
-		Figure6(rg, "6c", testkit.Suite{testkit.ConnectedRouteCheck{}}),
-		Figure6(rg, "6d", FinalSuite()),
+		Figure6(ctx, rg, "6a", OriginalSuite()),
+		Figure6(ctx, rg, "6b", testkit.Suite{testkit.InternalRouteCheck{}}),
+		Figure6(ctx, rg, "6c", testkit.Suite{testkit.ConnectedRouteCheck{}}),
+		Figure6(ctx, rg, "6d", FinalSuite()),
 	}
 }
 
@@ -91,7 +93,7 @@ type Figure7Result struct {
 // Figure7 reproduces the coverage-improvement iterations: the original
 // suite, then adding InternalRouteCheck, then adding ConnectedRouteCheck,
 // aggregated across all devices.
-func Figure7(rg *topogen.Regional) Figure7Result {
+func Figure7(ctx context.Context, rg *topogen.Regional) Figure7Result {
 	iterations := []struct {
 		label string
 		suite testkit.Suite
@@ -103,7 +105,7 @@ func Figure7(rg *topogen.Regional) Figure7Result {
 	var out Figure7Result
 	for _, it := range iterations {
 		trace := core.NewTrace()
-		it.suite.Run(rg.Net, trace)
+		it.suite.Run(ctx, rg.Net, trace)
 		cov := core.NewCoverage(rg.Net, trace)
 		out.Rows = append(out.Rows, Figure7Row{Label: it.label, Metrics: report.Total(cov, it.label)})
 	}
@@ -137,28 +139,41 @@ type Figure8Row struct {
 // untracked warm-up run (so the shared BDD caches don't bias whichever
 // variant runs second) and each variant is measured as the minimum of
 // three repetitions.
-func Figure8(ks []int) ([]Figure8Row, error) {
+func Figure8(ctx context.Context, ks []int) ([]Figure8Row, error) {
 	var out []Figure8Row
 	for _, k := range ks {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		ft, err := topogen.BuildFatTree(k)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		for _, test := range Figure8Tests() {
-			test.Run(ft.Net, core.Nop{}) // warm up caches
-			base := timeIt(func() { test.Run(ft.Net, core.Nop{}) })
-			tracked := timeIt(func() {
-				trace := core.NewTrace()
-				test.Run(ft.Net, trace)
-			})
-			overhead := 0.0
-			if base > 0 {
-				overhead = float64(tracked-base) / float64(base)
+		// The measurement phase is symbolic and grows steeply with k, so
+		// it runs under the engine's watched context: cancellation aborts
+		// mid-test instead of waiting out the whole sweep point.
+		restore := ft.Net.Space.WatchContext(ctx)
+		gerr := bdd.Guard(func() {
+			for _, test := range Figure8Tests() {
+				test.Run(ft.Net, core.Nop{}) // warm up caches
+				base := timeIt(func() { test.Run(ft.Net, core.Nop{}) })
+				tracked := timeIt(func() {
+					trace := core.NewTrace()
+					test.Run(ft.Net, trace)
+				})
+				overhead := 0.0
+				if base > 0 {
+					overhead = float64(tracked-base) / float64(base)
+				}
+				out = append(out, Figure8Row{
+					K: k, Routers: topogen.FatTreeSize(k), Test: test.Name(),
+					Baseline: base, Tracked: tracked, Overhead: overhead,
+				})
 			}
-			out = append(out, Figure8Row{
-				K: k, Routers: topogen.FatTreeSize(k), Test: test.Name(),
-				Baseline: base, Tracked: tracked, Overhead: overhead,
-			})
+		})
+		restore()
+		if gerr != nil {
+			return out, gerr
 		}
 	}
 	return out, nil
@@ -201,41 +216,55 @@ type Figure9Opts struct {
 // realistic trace: the full Figure 8 test battery runs first (tracked),
 // then each metric is computed on its own coverage instance so per-metric
 // timings include the shared match-set/covered-set work, as in the paper.
-func Figure9(ks []int, opts Figure9Opts) ([]Figure9Row, error) {
+func Figure9(ctx context.Context, ks []int, opts Figure9Opts) ([]Figure9Row, error) {
 	var out []Figure9Row
 	for _, k := range ks {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		ft, err := topogen.BuildFatTree(k)
 		if err != nil {
-			return nil, err
-		}
-		trace := core.NewTrace()
-		for _, test := range Figure8Tests() {
-			test.Run(ft.Net, trace)
+			return out, err
 		}
 		routers := topogen.FatTreeSize(k)
+		// Trace construction and the non-path metrics are symbolic work
+		// with no internal budget hooks; the watched context makes them
+		// cancellable mid-computation (the path metric additionally
+		// observes ctx through EnumeratePaths).
+		restore := ft.Net.Space.WatchContext(ctx)
+		gerr := bdd.Guard(func() {
+			trace := core.NewTrace()
+			for _, test := range Figure8Tests() {
+				test.Run(ft.Net, trace)
+			}
 
-		cov := core.NewCoverage(ft.Net, trace)
-		d := timeIt(func() { core.DeviceCoverage(cov, nil, core.Fractional) })
-		out = append(out, Figure9Row{K: k, Routers: routers, Metric: "device", Duration: d, Complete: true})
+			cov := core.NewCoverage(ft.Net, trace)
+			d := timeIt(func() { core.DeviceCoverage(cov, nil, core.Fractional) })
+			out = append(out, Figure9Row{K: k, Routers: routers, Metric: "device", Duration: d, Complete: true})
 
-		cov = core.NewCoverage(ft.Net, trace)
-		d = timeIt(func() { core.InterfaceCoverage(cov, nil, core.Fractional) })
-		out = append(out, Figure9Row{K: k, Routers: routers, Metric: "interface", Duration: d, Complete: true})
-
-		cov = core.NewCoverage(ft.Net, trace)
-		d = timeIt(func() { core.RuleCoverage(cov, nil, core.Fractional) })
-		out = append(out, Figure9Row{K: k, Routers: routers, Metric: "rule", Duration: d, Complete: true})
-
-		if !opts.SkipPaths {
 			cov = core.NewCoverage(ft.Net, trace)
-			var res core.PathCoverageResult
-			d = timeIt(func() {
-				res = core.PathCoverage(cov, nil, dataplane.EnumOpts{MaxPaths: opts.PathBudget}, core.Fractional)
-			})
-			out = append(out, Figure9Row{
-				K: k, Routers: routers, Metric: "path", Duration: d,
-				Paths: res.Paths, Complete: res.Complete,
-			})
+			d = timeIt(func() { core.InterfaceCoverage(cov, nil, core.Fractional) })
+			out = append(out, Figure9Row{K: k, Routers: routers, Metric: "interface", Duration: d, Complete: true})
+
+			cov = core.NewCoverage(ft.Net, trace)
+			d = timeIt(func() { core.RuleCoverage(cov, nil, core.Fractional) })
+			out = append(out, Figure9Row{K: k, Routers: routers, Metric: "rule", Duration: d, Complete: true})
+
+			if !opts.SkipPaths {
+				cov = core.NewCoverage(ft.Net, trace)
+				var res core.PathCoverageResult
+				d = timeIt(func() {
+					res = core.PathCoverage(ctx, cov, nil, dataplane.EnumOpts{MaxPaths: opts.PathBudget}, core.Fractional)
+				})
+				out = append(out, Figure9Row{
+					K: k, Routers: routers, Metric: "path", Duration: d,
+					Paths: res.Paths, Complete: res.Complete,
+				})
+			}
+		})
+		restore()
+		if gerr != nil {
+			return out, gerr
 		}
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"yardstick/internal/topogen"
@@ -19,7 +20,7 @@ func regional(t *testing.T) *topogen.Regional {
 // panel on the synthetic case-study network.
 func TestFigure6Shapes(t *testing.T) {
 	rg := regional(t)
-	panels := Figure6All(rg)
+	panels := Figure6All(context.Background(), rg)
 	if len(panels) != 4 {
 		t.Fatalf("panels = %d", len(panels))
 	}
@@ -131,7 +132,7 @@ func TestFigure6Shapes(t *testing.T) {
 
 func TestFigure7Improvement(t *testing.T) {
 	rg := regional(t)
-	res := Figure7(rg)
+	res := Figure7(context.Background(), rg)
 	if len(res.Rows) != 3 {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
@@ -154,7 +155,7 @@ func TestFigure7Improvement(t *testing.T) {
 }
 
 func TestFigure8SmallSweep(t *testing.T) {
-	rows, err := Figure8([]int{4})
+	rows, err := Figure8(context.Background(), []int{4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestFigure8SmallSweep(t *testing.T) {
 }
 
 func TestFigure9SmallSweep(t *testing.T) {
-	rows, err := Figure9([]int{4}, Figure9Opts{PathBudget: 2000})
+	rows, err := Figure9(context.Background(), []int{4}, Figure9Opts{PathBudget: 2000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestFigure9SmallSweep(t *testing.T) {
 		t.Error("empty render")
 	}
 	// SkipPaths drops the path row.
-	rows, err = Figure9([]int{4}, Figure9Opts{SkipPaths: true})
+	rows, err = Figure9(context.Background(), []int{4}, Figure9Opts{SkipPaths: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestFigure9SmallSweep(t *testing.T) {
 
 func TestMutationStudyCorrelation(t *testing.T) {
 	rg := regional(t)
-	res, err := MutationStudy(rg, 30, 7)
+	res, err := MutationStudy(context.Background(), rg, 30, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestFigure6dPaperExactToRInterfaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	panel := Figure6(rg, "6d", FinalSuite())
+	panel := Figure6(context.Background(), rg, "6d", FinalSuite())
 	for _, row := range panel.Rows {
 		if row.Label == "tor" {
 			if row.IfaceFractional != 0.25 {

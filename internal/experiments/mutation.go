@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -30,7 +31,7 @@ type MutationResult struct {
 // network, and each suite (original §7.2, final §7.3, extended with the
 // future-work tests) reports whether it caught the fault. Detection
 // counts should order exactly like the suites' rule coverage.
-func MutationStudy(rg *topogen.Regional, n int, seed int64) (*MutationResult, error) {
+func MutationStudy(ctx context.Context, rg *topogen.Regional, n int, seed int64) (*MutationResult, error) {
 	suites := []struct {
 		name  string
 		suite testkit.Suite
@@ -48,7 +49,7 @@ func MutationStudy(rg *topogen.Regional, n int, seed int64) (*MutationResult, er
 	for i, s := range suites {
 		suite := s.suite
 		detectors[i] = func() bool {
-			for _, r := range suite.Run(rg.Net, core.Nop{}) {
+			for _, r := range suite.Run(ctx, rg.Net, core.Nop{}) {
 				if !r.Pass() {
 					return true
 				}
@@ -57,7 +58,7 @@ func MutationStudy(rg *topogen.Regional, n int, seed int64) (*MutationResult, er
 		}
 		// Coverage on the clean network, for the correlation column.
 		trace := core.NewTrace()
-		suite.Run(rg.Net, trace)
+		suite.Run(ctx, rg.Net, trace)
 		cov := core.NewCoverage(rg.Net, trace)
 		res.Rows = append(res.Rows, MutationRow{
 			Suite:        s.name,

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -96,7 +97,7 @@ func TestCampaignCoverageCorrelation(t *testing.T) {
 
 	fails := func(s testkit.Suite) func() bool {
 		return func() bool {
-			for _, res := range s.Run(net, core.Nop{}) {
+			for _, res := range s.Run(context.Background(), net, core.Nop{}) {
 				if !res.Pass() {
 					return true
 				}
@@ -140,7 +141,7 @@ func TestCampaignLeavesNetworkClean(t *testing.T) {
 	if _, err := Run(net, rng, 10, nil, func() bool { return false }); err != nil {
 		t.Fatal(err)
 	}
-	for _, res := range suite.Run(net, core.Nop{}) {
+	for _, res := range suite.Run(context.Background(), net, core.Nop{}) {
 		if !res.Pass() {
 			t.Errorf("%s fails after campaign: network not clean", res.Name)
 		}
@@ -179,7 +180,7 @@ func TestDetectionRequiresCoverage(t *testing.T) {
 		t.Fatal(err)
 	}
 	detected := false
-	for _, res := range suite.Run(net, core.Nop{}) {
+	for _, res := range suite.Run(context.Background(), net, core.Nop{}) {
 		if !res.Pass() {
 			detected = true
 		}
@@ -195,7 +196,7 @@ func TestDetectionRequiresCoverage(t *testing.T) {
 		t.Fatal(err)
 	}
 	detected = false
-	for _, res := range suite.Run(net, core.Nop{}) {
+	for _, res := range suite.Run(context.Background(), net, core.Nop{}) {
 		if !res.Pass() {
 			detected = true
 		}

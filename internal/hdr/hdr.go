@@ -16,6 +16,7 @@
 package hdr
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"net/netip"
@@ -125,6 +126,27 @@ func (s *Space) IPBits() int { return s.ipBits }
 // Manager exposes the underlying BDD manager (used by tests and internal
 // packages that need raw node operations).
 func (s *Space) Manager() *bdd.Manager { return s.m }
+
+// SetLimits installs resource budgets on the space's BDD manager and
+// clears any previously tripped budget. Set operations that exhaust a
+// budget raise a typed panic recovered by bdd.Guard — wrap evaluation
+// phases in Guard to turn exhaustion into an ErrBudgetExceeded error.
+func (s *Space) SetLimits(l bdd.Limits) { s.m.SetLimits(l) }
+
+// WatchContext makes the space's set operations observe ctx, aborting
+// in-flight symbolic work shortly after cancellation (recovered by
+// bdd.Guard as an error wrapping ctx.Err()). It returns a restore
+// function; use it as
+//
+//	defer space.WatchContext(ctx)()
+func (s *Space) WatchContext(ctx context.Context) (restore func()) {
+	return s.m.WatchContext(ctx)
+}
+
+// EngineStats reports the underlying BDD manager's counters (node
+// counts, op-cache hit/miss, charged ops) for budget tuning and
+// degradation diagnosis.
+func (s *Space) EngineStats() bdd.Stats { return s.m.Stats() }
 
 // Set is a set of packet headers within a Space.
 type Set struct {

@@ -10,11 +10,17 @@
 // configuration, and a test suite. It reports test results, coverage,
 // per-device coverage regressions against the pre-change snapshot, and
 // the path-universe drift guard of §5.2.
+//
+// Run degrades rather than crashes: cancellation, per-test panics, and
+// BDD resource budgets (Config.Limits) each produce a structured partial
+// Result. See the Verdict values TestsErrored and Incomplete.
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
+	"yardstick/internal/bdd"
 	"yardstick/internal/core"
 	"yardstick/internal/dataplane"
 	"yardstick/internal/netmodel"
@@ -34,6 +40,10 @@ const (
 	Safe Verdict = iota
 	// TestsFailed: at least one test failed on the post-change state.
 	TestsFailed
+	// TestsErrored: no test failed, but at least one terminated
+	// abnormally (panic, budget, cancellation) — its assertions never
+	// finished, so the run vouches for less than the suite promises.
+	TestsErrored
 	// CoverageRegressed: tests pass but the suite now exercises less of
 	// the network than before — the verdict is weaker than it looks.
 	CoverageRegressed
@@ -41,6 +51,10 @@ const (
 	// dramatically; the network's structure may have changed in ways
 	// the suite does not see.
 	UniverseDrifted
+	// Incomplete: the evaluation itself was cut short (cancelled, or a
+	// resource budget tripped outside any single test); the Result
+	// holds whatever phases finished, and Run also returns the error.
+	Incomplete
 )
 
 func (v Verdict) String() string {
@@ -49,10 +63,14 @@ func (v Verdict) String() string {
 		return "safe"
 	case TestsFailed:
 		return "tests-failed"
+	case TestsErrored:
+		return "tests-errored"
 	case CoverageRegressed:
 		return "coverage-regressed"
 	case UniverseDrifted:
 		return "path-universe-drifted"
+	case Incomplete:
+		return "incomplete"
 	}
 	return "unknown"
 }
@@ -78,13 +96,20 @@ type Config struct {
 	SkipPathUniverse bool
 	// PathBudget caps path enumeration (0 = unlimited).
 	PathBudget int
+	// Limits bounds the BDD engine for each evaluated state (the zero
+	// value is unlimited). A tripped budget surfaces as an error
+	// wrapping bdd.ErrBudgetExceeded with verdict Incomplete.
+	Limits bdd.Limits
 }
 
-// Result is a complete change-evaluation report.
+// Result is a change-evaluation report. On error it is still returned
+// with whatever phases completed — partial results are the point of the
+// degradation model.
 type Result struct {
 	Verdict Verdict
 
-	// Results are the post-change test outcomes.
+	// Results are the post-change test outcomes (pass, fail, or
+	// errored — see testkit.Result.Status).
 	Results []testkit.Result
 	// BeforeCoverage and AfterCoverage are the headline metrics of the
 	// suite on each state.
@@ -94,15 +119,27 @@ type Result struct {
 	Regressions []report.Regression
 	// PathsBefore/PathsAfter are path-universe sizes (0 when skipped).
 	PathsBefore, PathsAfter int
+	// PathsTruncated reports that PathBudget (or cancellation) clipped
+	// enumeration on at least one side. Truncated counts make the drift
+	// ratio meaningless, so the drift guard is suppressed and DriftNote
+	// says why.
+	PathsTruncated bool
 	// Drift is the relative path-universe change.
 	Drift        float64
 	DriftFlagged bool
+	// DriftNote explains a suppressed or disabled drift guard ("" when
+	// the guard ran normally).
+	DriftNote string
 }
 
-// Run evaluates a change.
-func Run(cfg Config) (*Result, error) {
+// Run evaluates a change. The context is honored between phases and —
+// through the BDD engine's watched context — inside symbolic work: a
+// cancelled ctx makes Run return promptly with ctx.Err() and a partial
+// Result (never nil) whose verdict is Incomplete.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	res := &Result{Verdict: Incomplete}
 	if cfg.Before == nil || cfg.After == nil {
-		return nil, fmt.Errorf("pipeline: Before and After builders are required")
+		return res, fmt.Errorf("pipeline: Before and After builders are required")
 	}
 	if cfg.RegressionEpsilon == 0 {
 		cfg.RegressionEpsilon = 0.01
@@ -110,54 +147,85 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.DriftThreshold == 0 {
 		cfg.DriftThreshold = 0.2
 	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
-	evaluate := func(build func() (*netmodel.Network, error)) (*netmodel.Network, []testkit.Result, *report.Snapshot, error) {
+	evaluate := func(build func() (*netmodel.Network, error)) ([]testkit.Result, *report.Snapshot, bool, error) {
 		net, err := build()
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, false, err
 		}
 		if !net.MatchSetsComputed() {
 			net.ComputeMatchSets()
 		}
-		trace := core.NewTrace()
-		results := cfg.Suite.Run(net, trace)
-		cov := core.NewCoverage(net, trace)
-		snap := report.TakeSnapshot(cov)
-		if !cfg.SkipPathUniverse {
-			n, _ := dataplane.EnumeratePaths(net, dataplane.EdgeStarts(net),
-				dataplane.EnumOpts{MaxPaths: cfg.PathBudget}, func(dataplane.Path) bool { return true })
-			snap.PathUniverse = n
+		// Budgets and cancellation apply from here on: the network is
+		// built (its match sets are the baseline node population), and
+		// everything after this point is evaluation work. bdd.Guard is
+		// the hdr/core recovery boundary — a budget blown anywhere in
+		// the guarded phase unwinds to here as a typed error.
+		net.Space.SetLimits(cfg.Limits)
+		defer net.Space.WatchContext(ctx)()
+		var (
+			results   []testkit.Result
+			snap      *report.Snapshot
+			truncated bool
+		)
+		gerr := bdd.Guard(func() {
+			trace := core.NewTrace()
+			results = cfg.Suite.Run(ctx, net, trace)
+			cov := core.NewCoverage(net, trace)
+			snap = report.TakeSnapshot(cov)
+			if !cfg.SkipPathUniverse {
+				n, complete := dataplane.EnumeratePaths(ctx, net, dataplane.EdgeStarts(net),
+					dataplane.EnumOpts{MaxPaths: cfg.PathBudget}, func(dataplane.Path) bool { return true })
+				snap.PathUniverse = n
+				truncated = !complete
+			}
+		})
+		if gerr == nil {
+			gerr = ctx.Err()
 		}
-		return net, results, snap, nil
+		return results, snap, truncated, gerr
 	}
 
-	_, _, beforeSnap, err := evaluate(cfg.Before)
+	_, beforeSnap, beforeTrunc, err := evaluate(cfg.Before)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: before state: %w", err)
+		return res, fmt.Errorf("pipeline: before state: %w", err)
 	}
-	_, afterResults, afterSnap, err := evaluate(cfg.After)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: after state: %w", err)
-	}
+	res.BeforeCoverage = beforeSnap.Total
+	res.PathsBefore = beforeSnap.PathUniverse
 
-	res := &Result{
-		Results:        afterResults,
-		BeforeCoverage: beforeSnap.Total,
-		AfterCoverage:  afterSnap.Total,
-		Regressions:    report.CompareSnapshots(beforeSnap, afterSnap, cfg.RegressionEpsilon),
-		PathsBefore:    beforeSnap.PathUniverse,
-		PathsAfter:     afterSnap.PathUniverse,
+	afterResults, afterSnap, afterTrunc, err := evaluate(cfg.After)
+	res.Results = afterResults
+	if err != nil {
+		return res, fmt.Errorf("pipeline: after state: %w", err)
 	}
+	res.AfterCoverage = afterSnap.Total
+	res.Regressions = report.CompareSnapshots(beforeSnap, afterSnap, cfg.RegressionEpsilon)
+	res.PathsAfter = afterSnap.PathUniverse
+	res.PathsTruncated = beforeTrunc || afterTrunc
+
 	if !cfg.SkipPathUniverse {
 		res.Drift, res.DriftFlagged = report.PathUniverseDrift(beforeSnap.PathUniverse, afterSnap.PathUniverse, cfg.DriftThreshold)
-		if cfg.DriftThreshold < 0 { // guard disabled: report drift, never flag
+		switch {
+		case cfg.DriftThreshold < 0: // guard disabled: report drift, never flag
 			res.DriftFlagged = false
+			res.DriftNote = "drift guard disabled by configuration"
+		case res.PathsTruncated:
+			// Clipped counts make the ratio meaningless: a real universe
+			// change could hide entirely inside the truncated tail, so
+			// the §5.2 guard cannot clear the change either way.
+			res.DriftFlagged = false
+			res.DriftNote = "drift guard suppressed: path enumeration truncated by budget"
 		}
 	}
 
 	switch {
 	case anyFailed(afterResults):
 		res.Verdict = TestsFailed
+	case anyErrored(afterResults):
+		res.Verdict = TestsErrored
 	case len(res.Regressions) > 0:
 		res.Verdict = CoverageRegressed
 	case res.DriftFlagged:
@@ -170,7 +238,16 @@ func Run(cfg Config) (*Result, error) {
 
 func anyFailed(results []testkit.Result) bool {
 	for _, r := range results {
-		if !r.Pass() {
+		if len(r.Failures) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func anyErrored(results []testkit.Result) bool {
+	for _, r := range results {
+		if r.Errored() {
 			return true
 		}
 	}

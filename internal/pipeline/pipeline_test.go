@@ -1,8 +1,13 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
+	"yardstick/internal/bdd"
+	"yardstick/internal/core"
 	"yardstick/internal/netmodel"
 	"yardstick/internal/testkit"
 	"yardstick/internal/topogen"
@@ -38,7 +43,7 @@ func suite() testkit.Suite {
 
 func TestNoChangeIsSafe(t *testing.T) {
 	opts := topogen.RegionalOpts{DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2, SpinesPerDC: 2, Hubs: 2, WANHubs: 1}
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Before: regionalBuilder(opts),
 		After:  regionalBuilder(opts),
 		Suite:  suite(),
@@ -60,7 +65,7 @@ func TestNoChangeIsSafe(t *testing.T) {
 func TestBadChangeFailsTests(t *testing.T) {
 	// The change introduces B2's null-routed default: DefaultRouteCheck
 	// fails on the post-change state.
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Before: exampleBuilder(topogen.ExampleOpts{}),
 		After:  exampleBuilder(topogen.ExampleOpts{BugNullRoute: true}),
 		Suite:  testkit.Suite{testkit.DefaultRouteCheck{}},
@@ -79,7 +84,7 @@ func TestSilentChangeFlaggedByDrift(t *testing.T) {
 	// to it. The path-universe guard flags that the network's behavior
 	// changed: the default-route paths through B2 disappear.
 	blindSuite := testkit.Suite{testkit.ConnectedRouteCheck{}}
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Before:         exampleBuilder(topogen.ExampleOpts{}),
 		After:          exampleBuilder(topogen.ExampleOpts{BugNullRoute: true}),
 		Suite:          blindSuite,
@@ -101,7 +106,7 @@ func TestNegativeDriftThresholdDisablesGuard(t *testing.T) {
 	// The same silent change, but with the guard explicitly disabled:
 	// drift is still reported, never flagged.
 	blindSuite := testkit.Suite{testkit.ConnectedRouteCheck{}}
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Before:         exampleBuilder(topogen.ExampleOpts{}),
 		After:          exampleBuilder(topogen.ExampleOpts{BugNullRoute: true}),
 		Suite:          blindSuite,
@@ -134,7 +139,7 @@ func TestTopologyGrowthRegressesCoverage(t *testing.T) {
 	before := topogen.RegionalOpts{DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2, SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 2}
 	after := before
 	after.WANPrefixes = 64
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Before:           regionalBuilder(before),
 		After:            regionalBuilder(after),
 		Suite:            suite(),
@@ -155,10 +160,10 @@ func TestTopologyGrowthRegressesCoverage(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := Run(Config{}); err == nil {
+	if _, err := Run(context.Background(), Config{}); err == nil {
 		t.Error("missing builders should error")
 	}
-	if _, err := Run(Config{
+	if _, err := Run(context.Background(), Config{
 		Before: func() (*netmodel.Network, error) { return nil, errBoom },
 		After:  regionalBuilder(topogen.RegionalOpts{}),
 	}); err == nil {
@@ -173,9 +178,154 @@ type buildError struct{}
 func (*buildError) Error() string { return "boom" }
 
 func TestVerdictStrings(t *testing.T) {
-	for _, v := range []Verdict{Safe, TestsFailed, CoverageRegressed, UniverseDrifted} {
+	for _, v := range []Verdict{Safe, TestsFailed, TestsErrored, CoverageRegressed, UniverseDrifted, Incomplete} {
 		if v.String() == "unknown" {
 			t.Errorf("verdict %d has no name", v)
 		}
 	}
+}
+
+func smallOpts() topogen.RegionalOpts {
+	return topogen.RegionalOpts{DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2, SpinesPerDC: 2, Hubs: 2, WANHubs: 1}
+}
+
+func TestCancelledContextReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := Run(ctx, Config{
+		Before: regionalBuilder(smallOpts()),
+		After:  regionalBuilder(smallOpts()),
+		Suite:  suite(),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("partial result must never be nil")
+	}
+	if res.Verdict != Incomplete {
+		t.Errorf("verdict = %v, want incomplete", res.Verdict)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled run took %v, want prompt return", elapsed)
+	}
+}
+
+func TestCancellationMidRunYieldsPartialResult(t *testing.T) {
+	// Cancel during the after phase: the before phase's numbers are
+	// already recorded on the partial result.
+	ctx, cancel := context.WithCancel(context.Background())
+	afterBuilder := func() (*netmodel.Network, error) {
+		cancel() // fires when the after phase starts building
+		return regionalBuilder(smallOpts())()
+	}
+	res, err := Run(ctx, Config{
+		Before: regionalBuilder(smallOpts()),
+		After:  afterBuilder,
+		Suite:  suite(),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Verdict != Incomplete {
+		t.Errorf("verdict = %v, want incomplete", res.Verdict)
+	}
+	if res.PathsBefore == 0 {
+		t.Error("before phase completed; its path count belongs on the partial result")
+	}
+}
+
+func TestPanickingTestYieldsTestsErrored(t *testing.T) {
+	panicking := panicTest{}
+	res, err := Run(context.Background(), Config{
+		Before: regionalBuilder(smallOpts()),
+		After:  regionalBuilder(smallOpts()),
+		Suite: testkit.Suite{
+			testkit.DefaultRouteCheck{},
+			panicking,
+			testkit.ConnectedRouteCheck{},
+		},
+		SkipPathUniverse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != TestsErrored {
+		t.Fatalf("verdict = %v, want tests-errored", res.Verdict)
+	}
+	if len(res.Results) != 3 {
+		t.Fatalf("got %d results, want 3 (suite must survive the panic)", len(res.Results))
+	}
+	var errored int
+	for _, r := range res.Results {
+		if r.Errored() {
+			errored++
+		}
+	}
+	if errored != 1 {
+		t.Fatalf("got %d errored results, want exactly 1", errored)
+	}
+}
+
+func TestBDDLimitsSurfaceAsBudgetError(t *testing.T) {
+	// Measure the baseline node population of the built network, then
+	// grant evaluation almost no headroom: the suite's symbolic work
+	// trips MaxNodes, and Run reports it as a typed error — no panic,
+	// no OOM — with verdict Incomplete.
+	probe, err := topogen.BuildRegional(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Net.ComputeMatchSets()
+	baseline := probe.Net.Space.Manager().Size()
+
+	res, err := Run(context.Background(), Config{
+		Before: regionalBuilder(smallOpts()),
+		After:  regionalBuilder(smallOpts()),
+		Suite:  suite(),
+		Limits: bdd.Limits{MaxNodes: baseline + 16},
+	})
+	if !errors.Is(err, bdd.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if res == nil || res.Verdict != Incomplete {
+		t.Fatalf("res = %+v, want non-nil with verdict incomplete", res)
+	}
+}
+
+func TestPathBudgetSuppressesDriftGuard(t *testing.T) {
+	// The null-route change drifts the path universe, but a tiny path
+	// budget truncates enumeration on both sides: the guard must stand
+	// down (with a reason) instead of flagging from meaningless counts.
+	res, err := Run(context.Background(), Config{
+		Before:         exampleBuilder(topogen.ExampleOpts{}),
+		After:          exampleBuilder(topogen.ExampleOpts{BugNullRoute: true}),
+		Suite:          testkit.Suite{testkit.ConnectedRouteCheck{}},
+		DriftThreshold: 0.05,
+		PathBudget:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PathsTruncated {
+		t.Fatal("PathBudget=1 must truncate enumeration")
+	}
+	if res.DriftFlagged {
+		t.Error("drift guard must be suppressed on truncated counts")
+	}
+	if res.DriftNote == "" {
+		t.Error("suppressed guard must say why")
+	}
+	if res.Verdict == UniverseDrifted {
+		t.Errorf("verdict = %v from truncated counts", res.Verdict)
+	}
+}
+
+type panicTest struct{}
+
+func (panicTest) Name() string       { return "PanicTest" }
+func (panicTest) Kind() testkit.Kind { return testkit.StateInspection }
+func (panicTest) Run(*netmodel.Network, core.Tracker) testkit.Result {
+	panic("pipeline chaos: injected panic")
 }

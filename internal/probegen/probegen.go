@@ -14,6 +14,8 @@
 package probegen
 
 import (
+	"context"
+
 	"yardstick/internal/core"
 	"yardstick/internal/dataplane"
 	"yardstick/internal/hdr"
@@ -67,8 +69,9 @@ type Result struct {
 }
 
 // Generate computes verified probes covering the rules the coverage
-// trace has not touched.
-func Generate(cov *core.Coverage, opts Options) *Result {
+// trace has not touched. Cancelling ctx stops the underlying path
+// exploration; the partial result then reports Complete=false.
+func Generate(ctx context.Context, cov *core.Coverage, opts Options) *Result {
 	net := cov.Net
 	if opts.SamplesPerPath == 0 {
 		opts.SamplesPerPath = 8
@@ -87,7 +90,7 @@ func Generate(cov *core.Coverage, opts Options) *Result {
 		starts = dataplane.EdgeStarts(net)
 	}
 	sp := net.Space
-	_, complete := dataplane.EnumeratePaths(net, starts,
+	_, complete := dataplane.EnumeratePaths(ctx, net, starts,
 		dataplane.EnumOpts{MaxPaths: opts.MaxPaths},
 		func(p dataplane.Path) bool {
 			if p.Guard.IsEmpty() || p.End == dataplane.PathLoop {

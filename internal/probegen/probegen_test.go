@@ -1,6 +1,7 @@
 package probegen
 
 import (
+	"context"
 	"testing"
 
 	"yardstick/internal/core"
@@ -31,7 +32,7 @@ func TestGenerateClosesGaps(t *testing.T) {
 	cov := core.NewCoverage(net, base)
 	before := core.RuleCoverage(cov, nil, core.Fractional)
 
-	res := Generate(cov, Options{})
+	res := Generate(context.Background(), cov, Options{})
 	if len(res.Probes) == 0 {
 		t.Fatal("no probes generated")
 	}
@@ -58,7 +59,7 @@ func TestGenerateClosesGaps(t *testing.T) {
 	// the reachable rules, and every generated test passes.
 	trace := core.NewTrace()
 	trace.Merge(base)
-	for _, r := range res.AsTests().Run(net, trace) {
+	for _, r := range res.AsTests().Run(context.Background(), net, trace) {
 		if !r.Pass() {
 			t.Fatalf("generated probe failed: %+v", r.Failures)
 		}
@@ -86,14 +87,14 @@ func TestGenerateUncoverable(t *testing.T) {
 	rg := smallRegional(t)
 	net := rg.Net
 	cov := core.NewCoverage(net, core.NewTrace())
-	res := Generate(cov, Options{})
+	res := Generate(context.Background(), cov, Options{})
 
 	// Loopback delivery rules at their owners are reachable end-to-end
 	// (traffic to the loopback), but a null-routed static default on a
 	// device with no traffic toward it can be unreachable. At minimum the
 	// uncoverable list must contain only genuinely uncovered rules.
 	trace := core.NewTrace()
-	res.AsTests().Run(net, trace)
+	res.AsTests().Run(context.Background(), net, trace)
 	cov2 := core.NewCoverage(net, trace)
 	for _, rid := range res.Uncoverable {
 		if !cov2.Covered(rid).IsEmpty() {
@@ -105,7 +106,7 @@ func TestGenerateUncoverable(t *testing.T) {
 func TestGenerateRespectsBudgets(t *testing.T) {
 	rg := smallRegional(t)
 	cov := core.NewCoverage(rg.Net, core.NewTrace())
-	res := Generate(cov, Options{MaxProbes: 3})
+	res := Generate(context.Background(), cov, Options{MaxProbes: 3})
 	if len(res.Probes) != 3 || res.Complete {
 		t.Errorf("probes = %d complete = %v, want 3 false", len(res.Probes), res.Complete)
 	}
@@ -118,7 +119,7 @@ func TestGenerateNothingToDo(t *testing.T) {
 		trace.MarkRule(r.ID)
 	}
 	cov := core.NewCoverage(rg.Net, trace)
-	res := Generate(cov, Options{})
+	res := Generate(context.Background(), cov, Options{})
 	if len(res.Probes) != 0 || len(res.Uncoverable) != 0 || !res.Complete {
 		t.Errorf("fully covered network should need no probes: %+v", res)
 	}
@@ -136,7 +137,7 @@ func TestGenerateTargetedRules(t *testing.T) {
 			targets = append(targets, rid)
 		}
 	}
-	res := Generate(cov, Options{Rules: targets})
+	res := Generate(context.Background(), cov, Options{Rules: targets})
 	covered := map[netmodel.RuleID]bool{}
 	for _, p := range res.Probes {
 		for _, rid := range p.Covers {

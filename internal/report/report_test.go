@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func covFor(t *testing.T, suite testkit.Suite) (*topogen.Regional, *core.Coverag
 		t.Fatal(err)
 	}
 	tr := core.NewTrace()
-	suite.Run(rg.Net, tr)
+	suite.Run(context.Background(), rg.Net, tr)
 	return rg, core.NewCoverage(rg.Net, tr)
 }
 

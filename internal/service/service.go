@@ -31,6 +31,16 @@
 // atomic-rename snapshot file — periodically and on shutdown — and
 // recovered on startup when the snapshot's network fingerprint matches
 // the loaded network, so accumulated coverage survives a restart.
+//
+// Evaluation endpoints (/run, /coverage, /gaps) run under each
+// request's context, optionally tightened by WithRunTimeout (the
+// daemon's -run-timeout flag): a disconnected client or an expired
+// deadline aborts the symbolic work through the BDD engine's watched
+// context and answers 503. A server-side test that panics or exhausts
+// a resource budget comes back as an errored RunResult while the rest
+// of the suite still runs; partial trace contributions from aborted
+// runs are kept (the trace is a monotonic union, so partial merges
+// never corrupt it).
 package service
 
 import (
@@ -45,6 +55,7 @@ import (
 	"sync"
 	"time"
 
+	"yardstick/internal/bdd"
 	"yardstick/internal/core"
 	"yardstick/internal/netmodel"
 	"yardstick/internal/report"
@@ -65,6 +76,7 @@ type Server struct {
 
 	logger       *log.Logger
 	maxBody      int64
+	runTimeout   time.Duration
 	snapPath     string
 	snapInterval time.Duration
 }
@@ -78,6 +90,12 @@ func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l } 
 
 // WithMaxBody caps request-body size at n bytes (default DefaultMaxBody).
 func WithMaxBody(n int64) Option { return func(s *Server) { s.maxBody = n } }
+
+// WithRunTimeout bounds the compute-heavy endpoints (POST /run,
+// GET /coverage, GET /gaps): each such request runs under a deadline of
+// d on top of the client's own cancellation (r.Context()). Zero or
+// negative means no server-side deadline.
+func WithRunTimeout(d time.Duration) Option { return func(s *Server) { s.runTimeout = d } }
 
 // WithSnapshot enables crash-safe trace persistence: the accumulated
 // trace is checkpointed to path every interval (see RunCheckpointer)
@@ -269,6 +287,29 @@ type RunResult struct {
 	Checks   int      `json:"checks"`
 	Pass     bool     `json:"pass"`
 	Failures []string `json:"failures,omitempty"`
+	// Errored marks a test that terminated abnormally (panic, budget,
+	// cancellation) — a third state distinct from pass/fail; Error
+	// carries the reason.
+	Errored bool   `json:"errored,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// evalContext derives the evaluation context for a compute-heavy
+// endpoint: the request context (client disconnection cancels the
+// work) bounded by the WithRunTimeout deadline.
+func (s *Server) evalContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.runTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.runTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// abortError maps an aborted evaluation to a response. Cancellation and
+// deadline map to 503 (the work was valid, the server declined to finish
+// it); budget exhaustion too, with the budget spelled out so operators
+// can retune limits.
+func abortError(w http.ResponseWriter, what string, err error) {
+	httpError(w, http.StatusServiceUnavailable, "%s aborted: %v", what, err)
 }
 
 func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
@@ -283,13 +324,30 @@ func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	ctx, cancel := s.evalContext(r)
+	defer cancel()
+	defer s.net.Space.WatchContext(ctx)()
+	var results []testkit.Result
+	gerr := bdd.Guard(func() { results = suite.Run(ctx, s.net, s.trace) })
+	if gerr == nil {
+		gerr = ctx.Err()
+	}
+	if gerr != nil {
+		// Partial coverage already merged into the trace is kept: the
+		// trace is a monotonic union and every marked set was really
+		// exercised. The run itself reports the abort.
+		abortError(w, "run", gerr)
+		return
+	}
 	var out []RunResult
-	for _, res := range suite.Run(s.net, s.trace) {
+	for _, res := range results {
 		rr := RunResult{
-			Name:   res.Name,
-			Kind:   string(res.Kind),
-			Checks: res.Checks,
-			Pass:   res.Pass(),
+			Name:    res.Name,
+			Kind:    string(res.Kind),
+			Checks:  res.Checks,
+			Pass:    res.Pass(),
+			Errored: res.Errored(),
+			Error:   res.Err,
 		}
 		for i, f := range res.Failures {
 			if i == 10 {
@@ -312,6 +370,28 @@ func builtinSuite(arg string) (testkit.Suite, error) {
 type CoverageReport struct {
 	Total  MetricsRow   `json:"total"`
 	ByRole []MetricsRow `json:"byRole"`
+	// Engine reports the symbolic engine's health counters, so budget
+	// tuning and degradation incidents are diagnosable from responses.
+	Engine EngineStats `json:"engine"`
+}
+
+// EngineStats mirrors bdd.Stats for the wire.
+type EngineStats struct {
+	Nodes       int    `json:"nodes"`
+	PeakNodes   int    `json:"peakNodes"`
+	Ops         uint64 `json:"ops"`
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+}
+
+func toEngineStats(st bdd.Stats) EngineStats {
+	return EngineStats{
+		Nodes:       st.Nodes,
+		PeakNodes:   st.PeakNodes,
+		Ops:         st.Ops,
+		CacheHits:   st.CacheHits,
+		CacheMisses: st.CacheMisses,
+	}
 }
 
 // MetricsRow is one group's coverage metrics.
@@ -342,19 +422,35 @@ func (s *Server) getCoverage(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "no network loaded")
 		return
 	}
-	cov := core.NewCoverage(s.net, s.trace)
-	body := CoverageReport{Total: toMetricsRow(report.Total(cov, "total"))}
-	seen := map[netmodel.Role]bool{}
-	var roles []netmodel.Role
-	for _, d := range s.net.Devices {
-		if !seen[d.Role] {
-			seen[d.Role] = true
-			roles = append(roles, d.Role)
+	ctx, cancel := s.evalContext(r)
+	defer cancel()
+	defer s.net.Space.WatchContext(ctx)()
+	var body CoverageReport
+	gerr := bdd.Guard(func() {
+		cov := core.NewCoverage(s.net, s.trace)
+		body.Total = toMetricsRow(report.Total(cov, "total"))
+		seen := map[netmodel.Role]bool{}
+		var roles []netmodel.Role
+		for _, d := range s.net.Devices {
+			if !seen[d.Role] {
+				seen[d.Role] = true
+				roles = append(roles, d.Role)
+			}
 		}
+		for _, row := range report.ByRole(cov, roles) {
+			body.ByRole = append(body.ByRole, toMetricsRow(row))
+		}
+	})
+	if gerr == nil {
+		// The engine polls its watched context every 1024 ops; small
+		// computations can finish between polls, so backstop here.
+		gerr = ctx.Err()
 	}
-	for _, row := range report.ByRole(cov, roles) {
-		body.ByRole = append(body.ByRole, toMetricsRow(row))
+	if gerr != nil {
+		abortError(w, "coverage", gerr)
+		return
 	}
+	body.Engine = toEngineStats(s.net.Space.EngineStats())
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -372,10 +468,22 @@ func (s *Server) getGaps(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "no network loaded")
 		return
 	}
-	cov := core.NewCoverage(s.net, s.trace)
+	ctx, cancel := s.evalContext(r)
+	defer cancel()
+	defer s.net.Space.WatchContext(ctx)()
 	out := []Gap{}
-	for _, g := range report.Gaps(cov) {
-		out = append(out, Gap{Origin: string(g.Origin), Role: string(g.Role), Count: g.Count})
+	gerr := bdd.Guard(func() {
+		cov := core.NewCoverage(s.net, s.trace)
+		for _, g := range report.Gaps(cov) {
+			out = append(out, Gap{Origin: string(g.Origin), Role: string(g.Role), Count: g.Count})
+		}
+	})
+	if gerr == nil {
+		gerr = ctx.Err()
+	}
+	if gerr != nil {
+		abortError(w, "gap report", gerr)
+		return
 	}
 	writeJSON(w, http.StatusOK, out)
 }

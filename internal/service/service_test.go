@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"yardstick/internal/core"
 	"yardstick/internal/dataplane"
@@ -80,6 +81,14 @@ func TestRunAndCoverage(t *testing.T) {
 	}
 	if len(cov.ByRole) == 0 {
 		t.Error("no per-role rows")
+	}
+	// Engine diagnostics ride along: a run plus a coverage computation
+	// has interned nodes and consulted the op cache.
+	if cov.Engine.Nodes == 0 || cov.Engine.PeakNodes < cov.Engine.Nodes {
+		t.Errorf("engine stats = %+v", cov.Engine)
+	}
+	if cov.Engine.CacheHits+cov.Engine.CacheMisses == 0 {
+		t.Errorf("engine cache counters missing: %+v", cov.Engine)
 	}
 
 	var gaps []Gap
@@ -195,6 +204,26 @@ route a 0.0.0.0/0 via b origin=default
 	if cov.Total.RuleFractional != 0 {
 		t.Error("network reload should reset the trace")
 	}
+}
+
+func TestRunTimeoutAborts(t *testing.T) {
+	// An already-expired -run-timeout deadline: the evaluation aborts
+	// through the engine's watched context and answers 503 — the server
+	// survives to serve the next (untimed) request.
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(WithNetwork(rg.Net, WithLogger(discardLogger()), WithRunTimeout(time.Nanosecond)).Handler())
+	t.Cleanup(ts.Close)
+
+	doJSON(t, "POST", ts.URL+"/run?suite=default", nil, http.StatusServiceUnavailable, nil)
+	doJSON(t, "GET", ts.URL+"/coverage", nil, http.StatusServiceUnavailable, nil)
+	// Liveness is untouched by evaluation deadlines.
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, nil)
 }
 
 func TestBadRequests(t *testing.T) {

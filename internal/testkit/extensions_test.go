@@ -1,6 +1,7 @@
 package testkit
 
 import (
+	"context"
 	"testing"
 
 	"yardstick/internal/core"
@@ -123,7 +124,7 @@ func TestExtendedSuiteClosesGaps(t *testing.T) {
 
 	run := func(s Suite) *core.Coverage {
 		tr := core.NewTrace()
-		for _, res := range s.Run(rg.Net, tr) {
+		for _, res := range s.Run(context.Background(), rg.Net, tr) {
 			if !res.Pass() {
 				t.Fatalf("%s failed", res.Name)
 			}
@@ -185,7 +186,7 @@ func TestExtendedSuiteCatchesMoreFaultsSeed(t *testing.T) {
 	defer func() { victim.Action = saved }()
 
 	final := Suite{DefaultRouteCheck{}, AggCanReachTorLoopback{}, InternalRouteCheck{}, ConnectedRouteCheck{}}
-	for _, res := range final.Run(rg.Net, core.Nop{}) {
+	for _, res := range final.Run(context.Background(), rg.Net, core.Nop{}) {
 		if !res.Pass() {
 			t.Fatalf("final suite should be blind to the wide-area fault, but %s failed", res.Name)
 		}
@@ -218,7 +219,7 @@ func TestSuiteOnIPv6Network(t *testing.T) {
 		ToRPingmesh{},
 		ToRReachability{},
 	}
-	for _, res := range suite.Run(rg.Net, trace) {
+	for _, res := range suite.Run(context.Background(), rg.Net, trace) {
 		if !res.Pass() {
 			t.Fatalf("%s failed on IPv6: %+v", res.Name, res.Failures[:min(3, len(res.Failures))])
 		}

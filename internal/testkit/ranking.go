@@ -1,6 +1,7 @@
 package testkit
 
 import (
+	"context"
 	"sort"
 
 	"yardstick/internal/core"
@@ -32,15 +33,22 @@ type RankedCandidate struct {
 // are evaluated independently (each against the same baseline), so the
 // ranking identifies the single best next test; apply it and re-rank to
 // build a suite greedily. The baseline trace is not modified.
-func RankCandidates(net *netmodel.Network, base *core.Trace, candidates []Test, kind core.AggKind) []RankedCandidate {
+// Candidates run under the same panic isolation as Suite.Run: an
+// erroring candidate ranks with its partial gain instead of aborting
+// the ranking. A done context stops early, returning the candidates
+// ranked so far.
+func RankCandidates(ctx context.Context, net *netmodel.Network, base *core.Trace, candidates []Test, kind core.AggKind) []RankedCandidate {
 	baseCov := core.NewCoverage(net, base)
 	baseline := core.RuleCoverage(baseCov, nil, kind)
 
 	out := make([]RankedCandidate, 0, len(candidates))
 	for i, t := range candidates {
+		if ctx.Err() != nil {
+			break
+		}
 		trial := core.NewTrace()
 		trial.Merge(base)
-		res := t.Run(net, trial)
+		res := runIsolated(ctx, t, net, trial)
 		cov := core.NewCoverage(net, trial)
 		v := core.RuleCoverage(cov, nil, kind)
 		out = append(out, RankedCandidate{
@@ -60,19 +68,24 @@ func RankCandidates(net *netmodel.Network, base *core.Trace, candidates []Test, 
 // until no candidate improves the metric by more than epsilon or all
 // candidates are used. It returns the chosen tests in order with their
 // realized gains.
-func GreedySuite(net *netmodel.Network, base *core.Trace, candidates []Test, kind core.AggKind, epsilon float64) []RankedCandidate {
+// It returns the chosen tests in order with their realized gains; a
+// done context stops the greedy loop, returning the suite built so far.
+func GreedySuite(ctx context.Context, net *netmodel.Network, base *core.Trace, candidates []Test, kind core.AggKind, epsilon float64) []RankedCandidate {
 	acc := core.NewTrace()
 	acc.Merge(base)
 	remaining := append([]Test(nil), candidates...)
 	var chosen []RankedCandidate
-	for len(remaining) > 0 {
-		ranked := RankCandidates(net, acc, remaining, kind)
+	for len(remaining) > 0 && ctx.Err() == nil {
+		ranked := RankCandidates(ctx, net, acc, remaining, kind)
+		if len(ranked) == 0 {
+			break
+		}
 		best := ranked[0]
 		if best.Gain <= epsilon {
 			break
 		}
 		chosen = append(chosen, best)
-		best.Test.Run(net, acc)
+		runIsolated(ctx, best.Test, net, acc)
 		remaining = append(remaining[:best.Index], remaining[best.Index+1:]...)
 	}
 	return chosen

@@ -1,6 +1,7 @@
 package testkit
 
 import (
+	"context"
 	"testing"
 
 	"yardstick/internal/core"
@@ -10,14 +11,14 @@ func TestRankCandidates(t *testing.T) {
 	rg := buildRegional(t)
 	// Baseline: the original suite.
 	base := core.NewTrace()
-	Suite{DefaultRouteCheck{}, AggCanReachTorLoopback{}}.Run(rg.Net, base)
+	Suite{DefaultRouteCheck{}, AggCanReachTorLoopback{}}.Run(context.Background(), rg.Net, base)
 
 	candidates := []Test{
 		ConnectedRouteCheck{},
 		InternalRouteCheck{},
 		DefaultRouteCheck{}, // redundant: zero gain
 	}
-	ranked := RankCandidates(rg.Net, base, candidates, core.Fractional)
+	ranked := RankCandidates(context.Background(), rg.Net, base, candidates, core.Fractional)
 	if len(ranked) != 3 {
 		t.Fatalf("ranked = %d", len(ranked))
 	}
@@ -68,7 +69,7 @@ func TestGreedySuite(t *testing.T) {
 		AggCanReachTorLoopback{},
 		DefaultRouteCheck{}, // redundant
 	}
-	chosen := GreedySuite(rg.Net, base, candidates, core.Fractional, 1e-9)
+	chosen := GreedySuite(context.Background(), rg.Net, base, candidates, core.Fractional, 1e-9)
 	if len(chosen) == 0 {
 		t.Fatal("greedy suite chose nothing")
 	}

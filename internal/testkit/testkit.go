@@ -17,6 +17,7 @@
 package testkit
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -52,10 +53,32 @@ type Result struct {
 	Kind     Kind
 	Checks   int // assertions evaluated
 	Failures []Failure
+	// Err is set when the test did not run to completion — it panicked,
+	// blew a resource budget, or was cancelled. An errored result is a
+	// third state distinct from pass and fail: its assertions (and its
+	// coverage contribution) are incomplete, so it neither vouches for
+	// the network nor indicts it.
+	Err string
 }
 
-// Pass reports whether all assertions held.
-func (r Result) Pass() bool { return len(r.Failures) == 0 }
+// Pass reports whether the test ran to completion with all assertions
+// holding. An errored test does not pass.
+func (r Result) Pass() bool { return r.Err == "" && len(r.Failures) == 0 }
+
+// Errored reports whether the test terminated abnormally (panic, budget
+// exhaustion, cancellation) rather than completing with a verdict.
+func (r Result) Errored() bool { return r.Err != "" }
+
+// Status returns "pass", "fail", or "error".
+func (r Result) Status() string {
+	switch {
+	case r.Errored():
+		return "error"
+	case len(r.Failures) > 0:
+		return "fail"
+	}
+	return "pass"
+}
 
 func (r *Result) failf(dev netmodel.DeviceID, format string, args ...any) {
 	r.Failures = append(r.Failures, Failure{Device: dev, Detail: fmt.Sprintf(format, args...)})
@@ -70,16 +93,50 @@ type Test interface {
 	Run(net *netmodel.Network, tracker core.Tracker) Result
 }
 
+// ContextTest is optionally implemented by tests that can observe
+// cancellation while running (long symbolic floods, injected chaos
+// tests). Suite.Run prefers RunContext when a test provides it; plain
+// tests are still cancelled between tests and — for symbolic work —
+// by the space's watched context (see hdr.Space.WatchContext).
+type ContextTest interface {
+	Test
+	RunContext(ctx context.Context, net *netmodel.Network, tracker core.Tracker) Result
+}
+
 // Suite is an ordered collection of tests.
 type Suite []Test
 
-// Run executes every test, accumulating coverage in the tracker.
-func (s Suite) Run(net *netmodel.Network, tracker core.Tracker) []Result {
+// Run executes every test, accumulating coverage in the tracker. The
+// context is checked between tests: once it is done, the remaining
+// tests are skipped and the partial results are returned (callers pair
+// them with ctx.Err()). Each test runs under panic isolation — a
+// panicking test yields an errored Result while the rest of the suite
+// keeps running.
+func (s Suite) Run(ctx context.Context, net *netmodel.Network, tracker core.Tracker) []Result {
 	out := make([]Result, 0, len(s))
 	for _, t := range s {
-		out = append(out, t.Run(net, tracker))
+		if ctx.Err() != nil {
+			return out
+		}
+		out = append(out, runIsolated(ctx, t, net, tracker))
 	}
 	return out
+}
+
+// runIsolated executes one test, converting a panic (a test bug, or a
+// budget trip escaping the BDD engine) into an errored Result so one
+// bad test cannot take down the whole evaluation.
+func runIsolated(ctx context.Context, t Test, net *netmodel.Network, tracker core.Tracker) (res Result) {
+	name, kind := t.Name(), t.Kind()
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Name: name, Kind: kind, Err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	if ct, ok := t.(ContextTest); ok {
+		return ct.RunContext(ctx, net, tracker)
+	}
+	return t.Run(net, tracker)
 }
 
 // ---------------------------------------------------------------------------

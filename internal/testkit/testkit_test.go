@@ -1,6 +1,7 @@
 package testkit
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 
@@ -235,7 +236,7 @@ func TestSuiteRunAccumulates(t *testing.T) {
 	rg := buildRegional(t)
 	tr := core.NewTrace()
 	suite := Suite{DefaultRouteCheck{}, AggCanReachTorLoopback{}}
-	results := suite.Run(rg.Net, tr)
+	results := suite.Run(context.Background(), rg.Net, tr)
 	if len(results) != 2 {
 		t.Fatalf("results = %d", len(results))
 	}

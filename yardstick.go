@@ -19,7 +19,7 @@
 //		yardstick.DefaultRouteCheck{},
 //		yardstick.InternalRouteCheck{},
 //	}
-//	results := suite.Run(net.Net, trace)
+//	results := suite.Run(ctx, net.Net, trace)
 //	cov := yardstick.NewCoverage(net.Net, trace)
 //	fmt.Printf("rule coverage: %.1f%%\n",
 //		100*yardstick.RuleCoverage(cov, nil, yardstick.Fractional))
@@ -39,7 +39,10 @@
 package yardstick
 
 import (
+	"context"
 	"io"
+
+	"yardstick/internal/bdd"
 
 	"yardstick/internal/bgp"
 	"yardstick/internal/core"
@@ -140,7 +143,18 @@ type (
 	Set = hdr.Set
 	// Packet is one concrete header.
 	Packet = hdr.Packet
+	// EngineLimits bounds the symbolic engine (Space.SetLimits): node
+	// table size and apply-loop work. The zero value is unlimited.
+	EngineLimits = bdd.Limits
 )
+
+// ErrBudgetExceeded is wrapped by every error produced by a tripped
+// EngineLimits budget; test with errors.Is.
+var ErrBudgetExceeded = bdd.ErrBudgetExceeded
+
+// GuardBudget runs fn, converting a tripped engine budget or a watched
+// context's cancellation into the error it carries (see bdd.Guard).
+func GuardBudget(fn func()) error { return bdd.Guard(fn) }
 
 // NewSpace returns a fresh IPv4 header space.
 func NewSpace() *Space { return hdr.NewSpace() }
@@ -187,9 +201,10 @@ func Traceroute(net *Network, start Loc, pkt Packet) dataplane.Trace {
 	return dataplane.Traceroute(net, start, pkt)
 }
 
-// EnumeratePaths streams the path universe (§5.2 Step 3).
-func EnumeratePaths(net *Network, starts []dataplane.Start, opts EnumOpts, visit func(Path) bool) (int, bool) {
-	return dataplane.EnumeratePaths(net, starts, opts, visit)
+// EnumeratePaths streams the path universe (§5.2 Step 3). Cancelling
+// ctx stops the walk; the second result is then false (incomplete).
+func EnumeratePaths(ctx context.Context, net *Network, starts []dataplane.Start, opts EnumOpts, visit func(Path) bool) (int, bool) {
+	return dataplane.EnumeratePaths(ctx, net, starts, opts, visit)
 }
 
 // EdgeStarts returns the canonical path-enumeration injection points.
@@ -264,8 +279,8 @@ func InIfaceCoverage(c *Coverage, ifaces []IfaceID, kind AggKind) float64 {
 }
 
 // PathCoverage aggregates coverage over the path universe, streaming.
-func PathCoverage(c *Coverage, starts []dataplane.Start, opts EnumOpts, kind AggKind) PathCoverageResult {
-	return core.PathCoverage(c, starts, opts, kind)
+func PathCoverage(ctx context.Context, c *Coverage, starts []dataplane.Start, opts EnumOpts, kind AggKind) PathCoverageResult {
+	return core.PathCoverage(ctx, c, starts, opts, kind)
 }
 
 // FlowCoverage computes one flow's end-to-end coverage.
@@ -418,9 +433,9 @@ type (
 
 // GenerateProbes computes concrete probes covering the rules the trace
 // has not touched; ProbeGenResult.AsTests turns them into a runnable
-// suite.
-func GenerateProbes(c *Coverage, opts ProbeGenOptions) *ProbeGenResult {
-	return probegen.Generate(c, opts)
+// suite. Cancelling ctx stops exploration with a partial result.
+func GenerateProbes(ctx context.Context, c *Coverage, opts ProbeGenOptions) *ProbeGenResult {
+	return probegen.Generate(ctx, c, opts)
 }
 
 // Change evaluation (§7.1's testing pipeline).
@@ -437,13 +452,20 @@ type (
 const (
 	VerdictSafe              = pipeline.Safe
 	VerdictTestsFailed       = pipeline.TestsFailed
+	VerdictTestsErrored      = pipeline.TestsErrored
 	VerdictCoverageRegressed = pipeline.CoverageRegressed
 	VerdictUniverseDrifted   = pipeline.UniverseDrifted
+	VerdictIncomplete        = pipeline.Incomplete
 )
 
 // EvaluateChange runs the §7.1 pipeline: build before/after states, test
-// the after state, and compare coverage and path-universe size.
-func EvaluateChange(cfg PipelineConfig) (*PipelineResult, error) { return pipeline.Run(cfg) }
+// the after state, and compare coverage and path-universe size. The
+// context is honored between phases and inside symbolic work; on
+// cancellation or a tripped resource budget (PipelineConfig.Limits) the
+// partial result comes back with the error.
+func EvaluateChange(ctx context.Context, cfg PipelineConfig) (*PipelineResult, error) {
+	return pipeline.Run(ctx, cfg)
+}
 
 // Reporting.
 type (

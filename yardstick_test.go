@@ -1,6 +1,7 @@
 package yardstick_test
 
 import (
+	"context"
 	"bytes"
 	"math"
 	"net/netip"
@@ -25,7 +26,7 @@ func TestPublicAPIWorkflow(t *testing.T) {
 		yardstick.ConnectedRouteCheck{},
 		yardstick.ToRPingmesh{},
 	}
-	for _, res := range suite.Run(rg.Net, trace) {
+	for _, res := range suite.Run(context.Background(), rg.Net, trace) {
 		if !res.Pass() {
 			t.Fatalf("%s failed: %+v", res.Name, res.Failures[0])
 		}
@@ -86,7 +87,7 @@ func TestPublicAPIPathAndFlow(t *testing.T) {
 	if got := yardstick.FlowCoverage(cov, yardstick.Injected(src), flow); math.Abs(got-1) > 1e-9 {
 		t.Errorf("flow coverage = %v, want 1", got)
 	}
-	pc := yardstick.PathCoverage(cov, nil, yardstick.EnumOpts{}, yardstick.Fractional)
+	pc := yardstick.PathCoverage(context.Background(), cov, nil, yardstick.EnumOpts{}, yardstick.Fractional)
 	if !pc.Complete || pc.Paths == 0 {
 		t.Fatalf("path coverage: %+v", pc)
 	}
@@ -188,7 +189,7 @@ func TestPublicAPIDataplane(t *testing.T) {
 		t.Errorf("trace end = %v", tr.End)
 	}
 	// Path enumeration through the facade.
-	n, complete := yardstick.EnumeratePaths(net, yardstick.EdgeStarts(net), yardstick.EnumOpts{}, func(p yardstick.Path) bool {
+	n, complete := yardstick.EnumeratePaths(context.Background(), net, yardstick.EdgeStarts(net), yardstick.EnumOpts{}, func(p yardstick.Path) bool {
 		return true
 	})
 	if n == 0 || !complete {
