@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race ci
+.PHONY: all vet build test race bench ci
 
 all: ci
 
@@ -18,5 +18,16 @@ test:
 # service tests exist to catch lock-discipline regressions.
 race:
 	$(GO) test -race ./...
+
+# Benchmark the sharded evaluation engine and record the numbers as a
+# committed JSON artifact. Two steps so a failing benchmark run stops
+# make instead of feeding an error transcript into the parser; benchfmt
+# stamps the host core count into the artifact, which is what makes the
+# workers=N numbers interpretable (no speedup is expected on 1 core).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkSuiteParallel -timeout 20m . > bench.out
+	$(GO) run ./cmd/benchfmt -o BENCH_eval.json < bench.out
+	@rm -f bench.out
+	@cat BENCH_eval.json
 
 ci: vet build race

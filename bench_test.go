@@ -23,6 +23,7 @@ import (
 	"yardstick/internal/dataplane"
 	"yardstick/internal/experiments"
 	"yardstick/internal/probegen"
+	"yardstick/internal/sharded"
 	"yardstick/internal/testkit"
 	"yardstick/internal/topogen"
 )
@@ -263,6 +264,59 @@ func BenchmarkTraceJSON(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSuiteParallel measures the sharded evaluation engine on the
+// regional Clos network: the full built-in suite run sequentially and
+// through worker pools of 1, 2, and 4. Engine construction (replica
+// building) happens outside the timer — the steady-state cost of a
+// long-lived pool is what matters for the service deployment. Speedup
+// over sequential requires real cores; `make bench` records the host
+// core count next to each number so results are interpretable (on a
+// single-core host the workers=N variants only add merge overhead).
+func BenchmarkSuiteParallel(b *testing.B) {
+	ctx := context.Background()
+	suite, err := testkit.BuiltinSuite("default,connected,internal,agg,contract,reach,pingmesh,host")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		rg, err := topogen.BuildRegional(topogen.RegionalOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		suite.Run(ctx, rg.Net, core.NewTrace()) // warm BDD caches
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			suite.Run(ctx, rg.Net, core.NewTrace())
+		}
+	})
+
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			rg, err := topogen.BuildRegional(topogen.RegionalOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := sharded.New(ctx, rg.Net, sharded.Config{
+				Workers: w,
+				Build:   sharded.JSONReplicator(rg.Net),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Run(ctx, suite); err != nil { // warm replica caches
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(ctx, suite); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkProbeGeneration measures the ATPG-style gap-closing pass.

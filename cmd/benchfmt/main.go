@@ -1,0 +1,155 @@
+// Command benchfmt converts `go test -bench` text output into a stable
+// JSON record, so benchmark numbers can be committed and diffed (the
+// BENCH_eval.json artifact written by `make bench`).
+//
+//	go test -run '^$' -bench BenchmarkSuiteParallel . > bench.out
+//	benchfmt -o BENCH_eval.json < bench.out
+//
+// Each benchmark line yields one record with the benchmark name, ns/op,
+// the worker count parsed from a `workers=N` name component (sequential
+// and unannotated benchmarks count as 1), and the GOMAXPROCS suffix go
+// test appends when it is not 1. The header records the host's core
+// count: parallel-evaluation numbers are meaningless without it — on a
+// single-core host workers=N cannot beat sequential, and the record
+// should say so rather than look like a regression.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result line.
+type Record struct {
+	// Name is the benchmark name with the GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// NsPerOp is the reported time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Workers is the worker-pool size parsed from a `workers=N` name
+	// component; 1 for sequential or unannotated benchmarks.
+	Workers int `json:"workers"`
+	// Procs is the GOMAXPROCS the benchmark ran under (the `-N` name
+	// suffix go test appends when it is not 1).
+	Procs int `json:"procs"`
+}
+
+// Report is the full JSON artifact.
+type Report struct {
+	// Cores is runtime.NumCPU() on the host that ran the benchmarks
+	// (benchfmt runs on the same host as `go test -bench` in `make
+	// bench`). Parallel speedups are bounded by this.
+	Cores      int      `json:"cores"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// parseLine parses one `go test -bench` output line, e.g.
+//
+//	BenchmarkSuiteParallel/workers=2-8    24    49733589 ns/op
+//
+// Non-benchmark lines (headers, PASS, ok) return ok=false.
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	// The ns/op value is the field preceding the "ns/op" unit token
+	// (with -benchmem more unit pairs follow; ignore them).
+	ns := -1.0
+	for i := 2; i < len(fields); i++ {
+		if fields[i] == "ns/op" {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return Record{}, false
+			}
+			ns = v
+			break
+		}
+	}
+	if ns < 0 {
+		return Record{}, false
+	}
+
+	name, procs := splitProcs(fields[0])
+	return Record{Name: name, NsPerOp: ns, Workers: workersOf(name), Procs: procs}, true
+}
+
+// splitProcs strips the `-N` GOMAXPROCS suffix go test appends to
+// benchmark names when GOMAXPROCS != 1.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}
+
+// workersOf extracts the worker count from a `workers=N` component of
+// the benchmark name; anything else (including sequential) is 1.
+func workersOf(name string) int {
+	for _, part := range strings.Split(name, "/") {
+		if rest, ok := strings.CutPrefix(part, "workers="); ok {
+			if n, err := strconv.Atoi(rest); err == nil && n > 0 {
+				return n
+			}
+		}
+	}
+	return 1
+}
+
+func parse(r io.Reader, cores int) (*Report, error) {
+	rep := &Report{Cores: cores, Benchmarks: []Record{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		if rec, ok := parseLine(sc.Text()); ok {
+			rep.Benchmarks = append(rep.Benchmarks, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func run(in io.Reader, out io.Writer) error {
+	rep, err := parse(in, runtime.NumCPU())
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func main() {
+	outPath := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchfmt:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := run(os.Stdin, out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+		want Record
+	}{
+		{
+			line: "BenchmarkSuiteParallel/sequential         \t       1\t  51389593 ns/op",
+			ok:   true,
+			want: Record{Name: "BenchmarkSuiteParallel/sequential", NsPerOp: 51389593, Workers: 1, Procs: 1},
+		},
+		{
+			line: "BenchmarkSuiteParallel/workers=4-8       \t      24\t  19733589 ns/op",
+			ok:   true,
+			want: Record{Name: "BenchmarkSuiteParallel/workers=4", NsPerOp: 19733589, Workers: 4, Procs: 8},
+		},
+		{
+			// -benchmem appends more unit pairs; ns/op still wins.
+			line: "BenchmarkMarkPacket-2   \t 1000000\t      1042 ns/op\t     128 B/op\t       3 allocs/op",
+			ok:   true,
+			want: Record{Name: "BenchmarkMarkPacket", NsPerOp: 1042, Workers: 1, Procs: 2},
+		},
+		{
+			// Sub-benchmark names can contain dashes that are not a
+			// procs suffix.
+			line: "BenchmarkFigure6/6a-original \t       2\t 500000000 ns/op",
+			ok:   true,
+			want: Record{Name: "BenchmarkFigure6/6a-original", NsPerOp: 500000000, Workers: 1, Procs: 1},
+		},
+		{line: "goos: linux", ok: false},
+		{line: "cpu: Intel(R) Xeon(R) Processor @ 2.70GHz", ok: false},
+		{line: "PASS", ok: false},
+		{line: "ok  \tyardstick\t0.894s", ok: false},
+		{line: "", ok: false},
+		{line: "BenchmarkBroken\t1\tnotanumber ns/op", ok: false},
+	}
+	for _, c := range cases {
+		got, ok := parseLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parseLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("parseLine(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestParseFullOutput(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: yardstick",
+		"cpu: Intel(R) Xeon(R) Processor @ 2.70GHz",
+		"BenchmarkSuiteParallel/sequential         \t       1\t  51389593 ns/op",
+		"BenchmarkSuiteParallel/workers=1          \t       1\t  44527537 ns/op",
+		"BenchmarkSuiteParallel/workers=2          \t       1\t  49733589 ns/op",
+		"BenchmarkSuiteParallel/workers=4          \t       1\t  59863083 ns/op",
+		"PASS",
+		"ok  \tyardstick\t0.894s",
+	}, "\n")
+	rep, err := parse(strings.NewReader(input), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cores != 8 {
+		t.Errorf("Cores = %d, want 8", rep.Cores)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d records, want 4: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	wantWorkers := []int{1, 1, 2, 4}
+	for i, r := range rep.Benchmarks {
+		if r.Workers != wantWorkers[i] {
+			t.Errorf("record %d (%s): workers = %d, want %d", i, r.Name, r.Workers, wantWorkers[i])
+		}
+	}
+}
+
+func TestRunProducesValidJSON(t *testing.T) {
+	input := "BenchmarkSuiteParallel/workers=2-4 \t 10 \t 1000 ns/op\n"
+	var out bytes.Buffer
+	if err := run(strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Cores <= 0 {
+		t.Errorf("Cores = %d, want > 0", rep.Cores)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Workers != 2 || rep.Benchmarks[0].Procs != 4 {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\n"), &out); err == nil {
+		t.Fatal("expected an error for input with no benchmark lines")
+	}
+}

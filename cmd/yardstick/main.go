@@ -49,6 +49,7 @@ func main() {
 		suggest  = flag.Bool("suggest", false, "rank the known tests not in -suite by how much coverage each would add")
 		genN     = flag.Int("genprobes", 0, "generate up to N concrete probes covering the remaining untested rules (ATPG-style)")
 		htmlOut  = flag.String("html", "", "write a self-contained HTML coverage report to this file")
+		workers  = flag.Int("workers", 1, "suite parallelism: replicate the network across N workers with private BDD spaces (0 = GOMAXPROCS, 1 = sequential)")
 		minRule  = flag.Float64("min-rule", 0, "CI gate: exit 3 when fractional rule coverage is below this (0..1)")
 		minIface = flag.Float64("min-iface", 0, "CI gate: exit 3 when fractional interface coverage is below this (0..1)")
 		flowArg  = flag.String("flow", "", "narrow to one flow, device:dstPrefix (e.g. dc0-p0-tor0:10.0.4.0/24): report its end-to-end coverage")
@@ -90,7 +91,27 @@ func main() {
 	}
 	stopWatch := net.Space.WatchContext(ctx)
 	var results []yardstick.TestResult
-	if err := yardstick.GuardBudget(func() { results = suite.Run(ctx, net, trace) }); err != nil {
+	if *workers != 1 {
+		// Parallel run: replicate the network once per worker (JSON
+		// round-trip, so any -net or generated network qualifies), shard
+		// the suite, and merge the per-worker traces back into this
+		// space. Results and metrics match the sequential path exactly.
+		eng, err := yardstick.NewShardedEngine(ctx, net, yardstick.ShardedConfig{
+			Workers: *workers,
+			Build:   yardstick.JSONReplicator(net),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yardstick:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("parallel run: %d workers\n\n", eng.Workers())
+		res, err := eng.Run(ctx, suite)
+		results = res.Results
+		trace.Merge(res.Trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yardstick: run aborted:", err)
+		}
+	} else if err := yardstick.GuardBudget(func() { results = suite.Run(ctx, net, trace) }); err != nil {
 		fmt.Fprintln(os.Stderr, "yardstick: run aborted:", err)
 	}
 	stopWatch()

@@ -104,6 +104,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 		drain        = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining in-flight requests")
 		maxBody      = fs.Int64("max-body", service.DefaultMaxBody, "request body size cap in bytes")
 		runTimeout   = fs.Duration("run-timeout", 0, "per-request deadline for /run, /coverage and /gaps evaluation work (0 = bounded only by the HTTP write timeout)")
+		workers      = fs.Int("workers", 1, "cap on per-request /run parallelism (?workers=n is clamped to this; 1 = sequential only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +122,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 	}
 	if *runTimeout > 0 {
 		opts = append(opts, service.WithRunTimeout(*runTimeout))
+	}
+	if *workers > 1 {
+		opts = append(opts, service.WithWorkers(*workers))
 	}
 	if *snapshot != "" {
 		opts = append(opts, service.WithSnapshot(*snapshot, *snapInterval))

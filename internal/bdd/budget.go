@@ -59,6 +59,13 @@ func (m *Manager) SetLimits(l Limits) {
 // Limits returns the currently installed limits.
 func (m *Manager) Limits() Limits { return m.limits }
 
+// BudgetErr reports whether the manager is poisoned by a tripped budget:
+// it returns the error (wrapping ErrBudgetExceeded) that tripped, or nil.
+// Callers that recover panics generically — a per-test isolation boundary,
+// say — lose the typed budget panic in translation; inspecting BudgetErr
+// after the fact recovers the run-level failure. SetLimits clears it.
+func (m *Manager) BudgetErr() error { return m.budgetErr }
+
 // WatchContext makes charged operations observe ctx: once ctx is done,
 // the next charge check raises a cancellation panic (recovered by Guard
 // into an error wrapping ctx.Err()). It returns a restore function that

@@ -1,0 +1,62 @@
+// Cross-manager node transfer.
+//
+// Parallel analyses use one Manager per goroutine (managers are not safe
+// for concurrent use) and then need to merge results into a canonical
+// manager. Serializing through cubes (AllSat + re-intersection) is exact
+// but can blow up exponentially for sets with many disjoint cubes.
+// CopyFrom instead walks the source DAG once and rebuilds it node by node
+// in the destination, so the transfer is linear in the *shared* size of
+// the source representation and lands on the destination's canonical
+// nodes directly.
+package bdd
+
+import "fmt"
+
+// CopyFrom imports the boolean function rooted at n in src into m and
+// returns the equivalent node in m. Both managers must have the same
+// variable count (the universes must agree); the copy is a memoized
+// recursive walk rebuilt through m's unique table, so the result is
+// reduced and hash-consed like any native node — semantic equality by
+// node index holds between transferred and locally built sets.
+//
+// The copy reads src and writes m, so the caller must hold both managers
+// single-threaded for the duration (the usual discipline: workers have
+// finished before their results are merged). Charged work (one op per
+// distinct source node, plus node creation) is accounted against m's
+// budget and watched context, not src's.
+//
+// CopyFrom with src == m returns n unchanged.
+func (m *Manager) CopyFrom(src *Manager, n Node) Node {
+	if src == nil {
+		panic("bdd: CopyFrom from nil manager")
+	}
+	if src == m {
+		return n
+	}
+	if src.numVars != m.numVars {
+		panic(fmt.Sprintf("bdd: CopyFrom across universes (%d vars -> %d vars)", src.numVars, m.numVars))
+	}
+	if n < 0 || int(n) >= len(src.nodes) {
+		panic(fmt.Sprintf("bdd: CopyFrom of invalid node %d", n))
+	}
+	memo := make(map[Node]Node)
+	return m.copyRec(src, n, memo)
+}
+
+func (m *Manager) copyRec(src *Manager, n Node, memo map[Node]Node) Node {
+	if n == False || n == True {
+		return n
+	}
+	if r, ok := memo[n]; ok {
+		return r
+	}
+	// One charged op per distinct source node keeps MaxOps and the watched
+	// context authoritative over merge work too.
+	m.chargeOp()
+	nd := src.nodes[n]
+	low := m.copyRec(src, nd.low, memo)
+	high := m.copyRec(src, nd.high, memo)
+	r := m.mk(nd.level, low, high)
+	memo[n] = r
+	return r
+}

@@ -1,0 +1,113 @@
+package bdd
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// enumerate evaluates a on every assignment of its manager's universe,
+// returning the truth table as a bit vector. Exact but exponential — test
+// universes stay small.
+func enumerate(m *Manager, a Node) []bool {
+	n := m.NumVars()
+	out := make([]bool, 1<<n)
+	assign := make([]bool, n)
+	for i := range out {
+		for v := 0; v < n; v++ {
+			assign[v] = i&(1<<v) != 0
+		}
+		out[i] = m.Eval(a, assign)
+	}
+	return out
+}
+
+func TestCopyFromPreservesFunction(t *testing.T) {
+	src := New(8)
+	dst := New(8)
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		a := randomNode(src, rng, 8)
+		c := dst.CopyFrom(src, a)
+		want := enumerate(src, a)
+		got := enumerate(dst, c)
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyFromCanonicalInDestination(t *testing.T) {
+	src := New(6)
+	dst := New(6)
+	// Build the same function independently in both managers; the transfer
+	// must land on the natively built node (hash-consing across origins).
+	build := func(m *Manager) Node {
+		return m.Or(m.And(m.Var(0), m.Var(2)), m.Diff(m.Var(4), m.Var(1)))
+	}
+	native := build(dst)
+	copied := dst.CopyFrom(src, build(src))
+	if native != copied {
+		t.Errorf("transferred node %d != natively built node %d", copied, native)
+	}
+}
+
+func TestCopyFromTerminalsAndSelf(t *testing.T) {
+	src := New(4)
+	dst := New(4)
+	if got := dst.CopyFrom(src, False); got != False {
+		t.Errorf("CopyFrom(False) = %d", got)
+	}
+	if got := dst.CopyFrom(src, True); got != True {
+		t.Errorf("CopyFrom(True) = %d", got)
+	}
+	a := src.And(src.Var(0), src.Var(1))
+	if got := src.CopyFrom(src, a); got != a {
+		t.Errorf("self-copy changed node: %d != %d", got, a)
+	}
+}
+
+func TestCopyFromMismatchedUniversePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched variable counts")
+		}
+	}()
+	New(4).CopyFrom(New(5), True)
+}
+
+func TestCopyFromChargesDestinationBudget(t *testing.T) {
+	src := New(16)
+	rng := rand.New(rand.NewSource(7))
+	a := randomNode(src, rng, 40)
+	if src.NodeCount(a) < 4 {
+		t.Fatalf("fixture too small: %d nodes", src.NodeCount(a))
+	}
+	dst := New(16)
+	dst.SetLimits(Limits{MaxNodes: 3})
+	err := Guard(func() { dst.CopyFrom(src, a) })
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if dst.BudgetErr() == nil {
+		t.Error("destination should be poisoned after tripped transfer")
+	}
+	if src.BudgetErr() != nil {
+		t.Error("source must not be poisoned by a destination trip")
+	}
+	// A fresh budget clears the poison and the transfer completes.
+	dst.SetLimits(Limits{})
+	if err := Guard(func() { dst.CopyFrom(src, a) }); err != nil {
+		t.Fatalf("transfer after reset: %v", err)
+	}
+	if dst.BudgetErr() != nil {
+		t.Error("BudgetErr should be nil after SetLimits reset")
+	}
+}

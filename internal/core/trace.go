@@ -107,6 +107,29 @@ func (t *Trace) Merge(other *Trace) {
 	}
 }
 
+// TransferTo returns a copy of the trace whose packet sets live in dst's
+// BDD space (hdr.Set.TransferTo per location); marked rules carry over
+// unchanged. It is how a worker-local trace recorded against a network
+// replica is merged back into the canonical space: rule and location IDs
+// are indices, identical across deterministic replicas, so only the
+// symbolic sets need translating.
+//
+// The transfer reads the source space's manager and writes dst's, so the
+// caller must hold both single-threaded for the duration (merge worker
+// traces one at a time, after the workers have finished).
+func (t *Trace) TransferTo(dst *hdr.Space) *Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := NewTrace()
+	for loc, s := range t.packets {
+		out.packets[loc] = s.TransferTo(dst)
+	}
+	for r := range t.rules {
+		out.rules[r] = true
+	}
+	return out
+}
+
 // PacketsAt returns the trace's packet set at a location (empty set of sp
 // when none).
 func (t *Trace) PacketsAt(sp *hdr.Space, loc dataplane.Loc) hdr.Set {

@@ -32,9 +32,14 @@ type tracePackets struct {
 
 // EncodeJSON writes the trace. Output is deterministic (sorted by
 // location and rule).
+//
+// The snapshot — including cube extraction, which is BDD-manager work and
+// must stay serialized with concurrent markers — happens under the trace
+// lock; JSON encoding and the writes to w happen after it is released, so
+// a slow writer (a snapshot to disk, a stalled HTTP client) never blocks
+// concurrent marking.
 func (t *Trace) EncodeJSON(w io.Writer) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 
 	var tj traceJSON
 	locs := make([]dataplane.Loc, 0, len(t.packets))
@@ -58,6 +63,7 @@ func (t *Trace) EncodeJSON(w io.Writer) error {
 		tj.Rules = append(tj.Rules, int32(r))
 	}
 	sort.Slice(tj.Rules, func(i, j int) bool { return tj.Rules[i] < tj.Rules[j] })
+	t.mu.Unlock()
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(tj)

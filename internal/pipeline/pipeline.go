@@ -25,6 +25,7 @@ import (
 	"yardstick/internal/dataplane"
 	"yardstick/internal/netmodel"
 	"yardstick/internal/report"
+	"yardstick/internal/sharded"
 	"yardstick/internal/testkit"
 )
 
@@ -98,8 +99,17 @@ type Config struct {
 	PathBudget int
 	// Limits bounds the BDD engine for each evaluated state (the zero
 	// value is unlimited). A tripped budget surfaces as an error
-	// wrapping bdd.ErrBudgetExceeded with verdict Incomplete.
+	// wrapping bdd.ErrBudgetExceeded with verdict Incomplete. With
+	// Workers > 1 the same limits also govern each shard (MaxOps split
+	// across workers; see internal/sharded).
 	Limits bdd.Limits
+	// Workers is the suite parallelism per evaluated state: when > 1,
+	// the state's builder replicates the network once per worker and the
+	// suite partitions across them (internal/sharded); 0 or 1 evaluates
+	// sequentially. Results and metrics are identical either way — only
+	// wall-clock time changes. Builders must be deterministic, which
+	// Before/After already promise (both sides are *computed* states).
+	Workers int
 }
 
 // Result is a change-evaluation report. On error it is still returned
@@ -168,12 +178,35 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		defer net.Space.WatchContext(ctx)()
 		var (
 			results   []testkit.Result
+			trace     *core.Trace
 			snap      *report.Snapshot
 			truncated bool
 		)
+		if cfg.Workers > 1 {
+			// Parallel suite evaluation: replicate the state via its own
+			// builder, run shards, merge traces into this (canonical)
+			// space. Shard budget trips and cancellation surface here
+			// with the same error semantics as the sequential guard.
+			eng, err := sharded.New(ctx, net, sharded.Config{
+				Workers: cfg.Workers,
+				Build:   build,
+				Limits:  cfg.Limits,
+			})
+			if err != nil {
+				return nil, nil, false, err
+			}
+			sres, err := eng.Run(ctx, cfg.Suite)
+			results = sres.Results
+			if err != nil {
+				return results, nil, false, err
+			}
+			trace = sres.Trace
+		}
 		gerr := bdd.Guard(func() {
-			trace := core.NewTrace()
-			results = cfg.Suite.Run(ctx, net, trace)
+			if trace == nil {
+				trace = core.NewTrace()
+				results = cfg.Suite.Run(ctx, net, trace)
+			}
 			cov := core.NewCoverage(net, trace)
 			snap = report.TakeSnapshot(cov)
 			if !cfg.SkipPathUniverse {

@@ -329,3 +329,63 @@ func (panicTest) Kind() testkit.Kind { return testkit.StateInspection }
 func (panicTest) Run(*netmodel.Network, core.Tracker) testkit.Result {
 	panic("pipeline chaos: injected panic")
 }
+
+func TestWorkersMatchesSequential(t *testing.T) {
+	// The parallel evaluation path must be invisible in the output:
+	// identical verdict, test results, and coverage metrics.
+	opts := smallOpts()
+	run := func(workers int) *Result {
+		t.Helper()
+		res, err := Run(context.Background(), Config{
+			Before:  regionalBuilder(opts),
+			After:   regionalBuilder(opts),
+			Suite:   suite(),
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(3)
+	if par.Verdict != seq.Verdict {
+		t.Errorf("verdict %v, want %v", par.Verdict, seq.Verdict)
+	}
+	if par.BeforeCoverage != seq.BeforeCoverage || par.AfterCoverage != seq.AfterCoverage {
+		t.Errorf("coverage differs: %+v/%+v vs %+v/%+v",
+			par.BeforeCoverage, par.AfterCoverage, seq.BeforeCoverage, seq.AfterCoverage)
+	}
+	if len(par.Results) != len(seq.Results) {
+		t.Fatalf("%d results, want %d", len(par.Results), len(seq.Results))
+	}
+	for i := range par.Results {
+		if par.Results[i].Name != seq.Results[i].Name || par.Results[i].Status() != seq.Results[i].Status() {
+			t.Errorf("result %d: %s/%s, want %s/%s", i,
+				par.Results[i].Name, par.Results[i].Status(),
+				seq.Results[i].Name, seq.Results[i].Status())
+		}
+	}
+	if par.PathsBefore != seq.PathsBefore || par.PathsAfter != seq.PathsAfter {
+		t.Errorf("path universe differs: %d/%d vs %d/%d",
+			par.PathsBefore, par.PathsAfter, seq.PathsBefore, seq.PathsAfter)
+	}
+}
+
+func TestWorkersBudgetTripIsIncomplete(t *testing.T) {
+	// A shard budget trip must degrade exactly like the sequential case:
+	// error wrapping ErrBudgetExceeded, verdict Incomplete.
+	res, err := Run(context.Background(), Config{
+		Before:  regionalBuilder(smallOpts()),
+		After:   regionalBuilder(smallOpts()),
+		Suite:   suite(),
+		Workers: 2,
+		Limits:  bdd.Limits{MaxOps: 200},
+	})
+	if !errors.Is(err, bdd.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if res == nil || res.Verdict != Incomplete {
+		t.Fatalf("res = %+v, want non-nil with verdict incomplete", res)
+	}
+}

@@ -16,13 +16,18 @@
 //	GET    /trace            download the accumulated trace
 //	DELETE /trace            reset the trace
 //	POST   /run?suite=a,b    run built-in tests server-side, accumulate coverage
+//	                         (&workers=n runs the suite sharded across up to
+//	                         n workers, capped by WithWorkers; 0 = the cap)
 //	GET    /coverage         headline metrics + per-role rows
 //	GET    /gaps             untested rules by origin and role
 //	GET    /healthz          liveness: 200 once the process serves traffic
 //	GET    /readyz           readiness: 200 when a network is loaded, 503 before
 //
 // The server serializes all requests: the underlying BDD manager is
-// single-threaded by design.
+// single-threaded by design. With WithWorkers(n > 1), POST /run can
+// fan one request's suite out across per-worker network replicas
+// (internal/sharded) — requests are still serialized; the parallelism
+// is within a run.
 //
 // The handler chain hardens the service for long-running deployment:
 // panics are recovered (500, logged stack, server survives), request
@@ -52,6 +57,7 @@ import (
 	"io/fs"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -59,6 +65,7 @@ import (
 	"yardstick/internal/core"
 	"yardstick/internal/netmodel"
 	"yardstick/internal/report"
+	"yardstick/internal/sharded"
 	"yardstick/internal/testkit"
 )
 
@@ -73,10 +80,15 @@ type Server struct {
 	mu    sync.Mutex
 	net   *netmodel.Network
 	trace *core.Trace
+	// engine is the lazily built sharded evaluation pool for the current
+	// network (nil until the first parallel /run; reset when the network
+	// changes). Replicas are expensive to build, cheap to keep.
+	engine *sharded.Engine
 
 	logger       *log.Logger
 	maxBody      int64
 	runTimeout   time.Duration
+	maxWorkers   int
 	snapPath     string
 	snapInterval time.Duration
 }
@@ -97,6 +109,19 @@ func WithMaxBody(n int64) Option { return func(s *Server) { s.maxBody = n } }
 // negative means no server-side deadline.
 func WithRunTimeout(d time.Duration) Option { return func(s *Server) { s.runTimeout = d } }
 
+// WithWorkers caps the per-request parallelism of POST /run: a request's
+// ?workers=n is clamped to this cap (default 1 — parallel runs disabled).
+// Parallelism replicates the loaded network once per worker via a
+// netmodel JSON round-trip, built lazily on the first parallel run and
+// reused until the network changes.
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n > 1 {
+			s.maxWorkers = n
+		}
+	}
+}
+
 // WithSnapshot enables crash-safe trace persistence: the accumulated
 // trace is checkpointed to path every interval (see RunCheckpointer)
 // and on Checkpoint calls, and Restore recovers it on startup. An
@@ -116,6 +141,7 @@ func New(opts ...Option) *Server {
 		trace:        core.NewTrace(),
 		logger:       log.Default(),
 		maxBody:      DefaultMaxBody,
+		maxWorkers:   1,
 		snapInterval: time.Minute,
 	}
 	for _, o := range opts {
@@ -198,6 +224,7 @@ func (s *Server) putNetwork(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	s.net = net
 	s.trace = core.NewTrace() // a new network invalidates the old trace
+	s.engine = nil            // and the old replica pool
 	writeJSON(w, http.StatusOK, statsBody(net))
 }
 
@@ -324,20 +351,34 @@ func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	workers, err := s.requestWorkers(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	ctx, cancel := s.evalContext(r)
 	defer cancel()
-	defer s.net.Space.WatchContext(ctx)()
 	var results []testkit.Result
-	gerr := bdd.Guard(func() { results = suite.Run(ctx, s.net, s.trace) })
-	if gerr == nil {
-		gerr = ctx.Err()
-	}
-	if gerr != nil {
-		// Partial coverage already merged into the trace is kept: the
-		// trace is a monotonic union and every marked set was really
-		// exercised. The run itself reports the abort.
-		abortError(w, "run", gerr)
-		return
+	if workers > 1 {
+		results, err = s.runSharded(ctx, suite, workers)
+		if err != nil {
+			// Partial coverage already merged into the trace is kept: the
+			// trace is a monotonic union and every marked set was really
+			// exercised. The run itself reports the abort.
+			abortError(w, "run", err)
+			return
+		}
+	} else {
+		defer s.net.Space.WatchContext(ctx)()
+		gerr := bdd.Guard(func() { results = suite.Run(ctx, s.net, s.trace) })
+		if gerr == nil {
+			gerr = ctx.Err()
+		}
+		if gerr != nil {
+			// See above: partial trace contributions are kept.
+			abortError(w, "run", gerr)
+			return
+		}
 	}
 	var out []RunResult
 	for _, res := range results {
@@ -364,6 +405,53 @@ func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
 // builtinSuite resolves the suite names the CLI tools also accept.
 func builtinSuite(arg string) (testkit.Suite, error) {
 	return testkit.BuiltinSuite(arg)
+}
+
+// requestWorkers resolves the ?workers query parameter: absent or 1 is
+// sequential, 0 asks for the server's cap, anything else is clamped to
+// the WithWorkers cap.
+func (s *Server) requestWorkers(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("workers")
+	if q == "" {
+		return 1, nil
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("workers: %q is not a non-negative integer", q)
+	}
+	if n == 0 || n > s.maxWorkers {
+		n = s.maxWorkers
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}
+
+// runSharded evaluates suite across up to n workers of the lazily built
+// replica pool and merges the coverage into the accumulated trace. On
+// error the partial merged coverage is kept (monotonic union) and the
+// error describes the abort.
+func (s *Server) runSharded(ctx context.Context, suite testkit.Suite, n int) ([]testkit.Result, error) {
+	if s.engine == nil {
+		eng, err := sharded.New(ctx, s.net, sharded.Config{
+			Workers: s.maxWorkers,
+			Build:   sharded.JSONReplicator(s.net),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("building worker pool: %w", err)
+		}
+		s.engine = eng
+	}
+	res, rerr := s.engine.RunWorkers(ctx, suite, n)
+	// res.Trace is already in the canonical space; folding it into the
+	// accumulated trace is same-space unions. Guard anyway: the canonical
+	// manager could have been poisoned by an earlier budgeted request.
+	merr := bdd.Guard(func() { s.trace.Merge(res.Trace) })
+	if rerr != nil {
+		return res.Results, rerr
+	}
+	return res.Results, merr
 }
 
 // CoverageReport is the GET /coverage response body.

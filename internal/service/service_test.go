@@ -234,3 +234,72 @@ func TestBadRequests(t *testing.T) {
 	doJSON(t, "POST", ts.URL+"/run?suite=bogus", nil, http.StatusBadRequest, nil)
 	doJSON(t, "POST", ts.URL+"/run", nil, http.StatusBadRequest, nil)
 }
+
+func TestRunWorkersMatchesSequential(t *testing.T) {
+	// Two servers over the same topology: one runs the suite
+	// sequentially, one sharded across workers. The coverage reports
+	// must be identical — parallelism must be invisible in the output.
+	newServer := func(workers int) *httptest.Server {
+		rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+			DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+			SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := []Option{WithLogger(discardLogger())}
+		if workers > 1 {
+			opts = append(opts, WithWorkers(workers))
+		}
+		ts := httptest.NewServer(WithNetwork(rg.Net, opts...).Handler())
+		t.Cleanup(ts.Close)
+		return ts
+	}
+
+	seq := newServer(1)
+	par := newServer(3)
+
+	var seqResults, parResults []RunResult
+	doJSON(t, "POST", seq.URL+"/run?suite=default,internal,reach,pingmesh", nil, http.StatusOK, &seqResults)
+	doJSON(t, "POST", par.URL+"/run?suite=default,internal,reach,pingmesh&workers=3", nil, http.StatusOK, &parResults)
+	if len(parResults) != len(seqResults) {
+		t.Fatalf("%d results, want %d", len(parResults), len(seqResults))
+	}
+	for i := range parResults {
+		if parResults[i].Name != seqResults[i].Name || parResults[i].Pass != seqResults[i].Pass ||
+			parResults[i].Checks != seqResults[i].Checks {
+			t.Errorf("result %d: %+v vs %+v", i, parResults[i], seqResults[i])
+		}
+	}
+
+	var seqCov, parCov CoverageReport
+	doJSON(t, "GET", seq.URL+"/coverage", nil, http.StatusOK, &seqCov)
+	doJSON(t, "GET", par.URL+"/coverage", nil, http.StatusOK, &parCov)
+	if seqCov.Total != parCov.Total {
+		t.Errorf("coverage differs: %+v vs %+v", parCov.Total, seqCov.Total)
+	}
+
+	// A second parallel run reuses the pool and stays consistent.
+	doJSON(t, "POST", par.URL+"/run?suite=default&workers=2", nil, http.StatusOK, &parResults)
+}
+
+func TestRunWorkersParamValidation(t *testing.T) {
+	ts, _ := newTestServer(t) // cap defaults to 1
+
+	// Bad values are rejected.
+	doJSON(t, "POST", ts.URL+"/run?suite=default&workers=x", nil, http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/run?suite=default&workers=-2", nil, http.StatusBadRequest, nil)
+
+	// On a server without WithWorkers, any request is capped to 1 and
+	// runs sequentially.
+	var results []RunResult
+	doJSON(t, "POST", ts.URL+"/run?suite=default&workers=8", nil, http.StatusOK, &results)
+	if len(results) != 1 || !results[0].Pass {
+		t.Errorf("capped run results = %+v", results)
+	}
+	// workers=0 asks for the cap — still sequential here.
+	doJSON(t, "POST", ts.URL+"/run?suite=default&workers=0", nil, http.StatusOK, &results)
+	if len(results) != 1 {
+		t.Errorf("workers=0 results = %+v", results)
+	}
+}

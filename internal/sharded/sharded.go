@@ -1,0 +1,341 @@
+// Package sharded evaluates a test suite across a pool of workers, each
+// with its own BDD space, and merges the per-worker coverage traces back
+// into a canonical space exactly.
+//
+// The ATU coverage framework is embarrassingly parallel at the test
+// granularity: tests only interact through the trace, and Trace.Merge is
+// order-independent. What blocks naive parallelism is the BDD manager —
+// it is single-threaded by design (hash-consed unique table, memoized
+// apply loops) and must stay that way. This package therefore replicates
+// the *universe* instead of locking it: each worker owns a private
+// network replica, built by a deterministic builder function, whose
+// hdr.Space wraps a private manager. Workers run disjoint partitions of
+// the suite through testkit.Suite.Run (keeping the per-test runIsolated
+// panic boundary), record into worker-local traces, and the engine merges
+// those traces into the canonical space with the cross-space transfer
+// kernel (hdr.Set.TransferTo — a node-by-node DAG copy, no cube
+// round-trip).
+//
+// Determinism: replicas are deterministic (same builder, or a netmodel
+// JSON round-trip, so device/iface/rule indices are identical), the
+// partition is a fixed round-robin of the suite order, results are
+// scattered back to suite order, and the merged trace is a union of
+// per-location sets — order-independent by construction. Workers=1 and
+// Workers=N therefore produce identical results and metrics.
+//
+// Budgets and cancellation compose with the PR 2 degradation model:
+// Config.Limits is installed per shard with MaxOps split evenly across
+// workers (MaxNodes is a per-manager memory cap and applies to each
+// replica as-is), every worker observes the run context via WatchContext,
+// and a budget tripped on any shard — detected via the poisoned manager
+// after the shard drains — fails the whole run with an error wrapping
+// bdd.ErrBudgetExceeded.
+package sharded
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"yardstick/internal/bdd"
+	"yardstick/internal/core"
+	"yardstick/internal/netmodel"
+	"yardstick/internal/testkit"
+)
+
+// Builder constructs one network replica. It must be deterministic —
+// every invocation yields a structurally identical network (same device,
+// interface, and rule indices) — and safe to call from multiple
+// goroutines concurrently (each call builds into a fresh space).
+// Deterministic topology generators and JSONReplicator both qualify.
+type Builder func() (*netmodel.Network, error)
+
+// JSONReplicator returns a Builder that replays net through a netmodel
+// JSON round-trip: the network is encoded once, and every call decodes a
+// fresh replica (match sets recomputed deterministically). It is the
+// replica factory of last resort — any network can be replicated this
+// way, at the cost of one encode plus one decode per worker.
+func JSONReplicator(net *netmodel.Network) Builder {
+	var buf bytes.Buffer
+	err := net.EncodeJSON(&buf)
+	data := buf.Bytes()
+	return func() (*netmodel.Network, error) {
+		if err != nil {
+			return nil, fmt.Errorf("sharded: encoding canonical network: %w", err)
+		}
+		return netmodel.DecodeJSON(bytes.NewReader(data))
+	}
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the pool size; 0 or negative means runtime.GOMAXPROCS(0).
+	Workers int
+	// Build constructs one replica per worker (required; see Builder).
+	Build Builder
+	// Limits is the evaluation budget, installed per shard at the start
+	// of every Run: MaxOps is split evenly (ceiling division) across the
+	// workers that run, MaxNodes applies to each replica's manager as-is.
+	Limits Limits
+}
+
+// Limits is an alias re-exported for config ergonomics.
+type Limits = bdd.Limits
+
+// ShardStats describes one worker's share of a run.
+type ShardStats struct {
+	// Worker is the shard index in [0, Workers).
+	Worker int
+	// Tests is the number of suite entries assigned to the shard.
+	Tests int
+	// Completed is how many of them produced a Result (equals Tests
+	// unless the run was cancelled mid-shard).
+	Completed int
+	// Engine reports the replica manager's counters after the run.
+	Engine bdd.Stats
+}
+
+// Result is the outcome of one parallel run.
+type Result struct {
+	// Results holds the per-test results of every test that ran, in
+	// suite order regardless of which worker ran it. On a cancelled run
+	// it contains the tests that completed before cancellation.
+	Results []testkit.Result
+	// Trace is the merged coverage trace, in the canonical space. On a
+	// failed run it holds whatever merged before the failure (coverage
+	// is monotone, so a partial trace is still sound to accumulate).
+	Trace *core.Trace
+	// Shards reports per-worker statistics, ordered by worker index.
+	Shards []ShardStats
+}
+
+// Engine is a reusable worker pool bound to one canonical network. The
+// replicas are built once at New and reused across Run calls (each Run
+// reinstalls fresh shard budgets). An Engine is not safe for concurrent
+// use: Run touches the canonical space during the merge phase, and the
+// caller must not use the canonical space concurrently with Run.
+type Engine struct {
+	canonical *netmodel.Network
+	cfg       Config
+	replicas  []*netmodel.Network
+}
+
+// New builds an engine with cfg.Workers replicas of the canonical
+// network. Replicas are built concurrently (Builder must tolerate that)
+// and validated against the canonical network: same family and same
+// device/interface/rule counts, so trace indices mean the same thing in
+// every space.
+func New(ctx context.Context, canonical *netmodel.Network, cfg Config) (*Engine, error) {
+	if canonical == nil {
+		return nil, errors.New("sharded: nil canonical network")
+	}
+	if cfg.Build == nil {
+		return nil, errors.New("sharded: Config.Build is required")
+	}
+	canonical.ComputeMatchSets()
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	type built struct {
+		i   int
+		net *netmodel.Network
+		err error
+	}
+	ch := make(chan built, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go func(i int) {
+			n, err := cfg.Build()
+			ch <- built{i: i, net: n, err: err}
+		}(i)
+	}
+	replicas := make([]*netmodel.Network, cfg.Workers)
+	var firstErr error
+	for i := 0; i < cfg.Workers; i++ {
+		b := <-ch
+		if b.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sharded: building replica %d: %w", b.i, b.err)
+			}
+			continue
+		}
+		replicas[b.i] = b.net
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	want := canonical.Stats()
+	for i, r := range replicas {
+		r.ComputeMatchSets()
+		if r.Family() != canonical.Family() || r.Stats() != want {
+			return nil, fmt.Errorf("sharded: replica %d does not match canonical network (family %v stats %+v, want %v %+v): builder is not deterministic",
+				i, r.Family(), r.Stats(), canonical.Family(), want)
+		}
+	}
+	return &Engine{canonical: canonical, cfg: cfg, replicas: replicas}, nil
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return len(e.replicas) }
+
+// Run is a convenience: build an engine for one run and evaluate suite.
+func Run(ctx context.Context, canonical *netmodel.Network, cfg Config, suite testkit.Suite) (*Result, error) {
+	e, err := New(ctx, canonical, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(ctx, suite)
+}
+
+// Run evaluates suite across the pool and merges the results.
+//
+// Error semantics mirror the sequential degradation model: a budget trip
+// on any shard fails the run with an error wrapping bdd.ErrBudgetExceeded
+// (the partial Result is still returned — the tripped shard's remaining
+// tests are Errored, sibling shards are unaffected); a cancelled context
+// returns ctx.Err() with the partial merged trace and the results that
+// completed. The Result is never nil.
+func (e *Engine) Run(ctx context.Context, suite testkit.Suite) (*Result, error) {
+	return e.RunWorkers(ctx, suite, len(e.replicas))
+}
+
+// RunWorkers is Run restricted to the first n workers of the pool
+// (clamped to [1, Workers()]) — how a service with a fixed pool honors a
+// smaller per-request parallelism. The MaxOps budget splits over the
+// workers that actually run.
+func (e *Engine) RunWorkers(ctx context.Context, suite testkit.Suite, n int) (*Result, error) {
+	res := &Result{Trace: core.NewTrace()}
+	w := n
+	if w < 1 {
+		w = 1
+	}
+	if w > len(e.replicas) {
+		w = len(e.replicas)
+	}
+	if w > len(suite) {
+		w = len(suite)
+	}
+	if w == 0 {
+		return res, ctx.Err()
+	}
+	limits := shardLimits(e.cfg.Limits, w)
+
+	// Round-robin partition in suite order: worker i runs tests i, i+w, …
+	// The assignment depends only on suite order and pool size, never on
+	// scheduling, so reruns partition identically.
+	parts := make([][]testkit.Test, w)
+	index := make([][]int, w)
+	for i, t := range suite {
+		parts[i%w] = append(parts[i%w], t)
+		index[i%w] = append(index[i%w], i)
+	}
+
+	type shardOut struct {
+		worker  int
+		results []testkit.Result
+		trace   *core.Trace
+		stats   bdd.Stats
+		err     error
+	}
+	// runShard touches the replica's manager; its deferred WatchContext
+	// restore must complete before the result is sent, or a subsequent
+	// Run on the same engine could race with the restore write.
+	runShard := func(i int) shardOut {
+		rep := e.replicas[i]
+		// Fresh budget per run: SetLimits resets the op counter and
+		// clears any poison left by a previous run's trip.
+		rep.Space.SetLimits(limits)
+		restore := rep.Space.WatchContext(ctx)
+		defer restore()
+		trace := core.NewTrace()
+		results := testkit.Suite(parts[i]).Run(ctx, rep, trace)
+		return shardOut{
+			worker:  i,
+			results: results,
+			trace:   trace,
+			stats:   rep.Space.EngineStats(),
+			// A budget panic inside a test is recovered generically by
+			// the per-test isolation boundary into an Errored result;
+			// the poisoned manager is the durable evidence that the
+			// shard — and therefore the run — blew its budget.
+			err: rep.Space.Manager().BudgetErr(),
+		}
+	}
+	ch := make(chan shardOut, w)
+	for i := 0; i < w; i++ {
+		go func(i int) { ch <- runShard(i) }(i)
+	}
+
+	outs := make([]shardOut, 0, w)
+	for i := 0; i < w; i++ {
+		outs = append(outs, <-ch)
+	}
+	sort.Slice(outs, func(i, j int) bool { return outs[i].worker < outs[j].worker })
+
+	// Scatter results back to suite order. Suite.Run returns a prefix of
+	// its partition (cancellation skips the rest), so results align with
+	// the partition's leading indices.
+	slots := make([]*testkit.Result, len(suite))
+	var shardErr error
+	for _, o := range outs {
+		for j := range o.results {
+			r := o.results[j]
+			slots[index[o.worker][j]] = &r
+		}
+		res.Shards = append(res.Shards, ShardStats{
+			Worker:    o.worker,
+			Tests:     len(parts[o.worker]),
+			Completed: len(o.results),
+			Engine:    o.stats,
+		})
+		if o.err != nil && shardErr == nil {
+			shardErr = fmt.Errorf("sharded: worker %d: %w", o.worker, o.err)
+		}
+	}
+	for _, r := range slots {
+		if r != nil {
+			res.Results = append(res.Results, *r)
+		}
+	}
+
+	// Merge worker traces into the canonical space, one at a time (the
+	// canonical manager is single-threaded; the workers are done, so
+	// their managers are quiescent sources). Union order cannot matter —
+	// Trace.Merge is order-independent — but worker order keeps the
+	// canonical unique table filling deterministically too. The transfer
+	// charges the canonical manager's budget; Guard converts a trip (or a
+	// watched-context cancellation installed by the caller) into an error
+	// instead of unwinding through us.
+	mergeErr := bdd.Guard(func() {
+		for _, o := range outs {
+			res.Trace.Merge(o.trace.TransferTo(e.canonical.Space))
+		}
+	})
+
+	switch {
+	case shardErr != nil:
+		return res, shardErr
+	case mergeErr != nil:
+		return res, fmt.Errorf("sharded: merging traces: %w", mergeErr)
+	default:
+		return res, ctx.Err()
+	}
+}
+
+// shardLimits derives the per-shard budget: MaxOps splits evenly across
+// the workers that run (ceiling division, so the aggregate bound is at
+// least the configured one); MaxNodes is a per-manager memory cap and
+// applies to each replica unchanged — dividing it would charge each
+// worker for the replica's base forwarding state w times over.
+func shardLimits(l bdd.Limits, w int) bdd.Limits {
+	if l.MaxOps > 0 && w > 1 {
+		l.MaxOps = (l.MaxOps + w - 1) / w
+	}
+	return l
+}

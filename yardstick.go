@@ -53,6 +53,7 @@ import (
 	"yardstick/internal/pipeline"
 	"yardstick/internal/probegen"
 	"yardstick/internal/report"
+	"yardstick/internal/sharded"
 	"yardstick/internal/testkit"
 	"yardstick/internal/topogen"
 )
@@ -466,6 +467,42 @@ const (
 func EvaluateChange(ctx context.Context, cfg PipelineConfig) (*PipelineResult, error) {
 	return pipeline.Run(ctx, cfg)
 }
+
+// Parallel suite evaluation (internal/sharded): per-worker BDD spaces
+// with an exact cross-space trace merge.
+type (
+	// ShardedConfig parameterizes a sharded engine (workers, replica
+	// builder, per-shard engine limits).
+	ShardedConfig = sharded.Config
+	// ShardedEngine is a reusable worker pool bound to one canonical
+	// network.
+	ShardedEngine = sharded.Engine
+	// ShardedResult is the outcome of one parallel run: results in suite
+	// order, the merged trace in the canonical space, per-shard stats.
+	ShardedResult = sharded.Result
+	// ShardedBuilder constructs one network replica per worker; it must
+	// be deterministic.
+	ShardedBuilder = sharded.Builder
+	// ShardStats describes one worker's share of a run.
+	ShardStats = sharded.ShardStats
+)
+
+// NewShardedEngine builds a reusable pool of cfg.Workers network
+// replicas for parallel suite evaluation against net.
+func NewShardedEngine(ctx context.Context, net *Network, cfg ShardedConfig) (*ShardedEngine, error) {
+	return sharded.New(ctx, net, cfg)
+}
+
+// RunSharded builds a one-shot sharded engine and evaluates suite
+// across it. Workers=1 and Workers=N produce identical results and an
+// identical merged trace.
+func RunSharded(ctx context.Context, net *Network, cfg ShardedConfig, suite Suite) (*ShardedResult, error) {
+	return sharded.Run(ctx, net, cfg, suite)
+}
+
+// JSONReplicator returns a ShardedBuilder that replicates net via a
+// JSON round-trip — the replica factory that works for any network.
+func JSONReplicator(net *Network) ShardedBuilder { return sharded.JSONReplicator(net) }
 
 // Reporting.
 type (
