@@ -19,14 +19,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Benchmark the sharded evaluation engine and record the numbers as a
-# committed JSON artifact. Two steps so a failing benchmark run stops
-# make instead of feeding an error transcript into the parser; benchfmt
-# stamps the host core count into the artifact, which is what makes the
-# workers=N numbers interpretable (no speedup is expected on 1 core).
+# Benchmark the evaluation engine and the BDD kernel, recording the
+# numbers (with allocation counts) as a committed JSON artifact.
+# Separate steps so a failing benchmark run stops make instead of
+# feeding an error transcript into the parser; benchfmt stamps the host
+# core count into the artifact, which is what makes the workers=N
+# numbers interpretable (no speedup is expected on 1 core), and -delta
+# prints an advisory comparison against the previously committed
+# numbers before overwriting them.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkSuiteParallel -timeout 20m . > bench.out
-	$(GO) run ./cmd/benchfmt -o BENCH_eval.json < bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSuiteParallel|BenchmarkComputeMatchSets' -benchmem -timeout 20m . > bench.out
+	$(GO) test -run '^$$' -bench BenchmarkBDD -benchmem -timeout 10m ./internal/bdd >> bench.out
+	$(GO) run ./cmd/benchfmt -delta BENCH_eval.json -o BENCH_eval.json < bench.out
 	@rm -f bench.out
 	@cat BENCH_eval.json
 

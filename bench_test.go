@@ -22,6 +22,7 @@ import (
 	"yardstick/internal/core"
 	"yardstick/internal/dataplane"
 	"yardstick/internal/experiments"
+	"yardstick/internal/netmodel"
 	"yardstick/internal/probegen"
 	"yardstick/internal/sharded"
 	"yardstick/internal/testkit"
@@ -316,6 +317,42 @@ func BenchmarkSuiteParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// cloneStructure rebuilds a network's devices and rules through the
+// public builder API without computing match sets — every topogen and
+// decode path computes them eagerly, and ComputeMatchSets is one-shot,
+// so benchmarks need a virgin copy per iteration.
+func cloneStructure(src *netmodel.Network) *netmodel.Network {
+	n := netmodel.NewFamily(src.Family())
+	for _, d := range src.Devices {
+		id := n.AddDevice(d.Name, d.Role, d.ASN)
+		for _, ifID := range d.Ifaces {
+			n.AddIface(id, src.Iface(ifID).Name)
+		}
+	}
+	for _, r := range src.Rules {
+		if r.Table == netmodel.TableACL {
+			n.AddACLRule(r.Device, r.Match, r.Deny)
+		} else {
+			n.AddFIBRule(r.Device, r.Match, r.Action, r.Origin)
+		}
+	}
+	return n
+}
+
+// BenchmarkComputeMatchSets measures the match-set derivation kernel on
+// a fat-tree: every rule's raw BDD plus the first-match-wins Diff chain.
+func BenchmarkComputeMatchSets(b *testing.B) {
+	ft := fatTree(b, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net := cloneStructure(ft.Net)
+		b.StartTimer()
+		net.ComputeMatchSets()
 	}
 }
 

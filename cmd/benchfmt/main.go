@@ -38,6 +38,10 @@ type Record struct {
 	// Procs is the GOMAXPROCS the benchmark ran under (the `-N` name
 	// suffix go test appends when it is not 1).
 	Procs int `json:"procs"`
+	// BytesPerOp and AllocsPerOp are the -benchmem columns; omitted
+	// when the run did not pass -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // Report is the full JSON artifact.
@@ -59,17 +63,22 @@ func parseLine(line string) (Record, bool) {
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 		return Record{}, false
 	}
-	// The ns/op value is the field preceding the "ns/op" unit token
-	// (with -benchmem more unit pairs follow; ignore them).
+	// Values precede their unit tokens: "123 ns/op", and with -benchmem
+	// also "456 B/op" and "7 allocs/op".
 	ns := -1.0
+	var bytesOp, allocsOp *float64
 	for i := 2; i < len(fields); i++ {
-		if fields[i] == "ns/op" {
-			v, err := strconv.ParseFloat(fields[i-1], 64)
-			if err != nil {
-				return Record{}, false
-			}
+		v, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i] {
+		case "ns/op":
 			ns = v
-			break
+		case "B/op":
+			bytesOp = &v
+		case "allocs/op":
+			allocsOp = &v
 		}
 	}
 	if ns < 0 {
@@ -77,7 +86,8 @@ func parseLine(line string) (Record, bool) {
 	}
 
 	name, procs := splitProcs(fields[0])
-	return Record{Name: name, NsPerOp: ns, Workers: workersOf(name), Procs: procs}, true
+	return Record{Name: name, NsPerOp: ns, Workers: workersOf(name), Procs: procs,
+		BytesPerOp: bytesOp, AllocsPerOp: allocsOp}, true
 }
 
 // splitProcs strips the `-N` GOMAXPROCS suffix go test appends to
@@ -121,22 +131,70 @@ func parse(r io.Reader, cores int) (*Report, error) {
 	return rep, nil
 }
 
-func run(in io.Reader, out io.Writer) error {
+func run(in io.Reader, out io.Writer) (*Report, error) {
 	rep, err := parse(in, runtime.NumCPU())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(rep.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmark lines in input")
+		return nil, fmt.Errorf("no benchmark lines in input")
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return rep, enc.Encode(rep)
+}
+
+// writeDelta prints an advisory old→new comparison. It never fails the
+// run: benchmark noise is not a gate, and CI runs it with `|| true`
+// anyway. Benchmarks present on only one side are called out so renames
+// and coverage changes are visible in the log.
+func writeDelta(w io.Writer, old, cur *Report) {
+	fmt.Fprintf(w, "benchfmt: delta vs baseline (cores: %d -> %d, advisory)\n", old.Cores, cur.Cores)
+	prev := make(map[string]Record, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		prev[r.Name] = r
+	}
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		seen[r.Name] = true
+		o, ok := prev[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-50s %12.0f ns/op  (new)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		ratio := r.NsPerOp / o.NsPerOp
+		fmt.Fprintf(w, "  %-50s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			r.Name, o.NsPerOp, r.NsPerOp, (ratio-1)*100)
+	}
+	for _, o := range old.Benchmarks {
+		if !seen[o.Name] {
+			fmt.Fprintf(w, "  %-50s %12.0f ns/op  (gone)\n", o.Name, o.NsPerOp)
+		}
+	}
 }
 
 func main() {
 	outPath := flag.String("o", "", "write JSON here instead of stdout")
+	deltaPath := flag.String("delta", "", "compare against a baseline JSON report (advisory, printed to stderr)")
 	flag.Parse()
+
+	// Read the baseline before creating -o: they are allowed to be the
+	// same file (make bench updates BENCH_eval.json in place while
+	// reporting the change against the committed numbers).
+	var baseline *Report
+	if *deltaPath != "" {
+		data, err := os.ReadFile(*deltaPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchfmt: no baseline:", err)
+		} else {
+			var rep Report
+			if err := json.Unmarshal(data, &rep); err != nil {
+				fmt.Fprintln(os.Stderr, "benchfmt: bad baseline:", err)
+			} else {
+				baseline = &rep
+			}
+		}
+	}
 
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
@@ -148,8 +206,12 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	if err := run(os.Stdin, out); err != nil {
+	rep, err := run(os.Stdin, out)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchfmt:", err)
 		os.Exit(1)
+	}
+	if baseline != nil {
+		writeDelta(os.Stderr, baseline, rep)
 	}
 }

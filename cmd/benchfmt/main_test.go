@@ -24,10 +24,11 @@ func TestParseLine(t *testing.T) {
 			want: Record{Name: "BenchmarkSuiteParallel/workers=4", NsPerOp: 19733589, Workers: 4, Procs: 8},
 		},
 		{
-			// -benchmem appends more unit pairs; ns/op still wins.
+			// -benchmem appends B/op and allocs/op pairs.
 			line: "BenchmarkMarkPacket-2   \t 1000000\t      1042 ns/op\t     128 B/op\t       3 allocs/op",
 			ok:   true,
-			want: Record{Name: "BenchmarkMarkPacket", NsPerOp: 1042, Workers: 1, Procs: 2},
+			want: Record{Name: "BenchmarkMarkPacket", NsPerOp: 1042, Workers: 1, Procs: 2,
+				BytesPerOp: f64(128), AllocsPerOp: f64(3)},
 		},
 		{
 			// Sub-benchmark names can contain dashes that are not a
@@ -49,10 +50,25 @@ func TestParseLine(t *testing.T) {
 			t.Errorf("parseLine(%q) ok = %v, want %v", c.line, ok, c.ok)
 			continue
 		}
-		if ok && got != c.want {
+		if ok && !recordEqual(got, c.want) {
 			t.Errorf("parseLine(%q) = %+v, want %+v", c.line, got, c.want)
 		}
 	}
+}
+
+func f64(v float64) *float64 { return &v }
+
+// recordEqual compares records by value (the memory columns are
+// pointers so json can omit them when -benchmem was not used).
+func recordEqual(a, b Record) bool {
+	eq := func(x, y *float64) bool {
+		if (x == nil) != (y == nil) {
+			return false
+		}
+		return x == nil || *x == *y
+	}
+	return a.Name == b.Name && a.NsPerOp == b.NsPerOp && a.Workers == b.Workers &&
+		a.Procs == b.Procs && eq(a.BytesPerOp, b.BytesPerOp) && eq(a.AllocsPerOp, b.AllocsPerOp)
 }
 
 func TestParseFullOutput(t *testing.T) {
@@ -89,7 +105,7 @@ func TestParseFullOutput(t *testing.T) {
 func TestRunProducesValidJSON(t *testing.T) {
 	input := "BenchmarkSuiteParallel/workers=2-4 \t 10 \t 1000 ns/op\n"
 	var out bytes.Buffer
-	if err := run(strings.NewReader(input), &out); err != nil {
+	if _, err := run(strings.NewReader(input), &out); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -106,7 +122,37 @@ func TestRunProducesValidJSON(t *testing.T) {
 
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("PASS\n"), &out); err == nil {
+	if _, err := run(strings.NewReader("PASS\n"), &out); err == nil {
 		t.Fatal("expected an error for input with no benchmark lines")
+	}
+}
+
+func TestMemoryColumnsOmittedWithoutBenchmem(t *testing.T) {
+	input := "BenchmarkBDDAnd \t 10 \t 1000 ns/op\n"
+	var out bytes.Buffer
+	if _, err := run(strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	if s := out.String(); strings.Contains(s, "bytes_per_op") || strings.Contains(s, "allocs_per_op") {
+		t.Errorf("memory columns present without -benchmem:\n%s", s)
+	}
+}
+
+func TestWriteDelta(t *testing.T) {
+	old := &Report{Cores: 1, Benchmarks: []Record{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}}
+	cur := &Report{Cores: 1, Benchmarks: []Record{
+		{Name: "BenchmarkA", NsPerOp: 500},
+		{Name: "BenchmarkNew", NsPerOp: 42},
+	}}
+	var buf bytes.Buffer
+	writeDelta(&buf, old, cur)
+	s := buf.String()
+	for _, want := range []string{"-50.0%", "(new)", "(gone)", "BenchmarkA", "BenchmarkNew", "BenchmarkGone"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("delta output missing %q:\n%s", want, s)
+		}
 	}
 }

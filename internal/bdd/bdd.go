@@ -8,6 +8,13 @@
 // construction: every node is unique, so semantic equality of functions is
 // pointer (index) equality, and set equality checks are O(1).
 //
+// The storage layout is flat: nodes live in one slice, the unique table is
+// an open-addressed power-of-two array (see table.go), counting memos are
+// node-indexed dense arrays (see satcount.go), and the operation cache is a
+// direct-mapped array sized by a CacheConfig. No hot-path structure is a Go
+// map, and the only per-operation allocations left are the big.Int results
+// of wide SatCounts.
+//
 // A Manager owns all nodes. Managers are not safe for concurrent use;
 // analyses that need parallelism should use one Manager per goroutine.
 // Nodes are never garbage collected — the working set of a dataplane
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"math/bits"
 )
 
 // Node is a reference to a BDD node owned by a Manager. The zero Node is
@@ -51,27 +59,31 @@ const (
 	opIte
 )
 
-// cacheEntry is one slot of the direct-mapped operation cache.
-type cacheEntry struct {
-	op      uint32
-	a, b, c Node
-	result  Node
-}
-
-const defaultCacheSize = 1 << 16 // slots; must be a power of two
-
 // Manager owns a universe of BDD nodes over a fixed number of variables.
 type Manager struct {
 	numVars int
 	nodes   []node
-	unique  map[uint64]Node
-	cache   []cacheEntry
 
-	// satFrac memoizes SatFraction per node.
-	satFrac map[Node]float64
-	// satCount memoizes exact model counts per node (level-adjusted to
-	// the node's own level; see satCountRec).
-	satCount map[Node]*big.Int
+	// Open-addressed unique table (see table.go): power-of-two slot
+	// array, linear probing, stored hashes, 3/4 load-factor doubling.
+	uniq     []uniqSlot
+	uniqUsed int
+
+	// Direct-mapped operation cache, sized by cacheCfg: doubles as the
+	// node table grows, up to the configured cap.
+	cache    []cacheEntry
+	cacheCfg CacheConfig
+
+	// Counting memos (see satcount.go): node-indexed dense arrays grown
+	// lazily to the node table, plus a sparse big.Int side table for
+	// counts wider than 128 bits.
+	satFrac    []float64 // -1 = unset
+	satFracN   int
+	satState   []uint8 // satUnset / satNarrow / satWide
+	satLo      []uint64
+	satHi      []uint64
+	satNarrowN int
+	satBig     map[Node]*big.Int
 
 	// Resource budgets and cancellation (see budget.go). limits bounds
 	// node-table growth and apply-loop work; budgetErr, once set, marks
@@ -89,9 +101,18 @@ type Manager struct {
 	peakNodes   int
 }
 
+// Option configures a Manager at construction.
+type Option func(*Manager)
+
+// WithCacheConfig sets the operation-cache sizing policy (see
+// CacheConfig). The zero CacheConfig selects the defaults.
+func WithCacheConfig(c CacheConfig) Option {
+	return func(m *Manager) { m.cacheCfg = c.normalize() }
+}
+
 // New returns a Manager over numVars boolean variables, ordered by index:
 // variable 0 is tested first (top of the diagram).
-func New(numVars int) *Manager {
+func New(numVars int, opts ...Option) *Manager {
 	if numVars < 0 || numVars > 1<<20 {
 		panic(fmt.Sprintf("bdd: invalid variable count %d", numVars))
 	}
@@ -103,11 +124,18 @@ func New(numVars int) *Manager {
 			{level: uint32(numVars)},
 			{level: uint32(numVars)},
 		},
-		unique:   make(map[uint64]Node, 1024),
-		cache:    make([]cacheEntry, defaultCacheSize),
-		satFrac:  map[Node]float64{False: 0, True: 1},
-		satCount: make(map[Node]*big.Int),
+		uniq:     make([]uniqSlot, initialUniqueSlots),
+		cacheCfg: CacheConfig{}.normalize(),
+		satFrac:  []float64{0, 1},
+		satFracN: 2,
+		satState: []uint8{satNarrow, satNarrow},
+		satLo:    []uint64{0, 1},
+		satHi:    []uint64{0, 0},
 	}
+	for _, o := range opts {
+		o(m)
+	}
+	m.cache = make([]cacheEntry, m.cacheCfg.MinSlots)
 	return m
 }
 
@@ -118,16 +146,24 @@ func (m *Manager) NumVars() int { return m.numVars }
 // terminals.
 func (m *Manager) Size() int { return len(m.nodes) }
 
-// Stats reports manager health for observability: allocated nodes and
-// memoization-table sizes. Analyses that watch Nodes grow without bound
-// should start a fresh Manager (nodes are never garbage collected).
-// The cache and op counters support budget tuning: a low hit rate or an
-// Ops count near Limits.MaxOps explains a degraded (budget-limited) run.
+// Stats reports manager health for observability: allocated nodes,
+// unique-table geometry, memoization-table sizes. Analyses that watch
+// Nodes grow without bound should start a fresh Manager (nodes are never
+// garbage collected). The cache and op counters support budget tuning: a
+// low hit rate or an Ops count near Limits.MaxOps explains a degraded
+// (budget-limited) run.
 type Stats struct {
 	Nodes          int
 	UniqueEntries  int
 	SatFracEntries int
 	SatCntEntries  int
+	// UniqueSlots is the unique table's capacity; UniqueLoad is
+	// UniqueEntries/UniqueSlots, kept below 0.75 by resizing.
+	UniqueSlots int
+	UniqueLoad  float64
+	// CacheSlots is the op cache's current size (it grows with the node
+	// table up to the configured cap).
+	CacheSlots int
 	// PeakNodes is the high-water node count — with never-collected
 	// nodes it equals Nodes, but it survives intent: budget tuning reads
 	// the peak even if future managers compact.
@@ -147,9 +183,12 @@ func (m *Manager) Stats() Stats {
 	}
 	return Stats{
 		Nodes:          len(m.nodes),
-		UniqueEntries:  len(m.unique),
-		SatFracEntries: len(m.satFrac),
-		SatCntEntries:  len(m.satCount),
+		UniqueEntries:  m.uniqUsed,
+		SatFracEntries: m.satFracN,
+		SatCntEntries:  m.satNarrowN + len(m.satBig),
+		UniqueSlots:    len(m.uniq),
+		UniqueLoad:     float64(m.uniqUsed) / float64(len(m.uniq)),
+		CacheSlots:     len(m.cache),
 		PeakNodes:      peak,
 		Ops:            m.ops,
 		CacheHits:      m.cacheHits,
@@ -159,61 +198,6 @@ func (m *Manager) Stats() Stats {
 
 // level returns the decision level of n.
 func (m *Manager) level(n Node) uint32 { return m.nodes[n].level }
-
-// mk returns the canonical node (level, low, high), applying the two
-// reduction rules: redundant tests collapse, and structurally equal nodes
-// share storage.
-func (m *Manager) mk(level uint32, low, high Node) Node {
-	if low == high {
-		return low
-	}
-	// The unique table is keyed by a 64-bit hash of (level, low, high);
-	// collisions (different triples, same hash) fall back to a salted
-	// probe chain, so lookups always compare the full triple.
-	key := mix(uint64(level), uint64(uint32(low)), uint64(uint32(high)))
-	if n, ok := m.unique[key]; ok {
-		nd := m.nodes[n]
-		if nd.level == level && nd.low == low && nd.high == high {
-			return n
-		}
-		// Hash collision: fall back to linear scan with salted keys.
-		for salt := uint64(1); ; salt++ {
-			k2 := key ^ mix(salt, salt<<7, salt<<13)
-			n2, ok2 := m.unique[k2]
-			if !ok2 {
-				return m.insert(k2, level, low, high)
-			}
-			nd2 := m.nodes[n2]
-			if nd2.level == level && nd2.low == low && nd2.high == high {
-				return n2
-			}
-		}
-	}
-	return m.insert(key, level, low, high)
-}
-
-func (m *Manager) insert(key uint64, level uint32, low, high Node) Node {
-	m.chargeNode()
-	n := Node(len(m.nodes))
-	m.nodes = append(m.nodes, node{level: level, low: low, high: high})
-	if len(m.nodes) > m.peakNodes {
-		m.peakNodes = len(m.nodes)
-	}
-	m.unique[key] = n
-	return n
-}
-
-// mix folds three words into a well-distributed 64-bit key
-// (splitmix64-style finalizer).
-func mix(a, b, c uint64) uint64 {
-	x := a*0x9e3779b97f4a7c15 + b*0xbf58476d1ce4e5b9 + c*0x94d049bb133111eb
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
 
 // Var returns the function that is true iff variable v is 1.
 func (m *Manager) Var(v int) Node {
@@ -231,24 +215,6 @@ func (m *Manager) NVar(v int) Node {
 	return m.mk(uint32(v), True, False)
 }
 
-// cacheLookup consults the direct-mapped operation cache. Every apply-loop
-// step passes through here, so it doubles as the budget charge point.
-func (m *Manager) cacheLookup(op uint32, a, b, c Node) (Node, bool) {
-	m.chargeOp()
-	slot := &m.cache[mix(uint64(op), uint64(uint32(a)), mix(uint64(uint32(b)), uint64(uint32(c)), 0))&(defaultCacheSize-1)]
-	if slot.op == op && slot.a == a && slot.b == b && slot.c == c {
-		m.cacheHits++
-		return slot.result, true
-	}
-	m.cacheMisses++
-	return 0, false
-}
-
-func (m *Manager) cacheStore(op uint32, a, b, c, result Node) {
-	slot := &m.cache[mix(uint64(op), uint64(uint32(a)), mix(uint64(uint32(b)), uint64(uint32(c)), 0))&(defaultCacheSize-1)]
-	*slot = cacheEntry{op: op, a: a, b: b, c: c, result: result}
-}
-
 // And returns the conjunction a ∧ b.
 func (m *Manager) And(a, b Node) Node {
 	switch {
@@ -264,12 +230,13 @@ func (m *Manager) And(a, b Node) Node {
 	if a > b {
 		a, b = b, a
 	}
-	if r, ok := m.cacheLookup(opAnd, a, b, 0); ok {
+	h := cacheHash(opAnd, a, b, 0)
+	if r, ok := m.cacheLookup(h, opAnd, a, b, 0); ok {
 		return r
 	}
 	al, ah, bl, bh, level := m.cofactors(a, b)
 	r := m.mk(level, m.And(al, bl), m.And(ah, bh))
-	m.cacheStore(opAnd, a, b, 0, r)
+	m.cacheStore(h, opAnd, a, b, 0, r)
 	return r
 }
 
@@ -288,12 +255,13 @@ func (m *Manager) Or(a, b Node) Node {
 	if a > b {
 		a, b = b, a
 	}
-	if r, ok := m.cacheLookup(opOr, a, b, 0); ok {
+	h := cacheHash(opOr, a, b, 0)
+	if r, ok := m.cacheLookup(h, opOr, a, b, 0); ok {
 		return r
 	}
 	al, ah, bl, bh, level := m.cofactors(a, b)
 	r := m.mk(level, m.Or(al, bl), m.Or(ah, bh))
-	m.cacheStore(opOr, a, b, 0, r)
+	m.cacheStore(h, opOr, a, b, 0, r)
 	return r
 }
 
@@ -314,12 +282,13 @@ func (m *Manager) Xor(a, b Node) Node {
 	if a > b {
 		a, b = b, a
 	}
-	if r, ok := m.cacheLookup(opXor, a, b, 0); ok {
+	h := cacheHash(opXor, a, b, 0)
+	if r, ok := m.cacheLookup(h, opXor, a, b, 0); ok {
 		return r
 	}
 	al, ah, bl, bh, level := m.cofactors(a, b)
 	r := m.mk(level, m.Xor(al, bl), m.Xor(ah, bh))
-	m.cacheStore(opXor, a, b, 0, r)
+	m.cacheStore(h, opXor, a, b, 0, r)
 	return r
 }
 
@@ -335,12 +304,13 @@ func (m *Manager) Diff(a, b Node) Node {
 	case a == True:
 		return m.Not(b)
 	}
-	if r, ok := m.cacheLookup(opDiff, a, b, 0); ok {
+	h := cacheHash(opDiff, a, b, 0)
+	if r, ok := m.cacheLookup(h, opDiff, a, b, 0); ok {
 		return r
 	}
 	al, ah, bl, bh, level := m.cofactors(a, b)
 	r := m.mk(level, m.Diff(al, bl), m.Diff(ah, bh))
-	m.cacheStore(opDiff, a, b, 0, r)
+	m.cacheStore(h, opDiff, a, b, 0, r)
 	return r
 }
 
@@ -352,12 +322,13 @@ func (m *Manager) Not(a Node) Node {
 	case True:
 		return False
 	}
-	if r, ok := m.cacheLookup(opNot, a, 0, 0); ok {
+	h := cacheHash(opNot, a, 0, 0)
+	if r, ok := m.cacheLookup(h, opNot, a, 0, 0); ok {
 		return r
 	}
 	nd := m.nodes[a]
 	r := m.mk(nd.level, m.Not(nd.low), m.Not(nd.high))
-	m.cacheStore(opNot, a, 0, 0, r)
+	m.cacheStore(h, opNot, a, 0, 0, r)
 	return r
 }
 
@@ -375,7 +346,8 @@ func (m *Manager) Ite(f, g, h Node) Node {
 	case g == False && h == True:
 		return m.Not(f)
 	}
-	if r, ok := m.cacheLookup(opIte, f, g, h); ok {
+	key := cacheHash(opIte, f, g, h)
+	if r, ok := m.cacheLookup(key, opIte, f, g, h); ok {
 		return r
 	}
 	level := m.level(f)
@@ -389,7 +361,7 @@ func (m *Manager) Ite(f, g, h Node) Node {
 	gl, gh := m.cofactorAt(g, level)
 	hl, hh := m.cofactorAt(h, level)
 	r := m.mk(level, m.Ite(fl, gl, hl), m.Ite(fh, gh, hh))
-	m.cacheStore(opIte, f, g, h, r)
+	m.cacheStore(key, opIte, f, g, h, r)
 	return r
 }
 
@@ -451,7 +423,8 @@ func (m *Manager) existsRec(a, cube Node) Node {
 	if cube == True {
 		return a
 	}
-	if r, ok := m.cacheLookup(opExists, a, cube, 0); ok {
+	h := cacheHash(opExists, a, cube, 0)
+	if r, ok := m.cacheLookup(h, opExists, a, cube, 0); ok {
 		return r
 	}
 	nd := m.nodes[a]
@@ -466,7 +439,7 @@ func (m *Manager) existsRec(a, cube Node) Node {
 		high := m.existsRec(nd.high, cube)
 		r = m.mk(nd.level, low, high)
 	}
-	m.cacheStore(opExists, a, cube, 0, r)
+	m.cacheStore(h, opExists, a, cube, 0, r)
 	return r
 }
 
@@ -507,51 +480,6 @@ func (m *Manager) restrictRec(a Node, level uint32, value bool) Node {
 	low := m.restrictRec(nd.low, level, value)
 	high := m.restrictRec(nd.high, level, value)
 	return m.mk(nd.level, low, high)
-}
-
-// SatFraction returns the fraction of all 2^numVars assignments that
-// satisfy a, as a float64 in [0,1]. Under the uniform measure this is
-// exact up to float64 rounding and independent of skipped levels:
-// frac(n) = (frac(low)+frac(high))/2.
-func (m *Manager) SatFraction(a Node) float64 {
-	if f, ok := m.satFrac[a]; ok {
-		return f
-	}
-	nd := m.nodes[a]
-	f := (m.SatFraction(nd.low) + m.SatFraction(nd.high)) / 2
-	m.satFrac[a] = f
-	return f
-}
-
-// SatCount returns the exact number of satisfying assignments of a over
-// the full variable universe.
-func (m *Manager) SatCount(a Node) *big.Int {
-	c := m.satCountRec(a)
-	// satCountRec counts assignments of variables at or below a's level;
-	// scale by the variables above it.
-	return new(big.Int).Lsh(c, uint(m.level(a)))
-}
-
-// satCountRec returns the number of satisfying assignments of the
-// variables from a's level (inclusive) to numVars (exclusive).
-func (m *Manager) satCountRec(a Node) *big.Int {
-	if a == False {
-		return big.NewInt(0)
-	}
-	if a == True {
-		return big.NewInt(1)
-	}
-	if c, ok := m.satCount[a]; ok {
-		return c
-	}
-	nd := m.nodes[a]
-	lo := m.satCountRec(nd.low)
-	hi := m.satCountRec(nd.high)
-	c := new(big.Int).Lsh(lo, uint(m.level(nd.low)-nd.level-1))
-	t := new(big.Int).Lsh(hi, uint(m.level(nd.high)-nd.level-1))
-	c.Add(c, t)
-	m.satCount[a] = c
-	return c
 }
 
 // AnySat returns one satisfying assignment of a as a full-width assignment
@@ -608,30 +536,40 @@ func (m *Manager) allSatRec(a Node, cube []byte, fn func([]byte) bool) bool {
 	return true
 }
 
+// bitset is a node- or variable-indexed visited set for DAG walks,
+// matching the kernel's dense-array idiom.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+
 // Support returns the set of variables a depends on, in increasing order.
 func (m *Manager) Support(a Node) []int {
-	seen := make(map[Node]bool)
-	vars := make(map[int]bool)
+	seen := newBitset(len(m.nodes))
+	vars := newBitset(m.numVars + 1)
 	var walk func(Node)
 	walk = func(n Node) {
-		if n == False || n == True || seen[n] {
+		if n == False || n == True || seen.has(int(n)) {
 			return
 		}
-		seen[n] = true
+		seen.set(int(n))
 		nd := m.nodes[n]
-		vars[int(nd.level)] = true
+		vars.set(int(nd.level))
 		walk(nd.low)
 		walk(nd.high)
 	}
 	walk(a)
-	out := make([]int, 0, len(vars))
-	for v := range vars {
-		out = append(out, v)
-	}
-	// Insertion sort: support sets are small.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	// Bitset iteration yields the variables already sorted.
+	var out []int
+	for w, word := range vars {
+		for word != 0 {
+			v := w*64 + bits.TrailingZeros64(word)
+			if v < m.numVars {
+				out = append(out, v)
+			}
+			word &= word - 1
 		}
 	}
 	return out
@@ -656,18 +594,20 @@ func (m *Manager) Eval(a Node, assign []bool) bool {
 // NodeCount returns the number of distinct nodes reachable from a,
 // excluding terminals — a measure of the representation size of one set.
 func (m *Manager) NodeCount(a Node) int {
-	seen := make(map[Node]bool)
+	seen := newBitset(len(m.nodes))
+	count := 0
 	var walk func(Node)
 	walk = func(n Node) {
-		if n == False || n == True || seen[n] {
+		if n == False || n == True || seen.has(int(n)) {
 			return
 		}
-		seen[n] = true
+		seen.set(int(n))
+		count++
 		walk(m.nodes[n].low)
 		walk(m.nodes[n].high)
 	}
 	walk(a)
-	return len(seen)
+	return count
 }
 
 // SatFractionOf is a convenience returning the fraction of b's assignments

@@ -39,15 +39,18 @@ func (m *Manager) CopyFrom(src *Manager, n Node) Node {
 	if n < 0 || int(n) >= len(src.nodes) {
 		panic(fmt.Sprintf("bdd: CopyFrom of invalid node %d", n))
 	}
-	memo := make(map[Node]Node)
+	// Source-node-indexed dense memo: slot 0 (a copy result is never a
+	// terminal — src nodes are reduced, so they denote non-constant
+	// functions) doubles as the unset sentinel.
+	memo := make([]Node, len(src.nodes))
 	return m.copyRec(src, n, memo)
 }
 
-func (m *Manager) copyRec(src *Manager, n Node, memo map[Node]Node) Node {
+func (m *Manager) copyRec(src *Manager, n Node, memo []Node) Node {
 	if n == False || n == True {
 		return n
 	}
-	if r, ok := memo[n]; ok {
+	if r := memo[n]; r != 0 {
 		return r
 	}
 	// One charged op per distinct source node keeps MaxOps and the watched

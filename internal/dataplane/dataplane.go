@@ -314,6 +314,11 @@ func Traceroute(net *netmodel.Network, start Loc, pkt hdr.Packet) Trace {
 	var tr Trace
 	visited := make(map[netmodel.DeviceID]bool)
 	loc := start
+	// Derive the packet's variable assignment once and test it against
+	// each rule's match set directly — rebuilding the assignment per rule
+	// dominated traceroute time. It only changes when a rule rewrites a
+	// header field.
+	assign := net.Space.PacketAssign(pkt, nil)
 	for hops := 0; hops < 255; hops++ {
 		if visited[loc.Device] {
 			tr.End = TraceLoop
@@ -328,7 +333,7 @@ func Traceroute(net *netmodel.Network, start Loc, pkt hdr.Packet) Trace {
 			denied := true
 			for _, rid := range d.ACL {
 				r := net.Rule(rid)
-				if r.MatchSet().ContainsPacket(pkt) {
+				if r.MatchSet().ContainsAssign(assign) {
 					if r.Deny {
 						tr.Hops = append(tr.Hops, TraceHop{Loc: loc, Rule: rid, OutIface: netmodel.NoIface})
 					} else {
@@ -347,7 +352,7 @@ func Traceroute(net *netmodel.Network, start Loc, pkt hdr.Packet) Trace {
 		var rule *netmodel.Rule
 		for _, rid := range d.FIB {
 			r := net.Rule(rid)
-			if r.MatchSet().ContainsPacket(pkt) {
+			if r.MatchSet().ContainsAssign(assign) {
 				rule = r
 				break
 			}
@@ -378,6 +383,7 @@ func Traceroute(net *netmodel.Network, start Loc, pkt hdr.Packet) Trace {
 			if tr2.RewriteSrc {
 				pkt.Src = tr2.Addr
 			}
+			assign = net.Space.PacketAssign(pkt, assign)
 		}
 		ifc := net.Iface(ifid)
 		if ifc.Peer == netmodel.NoIface {

@@ -144,9 +144,17 @@ func (s *Space) WatchContext(ctx context.Context) (restore func()) {
 }
 
 // EngineStats reports the underlying BDD manager's counters (node
-// counts, op-cache hit/miss, charged ops) for budget tuning and
-// degradation diagnosis.
+// counts, unique-table load, op-cache hit/miss, charged ops) for budget
+// tuning and degradation diagnosis.
 func (s *Space) EngineStats() bdd.Stats { return s.m.Stats() }
+
+// SetCacheConfig installs an op-cache sizing policy on the space's BDD
+// manager (see bdd.CacheConfig). Replicated spaces (internal/sharded)
+// inherit the canonical space's policy.
+func (s *Space) SetCacheConfig(c bdd.CacheConfig) { s.m.SetCacheConfig(c) }
+
+// CacheConfig returns the op-cache sizing policy in effect.
+func (s *Space) CacheConfig() bdd.CacheConfig { return s.m.CacheConfig() }
 
 // Set is a set of packet headers within a Space.
 type Set struct {
@@ -409,12 +417,40 @@ func (s *Space) Singleton(p Packet) Set {
 }
 
 // ContainsPacket reports whether the concrete packet p is in the set.
+// Callers testing one packet against many sets (per-rule walks like
+// dataplane.Traceroute) should derive the assignment once with
+// PacketAssign and use ContainsAssign instead — building the assignment
+// dominates the per-set Eval.
 func (a Set) ContainsPacket(p Packet) bool {
 	return a.sp.m.Eval(a.n, a.sp.packetAssign(p))
 }
 
+// ContainsAssign reports whether the packet with the given variable
+// assignment (from Space.PacketAssign) is in the set.
+func (a Set) ContainsAssign(assign []bool) bool {
+	return a.sp.m.Eval(a.n, assign)
+}
+
+// PacketAssign derives p's full-width variable assignment, reusing dst's
+// storage when it is large enough. The result's length is NumBits; pass
+// it to Set.ContainsAssign to test the same packet against many sets
+// without re-deriving the bits each time.
+func (s *Space) PacketAssign(p Packet, dst []bool) []bool {
+	if cap(dst) < s.numBits {
+		dst = make([]bool, s.numBits)
+	}
+	dst = dst[:s.numBits]
+	s.fillAssign(dst, p)
+	return dst
+}
+
 func (s *Space) packetAssign(p Packet) []bool {
 	assign := make([]bool, s.numBits)
+	s.fillAssign(assign, p)
+	return assign
+}
+
+func (s *Space) fillAssign(assign []bool, p Packet) {
 	putBytes := func(off int, bytes []byte) {
 		for i := 0; i < len(bytes)*8; i++ {
 			assign[off+i] = bytes[i/8]>>(7-i%8)&1 == 1
@@ -430,7 +466,6 @@ func (s *Space) packetAssign(p Packet) []bool {
 	put(s.protoOff, ProtoBits, uint64(p.Proto))
 	put(s.dstPortOff, DstPortBits, uint64(p.DstPort))
 	put(s.srcPortOff, SrcPortBits, uint64(p.SrcPort))
-	return assign
 }
 
 // Sample returns one packet from the set, or ok=false when it is empty.

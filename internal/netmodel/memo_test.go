@@ -1,0 +1,49 @@
+package netmodel
+
+import (
+	"testing"
+)
+
+// TestMatchSetMemoized: identical Match values across devices must hit
+// the per-network memo, deriving the BDD once and sharing the node.
+func TestMatchSetMemoized(t *testing.T) {
+	n := New()
+	mt := MatchDst(p(t, "10.0.0.0/8"))
+	var rules []RuleID
+	for _, name := range []string{"a", "b", "c"} {
+		d := n.AddDevice(name, RoleToR, 1)
+		rules = append(rules, n.AddFIBRule(d, mt, Action{Kind: ActDrop}, OriginStatic))
+	}
+	n.ComputeMatchSets()
+
+	if got := len(n.matchMemo); got != 1 {
+		t.Errorf("matchMemo has %d entries, want 1 (identical matches)", got)
+	}
+	// Same memoized derivation → same canonical node, not just Equal.
+	first := n.Rule(rules[0]).raw.Node()
+	for _, id := range rules[1:] {
+		if got := n.Rule(id).raw.Node(); got != first {
+			t.Errorf("rule %d raw node %d, want shared node %d", id, got, first)
+		}
+	}
+	// Each device has one rule, so its effective match is the raw set
+	// verbatim (first-rule Diff skip).
+	for _, id := range rules {
+		if !n.Rule(id).MatchSet().Equal(n.Rule(id).raw) {
+			t.Errorf("rule %d: single-rule table should keep raw match", id)
+		}
+	}
+}
+
+// TestMatchSetMemoDistinct: different matches stay distinct entries.
+func TestMatchSetMemoDistinct(t *testing.T) {
+	n := New()
+	d := n.AddDevice("r", RoleToR, 1)
+	n.AddFIBRule(d, MatchDst(p(t, "10.0.0.0/8")), Action{Kind: ActDrop}, OriginStatic)
+	n.AddFIBRule(d, MatchDst(p(t, "10.1.0.0/16")), Action{Kind: ActDrop}, OriginStatic)
+	n.AddFIBRule(d, MatchDst(p(t, "10.0.0.0/8")), Action{Kind: ActDrop}, OriginStatic)
+	n.ComputeMatchSets()
+	if got := len(n.matchMemo); got != 2 {
+		t.Errorf("matchMemo has %d entries, want 2", got)
+	}
+}

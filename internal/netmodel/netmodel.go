@@ -204,6 +204,9 @@ type Network struct {
 	// built by ComputeMatchSets. Tests resolve expected routes through
 	// it in O(1).
 	fibIndex map[fibKey]RuleID
+	// matchMemo caches Match → raw packet set during ComputeMatchSets,
+	// so identical matches across devices derive the BDD once.
+	matchMemo map[Match]hdr.Set
 
 	matchSetsDone bool
 }
@@ -428,13 +431,37 @@ func prefixLen(p netip.Prefix) int {
 
 func (n *Network) computeTable(order []RuleID) {
 	claimed := n.Space.Empty()
-	for _, id := range order {
+	for i, id := range order {
 		r := n.Rules[id]
-		r.raw = r.Match.Set(n.Space)
-		r.match = r.raw.Diff(claimed)
+		r.raw = n.matchSet(r.Match)
+		if i == 0 {
+			// Nothing is claimed yet; the first rule's disjoint match is
+			// its raw match, no Diff needed.
+			r.match = r.raw
+		} else {
+			r.match = r.raw.Diff(claimed)
+		}
 		r.matchOK = true
 		claimed = claimed.Union(r.raw)
 	}
+}
+
+// matchSet derives the packet set of a rule's match fields, memoized by
+// the match key: networks repeat matches heavily (the same default
+// route, host subnet, or ACL entry appears on many devices), and the
+// BDD derivation walks every bit of every field, so re-deriving
+// identical matches per device is pure waste. The memo is sound because
+// Match is a pure value key and all rules share n.Space.
+func (n *Network) matchSet(mt Match) hdr.Set {
+	if s, ok := n.matchMemo[mt]; ok {
+		return s
+	}
+	if n.matchMemo == nil {
+		n.matchMemo = make(map[Match]hdr.Set)
+	}
+	s := mt.Set(n.Space)
+	n.matchMemo[mt] = s
+	return s
 }
 
 // MatchSetsComputed reports whether ComputeMatchSets has run.

@@ -463,22 +463,36 @@ type CoverageReport struct {
 	Engine EngineStats `json:"engine"`
 }
 
-// EngineStats mirrors bdd.Stats for the wire.
+// EngineStats mirrors bdd.Stats for the wire: node counts, the
+// unique table's geometry (slots and load factor — a load pinned near
+// 0.75 right after a resize is normal; a table far larger than the node
+// count suggests a leaked manager), memo-array sizes, and op-cache
+// counters.
 type EngineStats struct {
-	Nodes       int    `json:"nodes"`
-	PeakNodes   int    `json:"peakNodes"`
-	Ops         uint64 `json:"ops"`
-	CacheHits   uint64 `json:"cacheHits"`
-	CacheMisses uint64 `json:"cacheMisses"`
+	Nodes          int     `json:"nodes"`
+	PeakNodes      int     `json:"peakNodes"`
+	UniqueSlots    int     `json:"uniqueSlots"`
+	UniqueLoad     float64 `json:"uniqueLoad"`
+	CacheSlots     int     `json:"cacheSlots"`
+	SatFracEntries int     `json:"satFracEntries"`
+	SatCntEntries  int     `json:"satCntEntries"`
+	Ops            uint64  `json:"ops"`
+	CacheHits      uint64  `json:"cacheHits"`
+	CacheMisses    uint64  `json:"cacheMisses"`
 }
 
 func toEngineStats(st bdd.Stats) EngineStats {
 	return EngineStats{
-		Nodes:       st.Nodes,
-		PeakNodes:   st.PeakNodes,
-		Ops:         st.Ops,
-		CacheHits:   st.CacheHits,
-		CacheMisses: st.CacheMisses,
+		Nodes:          st.Nodes,
+		PeakNodes:      st.PeakNodes,
+		UniqueSlots:    st.UniqueSlots,
+		UniqueLoad:     st.UniqueLoad,
+		CacheSlots:     st.CacheSlots,
+		SatFracEntries: st.SatFracEntries,
+		SatCntEntries:  st.SatCntEntries,
+		Ops:            st.Ops,
+		CacheHits:      st.CacheHits,
+		CacheMisses:    st.CacheMisses,
 	}
 }
 

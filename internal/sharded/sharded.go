@@ -171,7 +171,12 @@ func New(ctx context.Context, canonical *netmodel.Network, cfg Config) (*Engine,
 		return nil, firstErr
 	}
 	want := canonical.Stats()
+	cc := canonical.Space.CacheConfig()
 	for i, r := range replicas {
+		// Replica managers inherit the canonical space's op-cache sizing,
+		// so per-worker kernels run with the same memoization capacity as
+		// a sequential run.
+		r.Space.SetCacheConfig(cc)
 		r.ComputeMatchSets()
 		if r.Family() != canonical.Family() || r.Stats() != want {
 			return nil, fmt.Errorf("sharded: replica %d does not match canonical network (family %v stats %+v, want %v %+v): builder is not deterministic",
