@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench ci
+.PHONY: all vet build test race bench profile ci
 
 all: ci
 
@@ -28,10 +28,17 @@ race:
 # prints an advisory comparison against the previously committed
 # numbers before overwriting them.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSuiteParallel|BenchmarkComputeMatchSets' -benchmem -timeout 20m . > bench.out
-	$(GO) test -run '^$$' -bench BenchmarkBDD -benchmem -timeout 10m ./internal/bdd >> bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSuiteParallel|BenchmarkComputeMatchSets' -benchmem -count 3 -timeout 30m . > bench.out
+	$(GO) test -run '^$$' -bench BenchmarkBDD -benchmem -count 3 -timeout 15m ./internal/bdd >> bench.out
 	$(GO) run ./cmd/benchfmt -delta BENCH_eval.json -o BENCH_eval.json < bench.out
 	@rm -f bench.out
 	@cat BENCH_eval.json
+
+# Archive a span-tree profile of the regional-Clos suite (the flame
+# report -profile prints to stderr) so perf work has a committed-able
+# before/after stage breakdown to diff against.
+profile:
+	$(GO) run ./cmd/yardstick -topology regional -suite default,internal,reach,pingmesh -workers 4 -profile 2> profile.txt > /dev/null
+	@cat profile.txt
 
 ci: vet build race

@@ -156,3 +156,31 @@ func TestWriteDelta(t *testing.T) {
 		}
 	}
 }
+
+// TestMinOfNCollapse: `-count N` output collapses to the fastest
+// sample per benchmark, keeping first-seen order.
+func TestMinOfNCollapse(t *testing.T) {
+	out := `BenchmarkA-1    10    3000 ns/op    128 B/op    4 allocs/op
+BenchmarkB-1    10    9000 ns/op
+BenchmarkA-1    12    2000 ns/op    120 B/op    3 allocs/op
+BenchmarkA-1    11    2500 ns/op    124 B/op    4 allocs/op
+BenchmarkB-1    10    9500 ns/op
+`
+	rep, err := parse(strings.NewReader(out), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d records, want 2: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	a, b := rep.Benchmarks[0], rep.Benchmarks[1]
+	if a.Name != "BenchmarkA" || b.Name != "BenchmarkB" {
+		t.Fatalf("order not preserved: %q, %q", a.Name, b.Name)
+	}
+	if a.NsPerOp != 2000 || *a.AllocsPerOp != 3 {
+		t.Errorf("A = %v ns/op %v allocs, want the fastest sample (2000, 3)", a.NsPerOp, *a.AllocsPerOp)
+	}
+	if b.NsPerOp != 9000 {
+		t.Errorf("B = %v ns/op, want 9000", b.NsPerOp)
+	}
+}

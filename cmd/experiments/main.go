@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	"yardstick/internal/experiments"
+	"yardstick/internal/obs"
 	"yardstick/internal/report"
 	"yardstick/internal/topogen"
 )
@@ -34,6 +35,7 @@ func main() {
 		skipPaths  = flag.Bool("nopaths", false, "skip the path metric in figure 9")
 		mutations  = flag.Int("mutations", 60, "faults to inject in the mutation study")
 		subnets    = flag.Int("subnets", 1, "host subnets per ToR in the regional network (raise toward the paper's Figure 6d ToR interface numbers)")
+		profile    = flag.Bool("profile", false, "print a span-tree profile of the figure runs to stderr")
 	)
 	flag.Parse()
 
@@ -48,13 +50,29 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// -profile wraps each regenerated figure in a span; the evaluation
+	// pipelines underneath pick the span up from the context and add
+	// their stage detail to it.
+	var prof *obs.Span
+	if *profile {
+		prof = obs.NewRoot("experiments", obs.NewRegistry())
+	}
+	figCtx := func(name string) (context.Context, func()) {
+		if prof == nil {
+			return ctx, func() {}
+		}
+		sp := prof.Child(name)
+		return obs.ContextWithSpan(ctx, sp), sp.End
+	}
+
 	want := func(name string) bool {
 		return *fig == "all" || *fig == name || (len(name) == 2 && *fig == name[:1])
 	}
 
 	if want("6a") || want("6b") || want("6c") || want("6d") || *fig == "6" {
+		fctx, end := figCtx("figure6")
 		rg := mustRegional(*subnets)
-		for _, panel := range experiments.Figure6All(ctx, rg) {
+		for _, panel := range experiments.Figure6All(fctx, rg) {
 			if !(want(panel.Panel) || *fig == "6" || *fig == "all") {
 				continue
 			}
@@ -62,11 +80,13 @@ func main() {
 			report.RenderTable(os.Stdout, panel.Rows)
 			fmt.Println()
 		}
+		end()
 	}
 
 	if want("7") {
+		fctx, end := figCtx("figure7")
 		rg := mustRegional(*subnets)
-		res := experiments.Figure7(ctx, rg)
+		res := experiments.Figure7(fctx, rg)
 		fmt.Println("=== Figure 7: coverage improvement with test suite iterations ===")
 		rows := make([]report.Metrics, 0, len(res.Rows))
 		for _, r := range res.Rows {
@@ -75,11 +95,14 @@ func main() {
 		report.RenderTable(os.Stdout, rows)
 		fmt.Printf("\nheadline: +%.0f%% rule coverage, +%.0f%% interface coverage (paper: +89%% rules, +17%% interfaces)\n\n",
 			res.Improvement.RulePct, res.Improvement.IfacePct)
+		end()
 	}
 
 	if want("8") {
+		fctx, end := figCtx("figure8")
 		fmt.Println("=== Figure 8: overhead of coverage tracking ===")
-		rows, err := experiments.Figure8(ctx, ks)
+		rows, err := experiments.Figure8(fctx, ks)
+		end()
 		fmt.Print(experiments.RenderFigure8(rows))
 		fmt.Println()
 		if err != nil {
@@ -89,8 +112,10 @@ func main() {
 	}
 
 	if want("mutation") {
+		fctx, end := figCtx("mutation")
 		rg := mustRegional(*subnets)
-		res, err := experiments.MutationStudy(ctx, rg, *mutations, 1)
+		res, err := experiments.MutationStudy(fctx, rg, *mutations, 1)
+		end()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -101,15 +126,23 @@ func main() {
 	}
 
 	if want("9") {
+		fctx, end := figCtx("figure9")
 		fmt.Println("=== Figure 9: time to compute coverage metrics ===")
-		rows, err := experiments.Figure9(ctx, ks, experiments.Figure9Opts{
+		rows, err := experiments.Figure9(fctx, ks, experiments.Figure9Opts{
 			PathBudget: *pathBudget, SkipPaths: *skipPaths,
 		})
+		end()
 		fmt.Print(experiments.RenderFigure9(rows))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+	}
+
+	if prof != nil {
+		prof.End()
+		fmt.Fprintln(os.Stderr)
+		obs.WriteFlame(os.Stderr, prof)
 	}
 }
 

@@ -1,0 +1,53 @@
+// Command promlint validates Prometheus text exposition (v0.0.4), the
+// format yardstickd serves on /metrics. CI pipes a live scrape through
+// it so a malformed exposition fails the build instead of silently
+// breaking the scrape pipeline in production:
+//
+//	curl -s localhost:8080/metrics | promlint
+//	promlint metrics.txt other.txt
+//
+// Reads stdin when no files are given. Prints one line per issue and
+// exits 1 if any input had issues, 2 on I/O errors.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"yardstick/internal/promlint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		return lintOne("<stdin>", stdin, stdout)
+	}
+	code := 0
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "promlint:", err)
+			return 2
+		}
+		if c := lintOne(path, f, stdout); c > code {
+			code = c
+		}
+		f.Close()
+	}
+	return code
+}
+
+func lintOne(name string, r io.Reader, out io.Writer) int {
+	issues := promlint.Lint(r)
+	for _, is := range issues {
+		fmt.Fprintf(out, "%s:%s\n", name, is)
+	}
+	if len(issues) > 0 {
+		return 1
+	}
+	return 0
+}

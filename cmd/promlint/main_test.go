@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStdinCleanAndDirty(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, strings.NewReader("up 1\n"), &out, &errb); code != 0 {
+		t.Errorf("clean stdin exit = %d, want 0\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run(nil, strings.NewReader("1bad 2\n"), &out, &errb); code != 1 {
+		t.Errorf("dirty stdin exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "<stdin>:line 1: invalid metric name") {
+		t.Errorf("issue line = %q", out.String())
+	}
+}
+
+func TestFileArgs(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(good, []byte("up 1\n"), 0o644)
+	os.WriteFile(bad, []byte("x nope\n"), 0o644)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{good, bad}, nil, &out, &errb); code != 1 {
+		t.Errorf("mixed files exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "bad.txt:line 1") {
+		t.Errorf("file name missing from issue: %q", out.String())
+	}
+	if code := run([]string{filepath.Join(dir, "absent.txt")}, nil, &out, &errb); code != 2 {
+		t.Errorf("missing file exit = %d, want 2", code)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"yardstick"
 	"yardstick/internal/dataplane"
+	"yardstick/internal/obs"
 )
 
 func main() {
@@ -53,10 +54,22 @@ func main() {
 		minRule  = flag.Float64("min-rule", 0, "CI gate: exit 3 when fractional rule coverage is below this (0..1)")
 		minIface = flag.Float64("min-iface", 0, "CI gate: exit 3 when fractional interface coverage is below this (0..1)")
 		flowArg  = flag.String("flow", "", "narrow to one flow, device:dstPrefix (e.g. dc0-p0-tor0:10.0.4.0/24): report its end-to-end coverage")
+		profile  = flag.Bool("profile", false, "print a span-tree profile of the run (stage timings and BDD work) to stderr")
 	)
 	flag.Parse()
 
+	// -profile hangs a root span on the context: the sharded engine and
+	// the BDD stat flushes attach their detail to whatever span rides
+	// there, and with prof nil every instrumentation call no-ops.
+	var prof *obs.Span
+	if *profile {
+		prof = obs.NewRoot("yardstick", obs.NewRegistry())
+		ctx = obs.ContextWithSpan(ctx, prof)
+	}
+
+	bsp := prof.Child("build")
 	built, err := buildNetwork(*topology, *netFile, *k, *bug)
+	bsp.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "yardstick:", err)
 		os.Exit(1)
@@ -90,13 +103,19 @@ func main() {
 		fmt.Printf("merged prior trace: %d locations, %d inspected rules\n\n", st.Locations, st.MarkedRules)
 	}
 	stopWatch := net.Space.WatchContext(ctx)
+	rsp := prof.Child("suite.run")
+	runCtx := ctx
+	if rsp != nil {
+		runCtx = obs.ContextWithSpan(ctx, rsp)
+	}
+	runBase := net.Space.EngineStats()
 	var results []yardstick.TestResult
 	if *workers != 1 {
 		// Parallel run: replicate the network once per worker (JSON
 		// round-trip, so any -net or generated network qualifies), shard
 		// the suite, and merge the per-worker traces back into this
 		// space. Results and metrics match the sequential path exactly.
-		eng, err := yardstick.NewShardedEngine(ctx, net, yardstick.ShardedConfig{
+		eng, err := yardstick.NewShardedEngine(runCtx, net, yardstick.ShardedConfig{
 			Workers: *workers,
 			Build:   yardstick.JSONReplicator(net),
 		})
@@ -105,15 +124,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("parallel run: %d workers\n\n", eng.Workers())
-		res, err := eng.Run(ctx, suite)
+		res, err := eng.Run(runCtx, suite)
 		results = res.Results
 		trace.Merge(res.Trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "yardstick: run aborted:", err)
 		}
-	} else if err := yardstick.GuardBudget(func() { results = suite.Run(ctx, net, trace) }); err != nil {
+	} else if err := yardstick.GuardBudget(func() { results = suite.Run(runCtx, net, trace) }); err != nil {
 		fmt.Fprintln(os.Stderr, "yardstick: run aborted:", err)
 	}
+	rsp.End()
+	net.Space.FlushStats(rsp, prof.Registry(), runBase)
 	stopWatch()
 	fmt.Println("test results:")
 	failed := false
@@ -139,15 +160,23 @@ func main() {
 	}
 	fmt.Println()
 
+	csp := prof.Child("coverage")
+	covBase := net.Space.EngineStats()
 	cov := yardstick.NewCoverage(net, trace)
 	rows := yardstick.ReportByRole(cov, roles)
 	rows = append(rows, yardstick.ReportTotal(cov, "TOTAL"))
+	csp.End()
+	net.Space.FlushStats(csp, prof.Registry(), covBase)
 	fmt.Println("coverage:")
 	yardstick.RenderTable(os.Stdout, rows)
 
 	if *paths {
 		fmt.Println()
+		psp := prof.Child("paths")
+		pathBase := net.Space.EngineStats()
 		res := yardstick.PathCoverage(ctx, cov, nil, dataplane.EnumOpts{MaxPaths: *pathMax}, yardstick.Fractional)
+		psp.End()
+		net.Space.FlushStats(psp, prof.Registry(), pathBase)
 		complete := "complete"
 		if !res.Complete {
 			complete = "budget exhausted"
@@ -263,6 +292,12 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("\nwrote coverage trace to %s\n", *traceOut)
+	}
+
+	if prof != nil {
+		prof.End()
+		fmt.Fprintln(os.Stderr)
+		obs.WriteFlame(os.Stderr, prof)
 	}
 
 	if failed {

@@ -27,9 +27,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -105,12 +106,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 		maxBody      = fs.Int64("max-body", service.DefaultMaxBody, "request body size cap in bytes")
 		runTimeout   = fs.Duration("run-timeout", 0, "per-request deadline for /run, /coverage and /gaps evaluation work (0 = bounded only by the HTTP write timeout)")
 		workers      = fs.Int("workers", 1, "cap on per-request /run parallelism (?workers=n is clamped to this; 1 = sequential only)")
+		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled). A separate listener, so profiling never shares the service port")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	logger := log.New(stderr, "yardstickd: ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(stderr, nil)).With("app", "yardstickd")
 	nw, err := loadNetwork(*netFile, *topology, *k)
 	if err != nil {
 		return err
@@ -140,7 +142,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 		return fmt.Errorf("restore snapshot: %w", err)
 	}
 	if restored {
-		logger.Printf("recovered trace snapshot from %s", *snapshot)
+		logger.Info("recovered trace snapshot", "path", *snapshot)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -153,7 +155,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      5 * time.Minute, // server-side suite runs on large networks are slow
 		IdleTimeout:       2 * time.Minute,
-		ErrorLog:          logger,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelError),
+	}
+
+	// Opt-in pprof on its own listener and mux: the profiling surface is
+	// never reachable through the service port, and its lifetime is tied
+	// to the daemon's, not to graceful HTTP drains.
+	var ps *http.Server
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps = &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go ps.Serve(pln)
+		defer ps.Close()
+		fmt.Fprintf(stdout, "pprof listening on %s\n", pln.Addr())
 	}
 
 	checkpointerDone := make(chan struct{})
@@ -176,12 +199,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutting down, draining for up to %s", *drain)
+	logger.Info("shutting down", "drain", *drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	err = hs.Shutdown(drainCtx)
 	if errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("drain deadline exceeded, closing remaining connections")
+		logger.Warn("drain deadline exceeded, closing remaining connections")
 		hs.Close()
 		err = nil
 	}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -215,5 +216,72 @@ func TestLoadNetworkFromFile(t *testing.T) {
 	}
 	if _, err := loadNetwork("", "bogus", 0); err == nil {
 		t.Error("unknown topology should error")
+	}
+}
+
+// TestPprofListener: -pprof-addr brings up the profiling surface on its
+// own listener, never on the service port.
+func TestPprofListener(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout bytes.Buffer
+	addrc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-listen", "127.0.0.1:0", "-topology", "example", "-pprof-addr", "127.0.0.1:0"},
+			&stdout, io.Discard, func(addr string) { addrc <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	// The pprof line is printed before onReady fires, so stdout has it.
+	var pprofAddr string
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "pprof listening on "); ok {
+			pprofAddr = rest
+		}
+	}
+	if pprofAddr == "" {
+		t.Fatalf("pprof address not announced:\n%s", stdout.String())
+	}
+
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index = %d, want 200", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("goroutine")) {
+		t.Error("pprof index does not list profiles")
+	}
+
+	// The service port must NOT expose pprof.
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("service port must not serve pprof")
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Errorf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit")
 	}
 }

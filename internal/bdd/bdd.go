@@ -94,11 +94,14 @@ type Manager struct {
 	ctx       context.Context
 
 	// Observability counters (see Stats): charged apply-loop steps,
-	// op-cache hits/misses, and the high-water node count.
-	ops         uint64
-	cacheHits   uint64
-	cacheMisses uint64
-	peakNodes   int
+	// op-cache hits/misses, table-doubling events, and the high-water
+	// node count.
+	ops          uint64
+	cacheHits    uint64
+	cacheMisses  uint64
+	uniqResizes  uint64
+	cacheResizes uint64
+	peakNodes    int
 }
 
 // Option configures a Manager at construction.
@@ -173,6 +176,11 @@ type Stats struct {
 	// CacheHits and CacheMisses count op-cache consultations.
 	CacheHits   uint64
 	CacheMisses uint64
+	// UniqueResizes and CacheResizes count table-doubling events since
+	// construction — a resize storm explains a latency spike better than
+	// any average.
+	UniqueResizes uint64
+	CacheResizes  uint64
 }
 
 // Stats returns current counters.
@@ -193,7 +201,30 @@ func (m *Manager) Stats() Stats {
 		Ops:            m.ops,
 		CacheHits:      m.cacheHits,
 		CacheMisses:    m.cacheMisses,
+		UniqueResizes:  m.uniqResizes,
+		CacheResizes:   m.cacheResizes,
 	}
+}
+
+// Delta returns the counter movement from prev to s — the per-stage
+// numbers a span records. Monotonic fields subtract; if a counter went
+// backwards (SetLimits resets Ops between stages), the current value is
+// taken as the whole delta rather than wrapping. Gauge-like fields
+// (Nodes, PeakNodes, table geometry) carry the current value.
+func (s Stats) Delta(prev Stats) Stats {
+	sub := func(cur, old uint64) uint64 {
+		if cur < old {
+			return cur
+		}
+		return cur - old
+	}
+	d := s
+	d.Ops = sub(s.Ops, prev.Ops)
+	d.CacheHits = sub(s.CacheHits, prev.CacheHits)
+	d.CacheMisses = sub(s.CacheMisses, prev.CacheMisses)
+	d.UniqueResizes = sub(s.UniqueResizes, prev.UniqueResizes)
+	d.CacheResizes = sub(s.CacheResizes, prev.CacheResizes)
+	return d
 }
 
 // level returns the decision level of n.

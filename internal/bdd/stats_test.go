@@ -1,0 +1,53 @@
+package bdd
+
+import "testing"
+
+// TestResizeCounters: enough distinct nodes must double both tables at
+// least once, and the counters must record it.
+func TestResizeCounters(t *testing.T) {
+	// A small cache floor so the growth rule actually fires at this scale.
+	m := New(64, WithCacheConfig(CacheConfig{MinSlots: 64, MaxSlots: 1 << 12}))
+	f := False
+	for v := 0; v < 64; v++ {
+		f = m.Or(f, m.Var(v))
+		for w := v + 1; w < 64; w++ {
+			m.And(m.Var(v), m.Not(m.Var(w)))
+		}
+	}
+	st := m.Stats()
+	if st.UniqueResizes == 0 {
+		t.Error("unique table never resized")
+	}
+	if st.CacheResizes == 0 {
+		t.Error("op cache never resized")
+	}
+}
+
+func TestStatsDelta(t *testing.T) {
+	m := New(16)
+	m.And(m.Var(0), m.Var(1))
+	before := m.Stats()
+	m.Xor(m.Var(2), m.Var(3))
+	after := m.Stats()
+	d := after.Delta(before)
+	if d.Ops == 0 {
+		t.Error("delta ops = 0 after fresh work")
+	}
+	if d.Ops != after.Ops-before.Ops {
+		t.Errorf("delta ops = %d, want %d", d.Ops, after.Ops-before.Ops)
+	}
+	if d.Nodes != after.Nodes {
+		t.Errorf("delta carries gauge Nodes = %d, want current %d", d.Nodes, after.Nodes)
+	}
+
+	// SetLimits resets the op counter; the delta must not wrap.
+	m.SetLimits(Limits{})
+	m.Or(m.Var(4), m.Var(5))
+	d = m.Stats().Delta(after)
+	if d.Ops > after.Ops+1000 {
+		t.Errorf("delta ops wrapped: %d", d.Ops)
+	}
+	if d.Ops == 0 {
+		t.Error("reset-tolerant delta lost the post-reset ops")
+	}
+}

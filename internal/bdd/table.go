@@ -134,6 +134,7 @@ func (m *Manager) insert(slot, hash uint64, level uint32, low, high Node) Node {
 // stored hash. Placement is deterministic (slot order is scan order,
 // probe order is hash order), so reruns fill identically.
 func (m *Manager) growUnique() {
+	m.uniqResizes++
 	old := m.uniq
 	m.uniq = make([]uniqSlot, len(old)*2)
 	mask := uint64(len(m.uniq) - 1)
@@ -203,6 +204,7 @@ func (m *Manager) cacheStore(h uint64, op uint32, a, b, c, result Node) {
 // memo — results and canonicity are unaffected.
 func (m *Manager) maybeGrowCache() {
 	for len(m.cache) < m.cacheCfg.MaxSlots && len(m.nodes) >= len(m.cache) {
+		m.cacheResizes++
 		old := m.cache
 		m.cache = make([]cacheEntry, len(old)*2)
 		mask := uint64(len(m.cache) - 1)
@@ -223,6 +225,7 @@ func (m *Manager) maybeGrowCache() {
 func (m *Manager) SetCacheConfig(c CacheConfig) {
 	m.cacheCfg = c.normalize()
 	if len(m.cache) < m.cacheCfg.MinSlots {
+		m.cacheResizes++
 		old := m.cache
 		m.cache = make([]cacheEntry, m.cacheCfg.MinSlots)
 		mask := uint64(len(m.cache) - 1)

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -34,7 +34,7 @@ func buildNet(t *testing.T) *topogen.Regional {
 	return rg
 }
 
-func quiet() service.Option { return service.WithLogger(log.New(io.Discard, "", 0)) }
+func quiet() service.Option { return service.WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))) }
 
 // TestEndToEnd drives every typed method against a real service.
 func TestEndToEnd(t *testing.T) {

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http/httptest"
 	"time"
 
@@ -28,7 +28,7 @@ func Example() {
 		panic(err)
 	}
 	ts := httptest.NewServer(service.WithNetwork(rg.Net,
-		service.WithLogger(log.New(io.Discard, "", 0))).Handler())
+		service.WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))).Handler())
 	defer ts.Close()
 
 	c := client.New(ts.URL,

@@ -1,0 +1,74 @@
+package hdr
+
+import (
+	"yardstick/internal/bdd"
+	"yardstick/internal/obs"
+)
+
+// Registry metric names for BDD engine counters. One set of names is
+// shared by every space that flushes — the canonical engine and each
+// sharded replica all add into the same totals.
+const (
+	MetricBDDOps          = "yardstick_bdd_ops_total"
+	MetricBDDCacheHits    = "yardstick_bdd_cache_hits_total"
+	MetricBDDCacheMisses  = "yardstick_bdd_cache_misses_total"
+	MetricBDDNodes        = "yardstick_bdd_nodes_allocated_total"
+	MetricBDDUniqResizes  = "yardstick_bdd_unique_resizes_total"
+	MetricBDDCacheResizes = "yardstick_bdd_cache_resizes_total"
+)
+
+// FlushStats drains the movement of the space's BDD counters since the
+// `since` baseline into a span (per-stage metrics shown in the flame
+// report) and a registry (cumulative Prometheus totals), returning the
+// current stats as the next baseline.
+//
+// This is the flush-at-span-boundary half of the observability design:
+// the manager keeps cheap non-atomic counters on its hot path, and
+// instrumented callers settle the delta once per stage. Both sp and reg
+// may be nil (each side no-ops independently).
+func (s *Space) FlushStats(sp *obs.Span, reg *obs.Registry, since bdd.Stats) bdd.Stats {
+	cur := s.m.Stats()
+	if sp == nil && reg == nil {
+		return cur
+	}
+	d := cur.Delta(since)
+	// Node allocations never shrink, so the gauge-style Nodes field
+	// diffs like a counter; a replica baseline taken at build time makes
+	// this the per-stage allocation count.
+	nodes := uint64(0)
+	if cur.Nodes > since.Nodes {
+		nodes = uint64(cur.Nodes - since.Nodes)
+	}
+	// Zero deltas stay off the span: a stage that did no BDD work keeps
+	// a clean line in the flame report.
+	addNonZero := func(key string, v uint64) {
+		if v != 0 {
+			sp.Add(key, int64(v))
+		}
+	}
+	addNonZero("bdd_ops", d.Ops)
+	addNonZero("bdd_cache_hits", d.CacheHits)
+	addNonZero("bdd_cache_misses", d.CacheMisses)
+	addNonZero("bdd_nodes", nodes)
+	addNonZero("bdd_resizes", d.UniqueResizes+d.CacheResizes)
+	if reg != nil {
+		reg.Counter(MetricBDDOps).Add(d.Ops)
+		reg.Counter(MetricBDDCacheHits).Add(d.CacheHits)
+		reg.Counter(MetricBDDCacheMisses).Add(d.CacheMisses)
+		reg.Counter(MetricBDDNodes).Add(nodes)
+		reg.Counter(MetricBDDUniqResizes).Add(d.UniqueResizes)
+		reg.Counter(MetricBDDCacheResizes).Add(d.CacheResizes)
+	}
+	return cur
+}
+
+// RegisterHelp installs HELP text for the BDD metric names on reg, so
+// any exposition endpoint describes them even before the first flush.
+func RegisterHelp(reg *obs.Registry) {
+	reg.SetHelp(MetricBDDOps, "Charged BDD apply-loop steps")
+	reg.SetHelp(MetricBDDCacheHits, "BDD op-cache hits")
+	reg.SetHelp(MetricBDDCacheMisses, "BDD op-cache misses")
+	reg.SetHelp(MetricBDDNodes, "BDD nodes allocated")
+	reg.SetHelp(MetricBDDUniqResizes, "BDD unique-table doubling events")
+	reg.SetHelp(MetricBDDCacheResizes, "BDD op-cache doubling events")
+}

@@ -1,0 +1,51 @@
+// Flame-style text report of a span tree: one indented line per span
+// with total and self times plus the span's counter deltas, so a
+// BENCH_*.json trajectory (or a slow production run) can be explained
+// stage by stage.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteFlame renders the span tree rooted at s as an indented report:
+//
+//	span tree (total 12.34ms):
+//	  pipeline.run                      12.34ms  self  0.10ms
+//	    before                           6.00ms  self  0.05ms
+//	      build                          1.20ms  self  1.20ms  bdd_ops=4821
+//
+// Total is the span's wall time, self is total minus the children's
+// totals (concurrent children can drive self to zero). Metrics print in
+// recording order. Open (un-ended) spans are marked, since a profile
+// with open spans is a leak.
+func WriteFlame(w io.Writer, s *Span) {
+	if s == nil {
+		fmt.Fprintln(w, "span tree: (none)")
+		return
+	}
+	fmt.Fprintf(w, "span tree (total %s):\n", fmtDur(s.Duration()))
+	s.Walk(func(depth int, sp *Span) {
+		name := strings.Repeat("  ", depth+1) + sp.Name()
+		if len(name) < 34 {
+			name += strings.Repeat(" ", 34-len(name))
+		}
+		line := fmt.Sprintf("%s %9s  self %9s", name, fmtDur(sp.Duration()), fmtDur(sp.Self()))
+		for _, m := range sp.Metrics() {
+			line += fmt.Sprintf("  %s=%d", m.Name, m.Value)
+		}
+		if !sp.Ended() {
+			line += "  [open]"
+		}
+		fmt.Fprintln(w, line)
+	})
+}
+
+// fmtDur renders a duration in milliseconds with two decimals — one
+// unit everywhere keeps the columns summable by eye.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentCounters hammers one counter, one gauge, and one
+// histogram from many goroutines (the -race build is the point) and
+// asserts the quiescent snapshot is exact.
+func TestConcurrentCounters(t *testing.T) {
+	reg := NewRegistry()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("ops_total", "worker", "shared")
+			g := reg.Gauge("last_seen")
+			h := reg.Histogram("latency_seconds", nil)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%100) / 1000.0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("ops_total", "worker", "shared").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	h := reg.Histogram("latency_seconds", nil)
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	// Bucket counts must sum to the observation count.
+	var m Metric
+	for _, s := range reg.Snapshot() {
+		if s.Name == "latency_seconds" {
+			m = s
+		}
+	}
+	if len(m.Buckets) == 0 {
+		t.Fatal("histogram missing from snapshot")
+	}
+	last := m.Buckets[len(m.Buckets)-1]
+	if !math.IsInf(last.LE, 1) {
+		t.Errorf("last bucket le = %v, want +Inf", last.LE)
+	}
+	if last.Count != m.Count {
+		t.Errorf("+Inf bucket = %d, want count %d", last.Count, m.Count)
+	}
+	for i := 1; i < len(m.Buckets); i++ {
+		if m.Buckets[i].Count < m.Buckets[i-1].Count {
+			t.Errorf("bucket %d not cumulative: %d < %d", i, m.Buckets[i].Count, m.Buckets[i-1].Count)
+		}
+	}
+}
+
+// TestHandleInterning: same (name, labels) yields the same metric; label
+// order does not matter; different labels yield distinct series.
+func TestHandleInterning(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("reqs", "route", "/run", "method", "POST")
+	b := reg.Counter("reqs", "method", "POST", "route", "/run")
+	if a != b {
+		t.Error("label order created a distinct series")
+	}
+	c := reg.Counter("reqs", "route", "/coverage", "method", "GET")
+	if a == c {
+		t.Error("distinct labels shared a series")
+	}
+	a.Add(2)
+	c.Inc()
+	if a.Value() != 2 || c.Value() != 1 {
+		t.Errorf("values = %d, %d, want 2, 1", a.Value(), c.Value())
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge lookup of a counter name did not panic")
+		}
+	}()
+	reg.Gauge("x")
+}
+
+// TestHistogramEdges: le is an inclusive upper bound.
+func TestHistogramEdges(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{1, 2})
+	h.Observe(1)   // lands in le=1
+	h.Observe(1.5) // le=2
+	h.Observe(2)   // le=2
+	h.Observe(3)   // +Inf
+	var m Metric
+	for _, s := range reg.Snapshot() {
+		if s.Name == "h" {
+			m = s
+		}
+	}
+	want := []uint64{1, 3, 4} // cumulative
+	for i, b := range m.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket le=%v cumulative = %d, want %d", b.LE, b.Count, want[i])
+		}
+	}
+	if m.Sum != 7.5 {
+		t.Errorf("sum = %v, want 7.5", m.Sum)
+	}
+}
+
+// TestNilRegistry: a nil registry hands out working no-op metrics.
+func TestNilRegistry(t *testing.T) {
+	var reg *Registry
+	reg.Counter("a", "k", "v").Inc()
+	reg.Gauge("b").Set(1)
+	reg.Histogram("c", nil).Observe(1)
+	ObserveStage(reg, "x", time.Second)
+	if got := reg.Snapshot(); got != nil {
+		t.Errorf("nil registry snapshot = %v, want nil", got)
+	}
+	if err := reg.WritePrometheus(nil); err != nil {
+		t.Errorf("nil registry write: %v", err)
+	}
+}
+
+func TestOddLabelsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd label list did not panic")
+		}
+	}()
+	NewRegistry().Counter("x", "only-key")
+}

@@ -1,0 +1,101 @@
+// Prometheus text exposition, hand-rolled (format v0.0.4). The output
+// is deterministic: families sort by name, series by label signature,
+// histogram buckets by ascending upper edge — so a golden test can pin
+// the exact bytes and a scrape diff is meaningful.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// ContentType is the Content-Type header value for WritePrometheus
+// output.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format. Each family gets HELP (the help text, or the name when unset)
+// and TYPE lines; histogram series expand into cumulative _bucket
+// samples plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	// Snapshot gives sorted, cumulative series; group back into families
+	// to emit one HELP/TYPE header per name.
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for name, h := range r.help {
+		help[name] = h
+	}
+	r.mu.Unlock()
+
+	last := ""
+	for _, m := range r.Snapshot() {
+		if m.Name != last {
+			h := help[m.Name]
+			if h == "" {
+				h = m.Name
+			}
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, escapeHelp(h))
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Type)
+			last = m.Name
+		}
+		switch m.Type {
+		case "histogram":
+			for _, b := range m.Buckets {
+				fmt.Fprintf(bw, "%s_bucket{%s} %d\n", m.Name, joinSig(m.Labels, `le="`+formatLE(b.LE)+`"`), b.Count)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", m.Name, braceSig(m.Labels), formatValue(m.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", m.Name, braceSig(m.Labels), m.Count)
+		case "counter":
+			// Counters are integral; emit them without float formatting.
+			fmt.Fprintf(bw, "%s%s %d\n", m.Name, braceSig(m.Labels), uint64(m.Value))
+		default:
+			fmt.Fprintf(bw, "%s%s %s\n", m.Name, braceSig(m.Labels), formatValue(m.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// joinSig appends extra to a (possibly empty) label signature.
+func joinSig(sig, extra string) string {
+	if sig == "" {
+		return extra
+	}
+	return sig + "," + extra
+}
+
+// braceSig wraps a non-empty signature in braces.
+func braceSig(sig string) string {
+	if sig == "" {
+		return ""
+	}
+	return "{" + sig + "}"
+}
+
+// formatLE renders a bucket edge: shortest round-trip float, "+Inf" for
+// the last bucket.
+func formatLE(le float64) string {
+	if math.IsInf(le, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(le, 'g', -1, 64)
+}
+
+// formatValue renders a float sample value.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact exposition bytes: ordering,
+// escaping, HELP/TYPE placement, histogram expansion. Any format drift
+// shows up as a diff here before a scraper sees it.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetHelp("yardstick_bdd_ops_total", "BDD apply/compose operations")
+	reg.Counter("yardstick_bdd_ops_total").Add(1234)
+	reg.SetHelp("yardstick_http_requests_total", `requests with "quotes" and \slashes`)
+	reg.Counter("yardstick_http_requests_total", "route", "/coverage", "status", "200").Add(3)
+	reg.Counter("yardstick_http_requests_total", "route", `/odd"path`+"\n", "status", "500").Inc()
+	reg.Gauge("yardstick_workers").Set(4)
+	h := reg.Histogram("yardstick_stage_duration_seconds", []float64{0.01, 0.1}, "stage", "eval")
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP yardstick_bdd_ops_total BDD apply/compose operations
+# TYPE yardstick_bdd_ops_total counter
+yardstick_bdd_ops_total 1234
+# HELP yardstick_http_requests_total requests with "quotes" and \\slashes
+# TYPE yardstick_http_requests_total counter
+yardstick_http_requests_total{route="/coverage",status="200"} 3
+yardstick_http_requests_total{route="/odd\"path\n",status="500"} 1
+# HELP yardstick_stage_duration_seconds yardstick_stage_duration_seconds
+# TYPE yardstick_stage_duration_seconds histogram
+yardstick_stage_duration_seconds_bucket{stage="eval",le="0.01"} 1
+yardstick_stage_duration_seconds_bucket{stage="eval",le="0.1"} 2
+yardstick_stage_duration_seconds_bucket{stage="eval",le="+Inf"} 3
+yardstick_stage_duration_seconds_sum{stage="eval"} 0.555
+yardstick_stage_duration_seconds_count{stage="eval"} 3
+# HELP yardstick_workers yardstick_workers
+# TYPE yardstick_workers gauge
+yardstick_workers 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusHistogramInvariant checks the cumulative invariant on
+// the rendered output itself: bucket counts never decrease and the +Inf
+// bucket equals _count.
+func TestPrometheusHistogramInvariant(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", DefBuckets)
+	for i := 0; i < 500; i++ {
+		h.Observe(float64(i) / 100.0)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	var infCount, count uint64
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "lat_bucket") && !strings.HasPrefix(line, "lat_count") {
+			continue
+		}
+		v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if strings.HasPrefix(line, "lat_count") {
+			count = v
+			continue
+		}
+		if v < prev {
+			t.Errorf("bucket decreased: %q after %d", line, prev)
+		}
+		prev = v
+		if strings.Contains(line, `le="+Inf"`) {
+			infCount = v
+		}
+	}
+	if count != 500 || infCount != count {
+		t.Errorf("count = %d, +Inf bucket = %d, want 500 each", count, infCount)
+	}
+}

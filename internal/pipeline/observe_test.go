@@ -1,0 +1,148 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"yardstick/internal/faults"
+	"yardstick/internal/obs"
+	"yardstick/internal/testkit"
+	"yardstick/internal/topogen"
+)
+
+var regOpts = topogen.RegionalOpts{DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2, SpinesPerDC: 2, Hubs: 2, WANHubs: 1}
+
+// TestProfileSpanTree: an instrumented run yields a closed span tree
+// whose stage spans cover the wall time, with shard spans nested under
+// the suite stage and BDD counters settled into the registry.
+func TestProfileSpanTree(t *testing.T) {
+	reg := obs.NewRegistry()
+	start := time.Now()
+	res, err := Run(context.Background(), Config{
+		Before:  regionalBuilder(regOpts),
+		After:   regionalBuilder(regOpts),
+		Suite:   suite(),
+		Workers: 4,
+		Metrics: reg,
+	})
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("instrumented run returned no profile")
+	}
+	if open := res.Profile.OpenCount(); open != 0 {
+		t.Errorf("open spans = %d, want 0", open)
+	}
+	if d := res.Profile.Duration(); d > wall {
+		t.Errorf("root span %v exceeds wall time %v", d, wall)
+	}
+	// The before+after stage spans must account for (nearly) the whole
+	// root: only flag setup runs outside them.
+	var stages time.Duration
+	names := map[string]int{}
+	res.Profile.Walk(func(_ int, sp *obs.Span) {
+		names[sp.Name()]++
+		if sp.Name() == "before" || sp.Name() == "after" {
+			stages += sp.Duration()
+		}
+	})
+	if stages > res.Profile.Duration() {
+		t.Errorf("stage spans %v exceed root %v", stages, res.Profile.Duration())
+	}
+	if res.Profile.Duration()-stages > res.Profile.Duration()/10+time.Millisecond {
+		t.Errorf("stages %v leave too much of root %v unaccounted", stages, res.Profile.Duration())
+	}
+	// Workers clamps to the 3-test suite, so shards 0..2 run.
+	for _, want := range []string{"pipeline.run", "before", "after", "pipeline.build", "pipeline.suite", "pipeline.coverage", "pipeline.paths", "sharded.build_replicas", "sharded.merge", "shard[0]", "shard[2]"} {
+		if names[want] == 0 {
+			t.Errorf("span %q missing from profile (have %v)", want, names)
+		}
+	}
+	// Registry side: stage histogram observed, BDD work settled.
+	found := map[string]bool{}
+	for _, m := range reg.Snapshot() {
+		if m.Value > 0 || m.Count > 0 {
+			found[m.Name] = true
+		}
+	}
+	for _, want := range []string{
+		"yardstick_stage_duration_seconds",
+		"yardstick_bdd_ops_total",
+		"yardstick_bdd_cache_hits_total",
+		"yardstick_bdd_nodes_allocated_total",
+		"yardstick_sharded_runs_total",
+		"yardstick_sharded_worker_runs_total",
+	} {
+		if !found[want] {
+			t.Errorf("registry missing non-zero %s", want)
+		}
+	}
+}
+
+// TestProfileSpansClosedOnPanic: a panicking test must not leak spans —
+// every span in the profile is closed by its deferred End.
+func TestProfileSpansClosedOnPanic(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := Run(context.Background(), Config{
+		Before:  regionalBuilder(regOpts),
+		After:   regionalBuilder(regOpts),
+		Suite:   testkit.Suite{testkit.DefaultRouteCheck{}, faults.PanicTest{}, testkit.ConnectedRouteCheck{}},
+		Workers: 4,
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != TestsErrored {
+		t.Fatalf("verdict = %v, want tests-errored", res.Verdict)
+	}
+	if open := res.Profile.OpenCount(); open != 0 {
+		t.Errorf("open spans after panic = %d, want 0", open)
+	}
+}
+
+// TestProfileSpansClosedOnCancel: cancellation mid-run still closes
+// every span on the way out.
+func TestProfileSpansClosedOnCancel(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Before:  regionalBuilder(regOpts),
+		After:   regionalBuilder(regOpts),
+		Suite:   testkit.Suite{testkit.DefaultRouteCheck{}, faults.HangTest{}},
+		Workers: 2,
+		Metrics: reg,
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if res.Profile == nil {
+		t.Fatal("no profile on cancelled run")
+	}
+	if open := res.Profile.OpenCount(); open != 0 {
+		var sb strings.Builder
+		obs.WriteFlame(&sb, res.Profile)
+		t.Errorf("open spans after cancel = %d, want 0\n%s", open, sb.String())
+	}
+}
+
+// TestUninstrumentedRunHasNoProfile: without a registry or a context
+// span there is nothing to pay for and nothing to report.
+func TestUninstrumentedRunHasNoProfile(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Before: regionalBuilder(regOpts),
+		After:  regionalBuilder(regOpts),
+		Suite:  suite(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != nil {
+		t.Error("uninstrumented run produced a profile")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"yardstick/internal/core"
 	"yardstick/internal/dataplane"
 	"yardstick/internal/netmodel"
+	"yardstick/internal/obs"
 	"yardstick/internal/report"
 	"yardstick/internal/sharded"
 	"yardstick/internal/testkit"
@@ -110,6 +111,13 @@ type Config struct {
 	// wall-clock time changes. Builders must be deterministic, which
 	// Before/After already promise (both sides are *computed* states).
 	Workers int
+	// Metrics, when set, turns on instrumentation: Run builds a span
+	// tree (Result.Profile) whose stage durations and BDD counter deltas
+	// also land in this registry. When the context already carries a
+	// span (obs.ContextWithSpan), Run nests under it — and that span's
+	// registry wins — so a service or CLI owns the root. Nil with no
+	// span in the context means zero instrumentation overhead.
+	Metrics *obs.Registry
 }
 
 // Result is a change-evaluation report. On error it is still returned
@@ -140,6 +148,9 @@ type Result struct {
 	// DriftNote explains a suppressed or disabled drift guard ("" when
 	// the guard ran normally).
 	DriftNote string
+	// Profile is the run's span tree (nil when uninstrumented). Render
+	// with obs.WriteFlame; every span is closed even on a degraded run.
+	Profile *obs.Span
 }
 
 // Run evaluates a change. The context is honored between phases and —
@@ -161,20 +172,44 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return res, err
 	}
 
-	evaluate := func(build func() (*netmodel.Network, error)) ([]testkit.Result, *report.Snapshot, bool, error) {
+	// Instrumentation root: nest under a span already in the context (a
+	// service request span, a CLI -profile root), else create one when a
+	// registry was configured, else stay nil — and every obs call below
+	// is a no-op.
+	var sp *obs.Span
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		sp = parent.Child("pipeline.run")
+	} else if cfg.Metrics != nil {
+		sp = obs.NewRoot("pipeline.run", cfg.Metrics)
+	}
+	defer sp.End()
+	res.Profile = sp
+	reg := sp.Registry()
+
+	evaluate := func(name string, build func() (*netmodel.Network, error)) ([]testkit.Result, *report.Snapshot, bool, error) {
+		stage := sp.Child(name)
+		defer stage.End()
+		bsp := stage.Child("pipeline.build")
 		net, err := build()
 		if err != nil {
+			bsp.End()
 			return nil, nil, false, err
 		}
 		if !net.MatchSetsComputed() {
 			net.ComputeMatchSets()
 		}
+		bsp.EndStage()
 		// Budgets and cancellation apply from here on: the network is
 		// built (its match sets are the baseline node population), and
 		// everything after this point is evaluation work. bdd.Guard is
 		// the hdr/core recovery boundary — a budget blown anywhere in
 		// the guarded phase unwinds to here as a typed error.
 		net.Space.SetLimits(cfg.Limits)
+		// Counter baseline after SetLimits (it resets the op counter);
+		// the deferred flush settles this state's BDD movement onto the
+		// stage span and the registry even when the guard trips.
+		base := net.Space.EngineStats()
+		defer func() { net.Space.FlushStats(stage, reg, base) }()
 		defer net.Space.WatchContext(ctx)()
 		var (
 			results   []testkit.Result
@@ -186,16 +221,21 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			// Parallel suite evaluation: replicate the state via its own
 			// builder, run shards, merge traces into this (canonical)
 			// space. Shard budget trips and cancellation surface here
-			// with the same error semantics as the sequential guard.
-			eng, err := sharded.New(ctx, net, sharded.Config{
+			// with the same error semantics as the sequential guard. The
+			// suite span rides the context so shard spans nest under it.
+			ssp := stage.Child("pipeline.suite")
+			sctx := obs.ContextWithSpan(ctx, ssp)
+			eng, err := sharded.New(sctx, net, sharded.Config{
 				Workers: cfg.Workers,
 				Build:   build,
 				Limits:  cfg.Limits,
 			})
 			if err != nil {
+				ssp.End()
 				return nil, nil, false, err
 			}
-			sres, err := eng.Run(ctx, cfg.Suite)
+			sres, err := eng.Run(sctx, cfg.Suite)
+			ssp.EndStage()
 			results = sres.Results
 			if err != nil {
 				return results, nil, false, err
@@ -204,16 +244,28 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		gerr := bdd.Guard(func() {
 			if trace == nil {
-				trace = core.NewTrace()
-				results = cfg.Suite.Run(ctx, net, trace)
+				func() {
+					ssp := stage.Child("pipeline.suite")
+					defer ssp.EndStage()
+					trace = core.NewTrace()
+					results = cfg.Suite.Run(obs.ContextWithSpan(ctx, ssp), net, trace)
+				}()
 			}
-			cov := core.NewCoverage(net, trace)
-			snap = report.TakeSnapshot(cov)
+			func() {
+				csp := stage.Child("pipeline.coverage")
+				defer csp.EndStage()
+				cov := core.NewCoverage(net, trace)
+				snap = report.TakeSnapshot(cov)
+			}()
 			if !cfg.SkipPathUniverse {
-				n, complete := dataplane.EnumeratePaths(ctx, net, dataplane.EdgeStarts(net),
-					dataplane.EnumOpts{MaxPaths: cfg.PathBudget}, func(dataplane.Path) bool { return true })
-				snap.PathUniverse = n
-				truncated = !complete
+				func() {
+					psp := stage.Child("pipeline.paths")
+					defer psp.EndStage()
+					n, complete := dataplane.EnumeratePaths(ctx, net, dataplane.EdgeStarts(net),
+						dataplane.EnumOpts{MaxPaths: cfg.PathBudget}, func(dataplane.Path) bool { return true })
+					snap.PathUniverse = n
+					truncated = !complete
+				}()
 			}
 		})
 		if gerr == nil {
@@ -222,14 +274,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return results, snap, truncated, gerr
 	}
 
-	_, beforeSnap, beforeTrunc, err := evaluate(cfg.Before)
+	_, beforeSnap, beforeTrunc, err := evaluate("before", cfg.Before)
 	if err != nil {
 		return res, fmt.Errorf("pipeline: before state: %w", err)
 	}
 	res.BeforeCoverage = beforeSnap.Total
 	res.PathsBefore = beforeSnap.PathUniverse
 
-	afterResults, afterSnap, afterTrunc, err := evaluate(cfg.After)
+	afterResults, afterSnap, afterTrunc, err := evaluate("after", cfg.After)
 	res.Results = afterResults
 	if err != nil {
 		return res, fmt.Errorf("pipeline: after state: %w", err)

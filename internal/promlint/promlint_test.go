@@ -1,0 +1,86 @@
+package promlint
+
+import (
+	"strings"
+	"testing"
+
+	"yardstick/internal/obs"
+)
+
+func lint(t *testing.T, doc string) []Issue {
+	t.Helper()
+	return Lint(strings.NewReader(doc))
+}
+
+func TestCleanDocument(t *testing.T) {
+	doc := `# HELP reqs_total requests
+# TYPE reqs_total counter
+reqs_total{route="/run",status="200"} 3
+reqs_total{route="/odd\"path\n"} 1
+# TYPE lat histogram
+lat_bucket{le="0.1"} 2
+lat_bucket{le="+Inf"} 5
+lat_sum 1.25
+lat_count 5
+# TYPE up gauge
+up 1
+`
+	if issues := lint(t, doc); len(issues) != 0 {
+		t.Errorf("clean document flagged: %v", issues)
+	}
+}
+
+func TestBadDocuments(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"type-after-sample", "x_total 1\n# TYPE x_total counter\n", "after its first sample"},
+		{"bad-type", "# TYPE x florp\n", "unknown type"},
+		{"bad-name", "1bad 2\n", "invalid metric name"},
+		{"bad-label-name", `x{1le="2"} 3` + "\n", "invalid label name"},
+		{"bad-escape", `x{a="\q"} 1` + "\n", "invalid escape"},
+		{"unquoted-label", "x{a=2} 1\n", "not quoted"},
+		{"dup-series", "x 1\nx 1\n", "duplicate sample"},
+		{"dup-type", "# TYPE x counter\n# TYPE x counter\n", "duplicate TYPE"},
+		{"dup-help", "# HELP x a\n# HELP x b\n", "duplicate HELP"},
+		{"bad-value", "x nope\n", "invalid sample value"},
+		{"split-family", "x 1\ny 1\nx{a=\"b\"} 1\n", "not contiguous"},
+		{"hist-no-inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n", "missing the +Inf bucket"},
+		{"hist-decreasing", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n", "below previous bucket"},
+		{"hist-count-mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n", "_count 4 != +Inf bucket 3"},
+		{"hist-no-sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n", "missing _sum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			issues := lint(t, tc.doc)
+			for _, i := range issues {
+				if strings.Contains(i.Msg, tc.want) {
+					return
+				}
+			}
+			t.Errorf("no issue matching %q in %v", tc.want, issues)
+		})
+	}
+}
+
+// TestObsOutputIsClean: whatever the obs registry emits must pass the
+// linter — the two halves of the contract meet here.
+func TestObsOutputIsClean(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetHelp("yardstick_bdd_ops_total", "ops with \\slashes\nand newlines")
+	reg.Counter("yardstick_bdd_ops_total").Add(42)
+	reg.Counter("reqs", "route", `/odd"path`+"\n", "status", "200").Inc()
+	h := reg.Histogram("lat", obs.DefBuckets, "stage", "eval")
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 50)
+	}
+	reg.Gauge("workers").Set(4)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if issues := lint(t, sb.String()); len(issues) != 0 {
+		t.Errorf("obs exposition flagged: %v\n%s", issues, sb.String())
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"context"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -17,7 +17,9 @@ import (
 	"yardstick/internal/topogen"
 )
 
-func discardLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 // TestConcurrentRequests hammers the hot endpoints from parallel
 // goroutines. The server serializes on its mutex (the BDD manager is
@@ -73,8 +75,8 @@ func TestPanicRecovery(t *testing.T) {
 	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
 	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusOK) })
 	var logbuf bytes.Buffer
-	logger := log.New(&logbuf, "", 0)
-	ts := httptest.NewServer(Chain(mux, Recover(logger), LogRequests(logger)))
+	logger := slog.New(slog.NewTextHandler(&logbuf, nil))
+	ts := httptest.NewServer(Chain(mux, LogRequests(logger), Recover(logger)))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/boom")
@@ -90,6 +92,14 @@ func TestPanicRecovery(t *testing.T) {
 	}
 	if !bytes.Contains(logbuf.Bytes(), []byte("goroutine")) {
 		t.Error("stack trace not logged")
+	}
+	// The panicking request still gets its structured request line, with
+	// the 500 Recover answered, tied together by the request id.
+	if !bytes.Contains(logbuf.Bytes(), []byte("status=500")) {
+		t.Errorf("request log line missing for panicking request:\n%s", logbuf.String())
+	}
+	if !bytes.Contains(logbuf.Bytes(), []byte("id="+resp.Header.Get("X-Request-Id"))) {
+		t.Errorf("request id %q not in log:\n%s", resp.Header.Get("X-Request-Id"), logbuf.String())
 	}
 
 	// The server survives and keeps answering.

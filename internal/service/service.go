@@ -55,15 +55,18 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"log"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
 
 	"yardstick/internal/bdd"
 	"yardstick/internal/core"
+	"yardstick/internal/hdr"
 	"yardstick/internal/netmodel"
+	"yardstick/internal/obs"
 	"yardstick/internal/report"
 	"yardstick/internal/sharded"
 	"yardstick/internal/testkit"
@@ -85,20 +88,29 @@ type Server struct {
 	// changes). Replicas are expensive to build, cheap to keep.
 	engine *sharded.Engine
 
-	logger       *log.Logger
+	logger       *slog.Logger
+	metrics      *obs.Registry
+	started      time.Time
 	maxBody      int64
 	runTimeout   time.Duration
 	maxWorkers   int
 	snapPath     string
 	snapInterval time.Duration
+
+	// engineBase is the last-flushed counter baseline of the canonical
+	// BDD manager. The canonical manager's movement is settled into the
+	// metrics registry through exactly one path — flushCanonical, under
+	// the server mutex — so scrapes and reports never double-count.
+	engineBase bdd.Stats
 }
 
 // Option configures a Server.
 type Option func(*Server)
 
-// WithLogger routes request and panic logs to l (default: the standard
-// logger).
-func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l } }
+// WithLogger routes request and panic logs to l (default: slog.Default).
+// The same structured logger serves the middleware chain, snapshot
+// recovery, and the checkpointer drain path.
+func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.logger = l } }
 
 // WithMaxBody caps request-body size at n bytes (default DefaultMaxBody).
 func WithMaxBody(n int64) Option { return func(s *Server) { s.maxBody = n } }
@@ -139,7 +151,9 @@ func WithSnapshot(path string, interval time.Duration) Option {
 func New(opts ...Option) *Server {
 	s := &Server{
 		trace:        core.NewTrace(),
-		logger:       log.Default(),
+		logger:       slog.Default(),
+		metrics:      obs.NewRegistry(),
+		started:      time.Now(),
 		maxBody:      DefaultMaxBody,
 		maxWorkers:   1,
 		snapInterval: time.Minute,
@@ -147,8 +161,17 @@ func New(opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	hdr.RegisterHelp(s.metrics)
+	s.metrics.SetHelp(sharded.MetricRuns, "Sharded suite runs")
+	s.metrics.SetHelp(sharded.MetricWorkerRuns, "Per-worker shard executions")
+	s.metrics.SetHelp(sharded.MetricBudgetTrips, "Shard runs that tripped their BDD budget")
+	s.metrics.SetHelp("yardstick_stage_duration_seconds", "Stage latency, by stage name")
 	return s
 }
+
+// Metrics exposes the server's metrics registry (what GET /metrics
+// serves) so an embedding daemon can add its own series.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // WithNetwork returns a server pre-loaded with a network.
 func WithNetwork(net *netmodel.Network, opts ...Option) *Server {
@@ -171,9 +194,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /gaps", s.getGaps)
 	mux.HandleFunc("GET /healthz", s.getHealthz)
 	mux.HandleFunc("GET /readyz", s.getReadyz)
+	mux.HandleFunc("GET /metrics", s.getMetrics)
+	mux.HandleFunc("GET /stats", s.getStats)
+	// LogRequests sits outermost so its deferred log line also covers
+	// requests that panic (Recover, inside, has already answered 500 by
+	// the time the line is emitted).
 	return Chain(mux,
-		Recover(s.logger),
 		LogRequests(s.logger),
+		Recover(s.logger),
+		Instrument(s.metrics),
 		LimitBody(s.maxBody),
 	)
 }
@@ -223,8 +252,9 @@ func (s *Server) putNetwork(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.net = net
-	s.trace = core.NewTrace() // a new network invalidates the old trace
-	s.engine = nil            // and the old replica pool
+	s.trace = core.NewTrace()     // a new network invalidates the old trace
+	s.engine = nil                // and the old replica pool
+	s.engineBase = bdd.Stats{}    // fresh manager, fresh counter baseline
 	writeJSON(w, http.StatusOK, statsBody(net))
 }
 
@@ -358,6 +388,12 @@ func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.evalContext(r)
 	defer cancel()
+	// The request span carries the metrics registry into the evaluation:
+	// sharded workers flush their per-run BDD deltas and budget trips
+	// through it, and its EndStage feeds the stage latency histogram.
+	sp := obs.NewRoot("service.run", s.metrics)
+	defer sp.EndStage()
+	ctx = obs.ContextWithSpan(ctx, sp)
 	var results []testkit.Result
 	if workers > 1 {
 		results, err = s.runSharded(ctx, suite, workers)
@@ -467,8 +503,13 @@ type CoverageReport struct {
 // unique table's geometry (slots and load factor — a load pinned near
 // 0.75 right after a resize is normal; a table far larger than the node
 // count suggests a leaked manager), memo-array sizes, and op-cache
-// counters.
+// counters. When a sharded worker pool exists, additive counters
+// (nodes, ops, cache hits/misses, resizes, memo sizes) aggregate the
+// canonical manager plus every replica, PeakNodes is the maximum over
+// the managers, and table geometry stays the canonical manager's;
+// Workers says how many managers contributed.
 type EngineStats struct {
+	Workers        int     `json:"workers"`
 	Nodes          int     `json:"nodes"`
 	PeakNodes      int     `json:"peakNodes"`
 	UniqueSlots    int     `json:"uniqueSlots"`
@@ -479,10 +520,13 @@ type EngineStats struct {
 	Ops            uint64  `json:"ops"`
 	CacheHits      uint64  `json:"cacheHits"`
 	CacheMisses    uint64  `json:"cacheMisses"`
+	UniqueResizes  uint64  `json:"uniqueResizes"`
+	CacheResizes   uint64  `json:"cacheResizes"`
 }
 
 func toEngineStats(st bdd.Stats) EngineStats {
 	return EngineStats{
+		Workers:        1,
 		Nodes:          st.Nodes,
 		PeakNodes:      st.PeakNodes,
 		UniqueSlots:    st.UniqueSlots,
@@ -493,7 +537,33 @@ func toEngineStats(st bdd.Stats) EngineStats {
 		Ops:            st.Ops,
 		CacheHits:      st.CacheHits,
 		CacheMisses:    st.CacheMisses,
+		UniqueResizes:  st.UniqueResizes,
+		CacheResizes:   st.CacheResizes,
 	}
+}
+
+// engineStatsLocked aggregates the canonical manager and, when the
+// sharded pool exists, every replica manager. Callers hold s.mu.
+func (s *Server) engineStatsLocked() EngineStats {
+	es := toEngineStats(s.net.Space.EngineStats())
+	if s.engine == nil {
+		return es
+	}
+	for _, st := range s.engine.ReplicaStats() {
+		es.Workers++
+		es.Nodes += st.Nodes
+		es.Ops += st.Ops
+		es.CacheHits += st.CacheHits
+		es.CacheMisses += st.CacheMisses
+		es.UniqueResizes += st.UniqueResizes
+		es.CacheResizes += st.CacheResizes
+		es.SatFracEntries += st.SatFracEntries
+		es.SatCntEntries += st.SatCntEntries
+		if st.PeakNodes > es.PeakNodes {
+			es.PeakNodes = st.PeakNodes
+		}
+	}
+	return es
 }
 
 // MetricsRow is one group's coverage metrics.
@@ -527,7 +597,9 @@ func (s *Server) getCoverage(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.evalContext(r)
 	defer cancel()
 	defer s.net.Space.WatchContext(ctx)()
+	start := time.Now()
 	var body CoverageReport
+	sp := obs.NewRoot("service.coverage", s.metrics)
 	gerr := bdd.Guard(func() {
 		cov := core.NewCoverage(s.net, s.trace)
 		body.Total = toMetricsRow(report.Total(cov, "total"))
@@ -543,6 +615,8 @@ func (s *Server) getCoverage(w http.ResponseWriter, r *http.Request) {
 			body.ByRole = append(body.ByRole, toMetricsRow(row))
 		}
 	})
+	sp.EndStage()
+	compute := time.Since(start)
 	if gerr == nil {
 		// The engine polls its watched context every 1024 ops; small
 		// computations can finish between polls, so backstop here.
@@ -552,7 +626,69 @@ func (s *Server) getCoverage(w http.ResponseWriter, r *http.Request) {
 		abortError(w, "coverage", gerr)
 		return
 	}
-	body.Engine = toEngineStats(s.net.Space.EngineStats())
+	body.Engine = s.engineStatsLocked()
+	// Server-Timing (set before writeJSON starts the response): how the
+	// request's time split between the coverage computation and the
+	// stats/serialization tail.
+	w.Header().Set("Server-Timing", fmt.Sprintf("compute;dur=%.2f, stats;dur=%.2f",
+		float64(compute.Microseconds())/1000,
+		float64(time.Since(start).Microseconds())/1000-float64(compute.Microseconds())/1000))
+	writeJSON(w, http.StatusOK, body)
+}
+
+// getMetrics serves the Prometheus text exposition. The canonical
+// manager's counters are settled into the registry first, so a scrape
+// always reflects completed work, whichever endpoint performed it.
+func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.flushCanonicalLocked()
+	reg := s.metrics
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", obs.ContentType)
+	reg.WritePrometheus(w)
+}
+
+// flushCanonicalLocked settles the canonical BDD manager's counter
+// movement since the last flush into the metrics registry. The single
+// flush path for the canonical manager; callers hold s.mu.
+func (s *Server) flushCanonicalLocked() {
+	if s.net == nil {
+		return
+	}
+	s.engineBase = s.net.Space.FlushStats(nil, s.metrics, s.engineBase)
+	s.metrics.Gauge("yardstick_engine_nodes").Set(float64(s.net.Space.EngineStats().Nodes))
+}
+
+// StatsReport is the GET /stats response body: debug vars for humans
+// and dashboards that want JSON rather than the Prometheus exposition.
+type StatsReport struct {
+	UptimeSeconds  float64      `json:"uptimeSeconds"`
+	Goroutines     int          `json:"goroutines"`
+	NetworkLoaded  bool         `json:"networkLoaded"`
+	Network        NetworkStats `json:"network,omitempty"`
+	TraceLocations int          `json:"traceLocations"`
+	MarkedRules    int          `json:"markedRules"`
+	Engine         EngineStats  `json:"engine,omitempty"`
+	Metrics        []obs.Metric `json:"metrics"`
+}
+
+func (s *Server) getStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	body := StatsReport{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		NetworkLoaded: s.net != nil,
+	}
+	ts := s.trace.Stats()
+	body.TraceLocations = ts.Locations
+	body.MarkedRules = ts.MarkedRules
+	if s.net != nil {
+		body.Network = statsBody(s.net)
+		body.Engine = s.engineStatsLocked()
+		s.flushCanonicalLocked()
+	}
+	body.Metrics = s.metrics.Snapshot()
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -636,7 +772,7 @@ func (s *Server) Restore() (bool, error) {
 	case errors.Is(err, fs.ErrNotExist):
 		return false, nil
 	case errors.Is(err, core.ErrSnapshotMismatch):
-		s.logger.Printf("snapshot %s recorded against a different network; discarding", s.snapPath)
+		s.logger.Warn("snapshot recorded against a different network; discarding", "path", s.snapPath)
 		return false, nil
 	case err != nil:
 		return false, err
@@ -661,11 +797,11 @@ func (s *Server) RunCheckpointer(ctx context.Context) {
 		select {
 		case <-tick.C:
 			if err := s.Checkpoint(); err != nil {
-				s.logger.Printf("checkpoint: %v", err)
+				s.logger.Error("checkpoint failed", "err", err)
 			}
 		case <-ctx.Done():
 			if err := s.Checkpoint(); err != nil {
-				s.logger.Printf("final checkpoint: %v", err)
+				s.logger.Error("final checkpoint failed", "err", err)
 			}
 			return
 		}

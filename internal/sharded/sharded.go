@@ -43,7 +43,17 @@ import (
 	"yardstick/internal/bdd"
 	"yardstick/internal/core"
 	"yardstick/internal/netmodel"
+	"yardstick/internal/obs"
 	"yardstick/internal/testkit"
+)
+
+// Registry metric names recorded by instrumented runs (a span with an
+// attached registry must be in the run context; without one the engine
+// records nothing).
+const (
+	MetricRuns        = "yardstick_sharded_runs_total"
+	MetricWorkerRuns  = "yardstick_sharded_worker_runs_total"
+	MetricBudgetTrips = "yardstick_sharded_budget_trips_total"
 )
 
 // Builder constructs one network replica. It must be deterministic —
@@ -142,6 +152,11 @@ func New(ctx context.Context, canonical *netmodel.Network, cfg Config) (*Engine,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Replica construction is the engine's fixed cost; time it under the
+	// caller's span (nil span → zero overhead).
+	bsp := obs.SpanFromContext(ctx).Child("sharded.build_replicas")
+	bsp.Set("workers", int64(cfg.Workers))
+	defer bsp.End()
 
 	type built struct {
 		i   int
@@ -189,6 +204,19 @@ func New(ctx context.Context, canonical *netmodel.Network, cfg Config) (*Engine,
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return len(e.replicas) }
 
+// ReplicaStats returns the current BDD counters of every replica
+// manager, ordered by worker index. Replica managers are quiescent
+// between runs, so callers aggregating engine health (a /coverage
+// response, a /metrics scrape) may read them whenever no Run is in
+// flight.
+func (e *Engine) ReplicaStats() []bdd.Stats {
+	out := make([]bdd.Stats, len(e.replicas))
+	for i, r := range e.replicas {
+		out[i] = r.Space.EngineStats()
+	}
+	return out
+}
+
 // Run is a convenience: build an engine for one run and evaluate suite.
 func Run(ctx context.Context, canonical *netmodel.Network, cfg Config, suite testkit.Suite) (*Result, error) {
 	e, err := New(ctx, canonical, cfg)
@@ -231,6 +259,16 @@ func (e *Engine) RunWorkers(ctx context.Context, suite testkit.Suite, n int) (*R
 	}
 	limits := shardLimits(e.cfg.Limits, w)
 
+	// Instrumentation is carried by the context: a span there (with or
+	// without a registry) turns on per-shard timing; absent one, every
+	// obs call below is a nil-receiver no-op.
+	sp := obs.SpanFromContext(ctx)
+	reg := sp.Registry()
+	sp.Set("workers", int64(w))
+	sp.Set("tests", int64(len(suite)))
+	reg.Counter(MetricRuns).Inc()
+	reg.Gauge("yardstick_sharded_workers").Set(float64(w))
+
 	// Round-robin partition in suite order: worker i runs tests i, i+w, …
 	// The assignment depends only on suite order and pool size, never on
 	// scheduling, so reruns partition identically.
@@ -253,23 +291,42 @@ func (e *Engine) RunWorkers(ctx context.Context, suite testkit.Suite, n int) (*R
 	// Run on the same engine could race with the restore write.
 	runShard := func(i int) shardOut {
 		rep := e.replicas[i]
+		// Format the span name only when instrumented: the Sprintf would
+		// otherwise be the uninstrumented path's only allocation.
+		var ws *obs.Span
+		if sp != nil {
+			ws = sp.Child(fmt.Sprintf("shard[%d]", i))
+		}
+		defer ws.End()
+		ws.Set("tests", int64(len(parts[i])))
 		// Fresh budget per run: SetLimits resets the op counter and
-		// clears any poison left by a previous run's trip.
+		// clears any poison left by a previous run's trip. The stats
+		// baseline comes after — SetLimits zeroes the op counter, and the
+		// flush below must see only this run's movement.
 		rep.Space.SetLimits(limits)
+		base := rep.Space.EngineStats()
 		restore := rep.Space.WatchContext(ctx)
 		defer restore()
 		trace := core.NewTrace()
 		results := testkit.Suite(parts[i]).Run(ctx, rep, trace)
+		ws.Set("completed", int64(len(results)))
+		// A budget panic inside a test is recovered generically by
+		// the per-test isolation boundary into an Errored result;
+		// the poisoned manager is the durable evidence that the
+		// shard — and therefore the run — blew its budget.
+		err := rep.Space.Manager().BudgetErr()
+		if err != nil {
+			ws.Add("budget_trips", 1)
+			reg.Counter(MetricBudgetTrips).Inc()
+		}
+		reg.Counter(MetricWorkerRuns).Inc()
+		rep.Space.FlushStats(ws, reg, base)
 		return shardOut{
 			worker:  i,
 			results: results,
 			trace:   trace,
 			stats:   rep.Space.EngineStats(),
-			// A budget panic inside a test is recovered generically by
-			// the per-test isolation boundary into an Errored result;
-			// the poisoned manager is the durable evidence that the
-			// shard — and therefore the run — blew its budget.
-			err: rep.Space.Manager().BudgetErr(),
+			err:     err,
 		}
 	}
 	ch := make(chan shardOut, w)
@@ -317,11 +374,19 @@ func (e *Engine) RunWorkers(ctx context.Context, suite testkit.Suite, n int) (*R
 	// charges the canonical manager's budget; Guard converts a trip (or a
 	// watched-context cancellation installed by the caller) into an error
 	// instead of unwinding through us.
+	// The merge span records the canonical manager's movement on the span
+	// only: registry totals for the canonical engine are settled by its
+	// owner (the service scrape path), not here, or the same ops would
+	// count twice.
+	msp := sp.Child("sharded.merge")
+	mergeBase := e.canonical.Space.EngineStats()
 	mergeErr := bdd.Guard(func() {
 		for _, o := range outs {
 			res.Trace.Merge(o.trace.TransferTo(e.canonical.Space))
 		}
 	})
+	e.canonical.Space.FlushStats(msp, nil, mergeBase)
+	msp.End()
 
 	switch {
 	case shardErr != nil:
