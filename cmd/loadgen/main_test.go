@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"yardstick/internal/loadtest"
+	"yardstick/internal/service"
+	"yardstick/internal/topogen"
+)
+
+// TestRunWritesReportAndChecks drives run() end-to-end against a
+// saturated service: the report lands in -out, parses back, and -check
+// passes because the service shed cleanly.
+func TestRunWritesReportAndChecks(t *testing.T) {
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := service.WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	srv := service.WithNetwork(rg.Net, quiet, service.WithJobQueue(2, time.Minute))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "BENCH_service.json")
+	var stdout, stderr bytes.Buffer
+	err = run(context.Background(), []string{
+		"-addr", ts.URL, "-rps", "200", "-duration", "300ms", "-out", out, "-check",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadtest.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Totals.Launched == 0 || rep.Totals.Shed == 0 {
+		t.Fatalf("report = %+v, want launches and sheds", rep.Totals)
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("admission contract held")) {
+		t.Errorf("stderr missing contract verdict: %s", stderr.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-rps", "notanumber"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("bad flags should error")
+	}
+}

@@ -107,6 +107,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 		runTimeout   = fs.Duration("run-timeout", 0, "per-request deadline for /run, /coverage and /gaps evaluation work (0 = bounded only by the HTTP write timeout)")
 		workers      = fs.Int("workers", 1, "cap on per-request /run parallelism (?workers=n is clamped to this; 1 = sequential only)")
 		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled). A separate listener, so profiling never shares the service port")
+		maxInflight  = fs.Int("max-inflight", 16, "cap on concurrently admitted heavy requests; excess answers 429 + Retry-After (0 = unlimited)")
+		queueDepth   = fs.Int("queue-depth", 64, "async job queue depth; a full queue sheds POST /jobs with 503 + Retry-After")
+		jobTTL       = fs.Duration("job-ttl", time.Hour, "how long finished job results stay fetchable via GET /jobs/{id}")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +124,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 	opts := []service.Option{
 		service.WithLogger(logger),
 		service.WithMaxBody(*maxBody),
+		service.WithJobQueue(*queueDepth, *jobTTL),
+	}
+	if *maxInflight > 0 {
+		opts = append(opts, service.WithAdmission(*maxInflight))
 	}
 	if *runTimeout > 0 {
 		opts = append(opts, service.WithRunTimeout(*runTimeout))
@@ -185,6 +192,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 		srv.RunCheckpointer(ctx)
 	}()
 
+	// The job worker pool gets its own context, cancelled during
+	// shutdown AFTER the HTTP drain: in-flight pollers keep getting
+	// answers while the pool winds down, and queued work is never
+	// started on a dying daemon.
+	jobsCtx, jobsCancel := context.WithCancel(context.Background())
+	defer jobsCancel()
+	jobsDone := make(chan struct{})
+	go func() {
+		defer close(jobsDone)
+		srv.RunJobs(jobsCtx)
+	}()
+
 	fmt.Fprintf(stdout, "yardstickd listening on %s\n", ln.Addr())
 	if onReady != nil {
 		onReady(ln.Addr().String())
@@ -199,7 +218,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 	case <-ctx.Done():
 	}
 
+	// Shutdown order matters: flip to draining FIRST so requests racing
+	// the drain get an orderly 503 + Retry-After instead of a severed
+	// connection, then drain in-flight HTTP, then stop the worker pool
+	// (running jobs are cancelled, queued jobs stay queued), and only
+	// after job states have settled take the final checkpoint — that is
+	// what makes finished results fetchable across the restart and
+	// interrupted jobs come back failed-with-reason rather than lost.
 	logger.Info("shutting down", "drain", *drain)
+	srv.SetDraining(true)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	err = hs.Shutdown(drainCtx)
@@ -208,7 +235,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, onReady f
 		hs.Close()
 		err = nil
 	}
-	<-checkpointerDone // final checkpoint ran (RunCheckpointer exits on ctx.Done)
-	<-serveErr         // Serve returned http.ErrServerClosed
+	jobsCancel()
+	<-jobsDone         // worker pool exited; every job state is settled
+	<-checkpointerDone // periodic checkpointer exited (ctx.Done)
+	if cerr := srv.Checkpoint(); cerr != nil {
+		logger.Error("final checkpoint", "err", cerr)
+		if err == nil {
+			err = cerr
+		}
+	}
+	<-serveErr // Serve returned http.ErrServerClosed
 	return err
 }

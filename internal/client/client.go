@@ -5,12 +5,16 @@
 //
 // The client is built for flaky production networks: every call takes a
 // context, each HTTP attempt gets a per-request timeout, and transient
-// failures (connection errors and 5xx responses) are retried with
-// exponential backoff plus jitter. 4xx responses are never retried —
-// they are the caller's bug, not the network's. Retrying is safe for
-// every endpoint: trace-fragment merge is idempotent by BDD-union
-// semantics, so a fragment that was actually applied before the
-// response was lost merges to the same trace when resent.
+// failures (connection errors, 5xx responses, and 429 shed responses)
+// are retried with exponential backoff plus jitter. When the server
+// sheds load it attaches a Retry-After hint (seconds or HTTP-date); the
+// client honors the hint in place of its own backoff, capped at the
+// policy's MaxDelay. Other 4xx responses are never retried — they are
+// the caller's bug, not the network's. Retrying is safe for every
+// endpoint: trace-fragment merge is idempotent by BDD-union semantics,
+// so a fragment that was actually applied before the response was lost
+// merges to the same trace when resent, and a duplicate job submission
+// re-runs suites whose coverage merges to the same union.
 package client
 
 import (
@@ -23,6 +27,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,11 +37,15 @@ import (
 )
 
 // APIError is a non-2xx response from the service, carrying the status
-// code and the server's error message. Errors with a 4xx code are
-// returned without retries.
+// code and the server's error message. Errors with a 4xx code other
+// than 429 are returned without retries.
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint, decoded from either
+	// the delay-seconds or the HTTP-date form (0 when absent). Shed
+	// responses (429/503 from admission control) carry it.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -77,6 +86,41 @@ func (p RetryPolicy) backoff(n int) time.Duration {
 		d = p.MaxDelay
 	}
 	return d/2 + rand.N(d/2+1)
+}
+
+// retryDelay returns the wait before attempt n (n >= 1). A server
+// Retry-After hint on the previous attempt's error takes precedence
+// over the policy's own backoff — the server knows when its queue will
+// drain better than an exponential guess does — but is still capped at
+// MaxDelay so a confused server cannot park the client for an hour.
+func (p RetryPolicy) retryDelay(n int, lastErr error) time.Duration {
+	var ae *APIError
+	if errors.As(lastErr, &ae) && ae.RetryAfter > 0 {
+		return min(ae.RetryAfter, p.MaxDelay)
+	}
+	return p.backoff(n)
+}
+
+// parseRetryAfter decodes a Retry-After header value, which RFC 9110
+// allows in two forms: delay-seconds ("120") or an HTTP-date ("Fri, 07
+// Aug 2026 10:00:00 GMT"). Returns 0 for absent, malformed, or
+// already-elapsed values.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // DefaultRetry is the retry policy used when WithRetry is not given.
@@ -159,17 +203,22 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		if e.Error == "" {
 			e.Error = strings.TrimSpace(string(data))
 		}
-		return nil, &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+		return nil, &APIError{
+			StatusCode: resp.StatusCode,
+			Message:    e.Error,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()),
+		}
 	}
 	return data, nil
 }
 
 // retryable reports whether an attempt error is transient: connection
-// errors and 5xx responses are, 4xx responses are not.
+// errors, 5xx responses, and 429 sheds are; other 4xx responses are
+// not.
 func retryable(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
-		return ae.StatusCode >= 500
+		return ae.StatusCode >= 500 || ae.StatusCode == http.StatusTooManyRequests
 	}
 	return true
 }
@@ -180,7 +229,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, wantC
 	var lastErr error
 	for n := 0; n < c.retry.MaxAttempts; n++ {
 		if n > 0 {
-			t := time.NewTimer(c.retry.backoff(n))
+			t := time.NewTimer(c.retry.retryDelay(n, lastErr))
 			select {
 			case <-t.C:
 			case <-ctx.Done():

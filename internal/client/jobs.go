@@ -1,0 +1,124 @@
+package client
+
+// Async run helpers. POST /run holds the connection for the entire
+// evaluation; the /jobs API instead answers 202 immediately and lets
+// the caller poll, which is what the server's admission layer needs to
+// bound concurrent work. SubmitJob/Job/CancelJob map one-to-one onto
+// the wire API; WaitJob adds the polling loop; RunAsync composes
+// submit-and-wait into a drop-in asynchronous replacement for Run.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"yardstick/internal/service"
+)
+
+// SubmitJob enqueues an asynchronous run of the given built-in suites
+// (POST /jobs), returning the queued job. workers <= 0 leaves the
+// worker count to the server. A full queue answers 503 with a
+// Retry-After hint, which the retry policy honors before resubmitting;
+// a duplicate submission caused by a lost 202 is wasteful but safe —
+// coverage merges by BDD union, so re-running a suite cannot double
+// count.
+func (c *Client) SubmitJob(ctx context.Context, workers int, suites ...string) (service.JobStatus, error) {
+	var j service.JobStatus
+	path := "/jobs?suite=" + url.QueryEscape(strings.Join(suites, ","))
+	if workers > 0 {
+		path += "&workers=" + strconv.Itoa(workers)
+	}
+	err := c.do(ctx, http.MethodPost, path, nil, http.StatusAccepted, &j)
+	return j, err
+}
+
+// Job fetches one job's current state (GET /jobs/{id}). The Result
+// payload is set once the job is done.
+func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
+	var j service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/jobs/"+url.PathEscape(id), nil, http.StatusOK, &j)
+	return j, err
+}
+
+// Jobs lists the server's retained jobs with queue stats (GET /jobs).
+func (c *Client) Jobs(ctx context.Context) (service.JobList, error) {
+	var out service.JobList
+	err := c.do(ctx, http.MethodGet, "/jobs", nil, http.StatusOK, &out)
+	return out, err
+}
+
+// CancelJob cancels a queued or running job (DELETE /jobs/{id}). A job
+// that already finished answers 409, surfaced as an *APIError.
+func (c *Client) CancelJob(ctx context.Context, id string) (service.JobStatus, error) {
+	var j service.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/jobs/"+url.PathEscape(id), nil, http.StatusOK, &j)
+	return j, err
+}
+
+// WaitJob polls a job until it reaches a terminal state (done, failed,
+// or cancelled), pausing poll between probes (poll <= 0 means 250ms).
+// It returns the terminal job; reaching a terminal state is not an
+// error here even when the state is failed — callers decide what a
+// failed job means to them.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (service.JobStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return j, err
+		}
+		if j.State.Terminal() {
+			return j, nil
+		}
+		t := time.NewTimer(poll)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return j, fmt.Errorf("client: waiting for job %s: %w", id, ctx.Err())
+		}
+	}
+}
+
+// RunAsync submits the suites as a job and waits for it: the
+// asynchronous equivalent of Run, for callers who want backpressure-
+// aware submission without managing the poll loop themselves. A job
+// that ends failed or cancelled returns an error carrying the server's
+// reason.
+func (c *Client) RunAsync(ctx context.Context, workers int, suites ...string) ([]service.RunResult, error) {
+	j, err := c.SubmitJob(ctx, workers, suites...)
+	if err != nil {
+		return nil, err
+	}
+	if j, err = c.WaitJob(ctx, j.ID, 0); err != nil {
+		return nil, err
+	}
+	if j.Error != "" || len(j.Result) == 0 {
+		return nil, fmt.Errorf("client: job %s %s: %s", j.ID, j.State, j.Error)
+	}
+	var out []service.RunResult
+	if err := json.Unmarshal(j.Result, &out); err != nil {
+		return nil, fmt.Errorf("client: job %s result: %w", j.ID, err)
+	}
+	return out, nil
+}
+
+// IsShed reports whether err is a load-shed response (429 or 503 from
+// admission control) and returns the server's Retry-After hint when it
+// carried one.
+func IsShed(err error) (time.Duration, bool) {
+	var ae *APIError
+	if errors.As(err, &ae) &&
+		(ae.StatusCode == http.StatusTooManyRequests || ae.StatusCode == http.StatusServiceUnavailable) {
+		return ae.RetryAfter, true
+	}
+	return 0, false
+}

@@ -1,0 +1,81 @@
+package loadtest
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"yardstick/internal/service"
+	"yardstick/internal/topogen"
+)
+
+// TestRunAgainstSaturatedService: a tiny queue with no workers fills
+// after two submissions; everything after must shed cleanly. This is
+// the acceptance property in miniature — only 2xx and sheds with
+// Retry-After, no 5xx, no dropped connections.
+func TestRunAgainstSaturatedService(t *testing.T) {
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := service.WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	srv := service.WithNetwork(rg.Net, quiet, service.WithJobQueue(2, time.Minute))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// No worker pool: the queue cannot drain, so saturation is
+	// deterministic.
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		RPS:      400,
+		Duration: 500 * time.Millisecond,
+		Suites:   "default",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	if rep.Totals.Accepted != 2 {
+		t.Errorf("accepted = %d, want exactly the queue depth 2", rep.Totals.Accepted)
+	}
+	if rep.Totals.Shed == 0 {
+		t.Error("no sheds recorded against a saturated queue")
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		t.Errorf("violations = %v, want none", v)
+	}
+	if rep.Shed.Count != rep.Totals.Shed {
+		t.Errorf("shed latency count = %d, want %d", rep.Shed.Count, rep.Totals.Shed)
+	}
+	if sum := rep.Totals.Accepted + rep.Totals.Shed + rep.Totals.Errors5xx +
+		rep.Totals.Errors4xx + rep.Totals.TransportErrors; sum != rep.Totals.Launched {
+		t.Errorf("classification does not add up: %+v", rep.Totals)
+	}
+
+	// The report is the BENCH_service.json payload; it must marshal.
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report marshal: %v", err)
+	}
+}
+
+// TestViolations flags each way a daemon can break the contract.
+func TestViolations(t *testing.T) {
+	ok := Report{Totals: Totals{Launched: 10, Accepted: 10}}
+	if v := ok.Violations(); len(v) != 0 {
+		t.Errorf("clean run violations = %v", v)
+	}
+	bad := Report{Totals: Totals{Launched: 10, Errors5xx: 1, ShedNoRetryAfter: 2, TransportErrors: 3}}
+	if v := bad.Violations(); len(v) != 3 {
+		t.Errorf("bad run violations = %v, want 3", v)
+	}
+	if v := (Report{}).Violations(); len(v) != 1 {
+		t.Errorf("empty run violations = %v, want the no-requests flag", v)
+	}
+}

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+
+	"yardstick/internal/core"
+	"yardstick/internal/jobs"
+	"yardstick/internal/obs"
+	"yardstick/internal/testkit"
+)
+
+// The asynchronous run API. POST /run holds the connection for the
+// whole evaluation; POST /jobs instead answers 202 immediately with a
+// job the caller polls (or cancels), which is what lets the admission
+// layer bound the daemon's concurrent work: the queue is the buffer,
+// its depth is the backpressure signal, and a full queue sheds with
+// 503 + Retry-After instead of stacking goroutines on the evaluation
+// mutex.
+//
+//	POST   /jobs?suite=a,b[&workers=n]   submit; 202 + Location: /jobs/{id}
+//	GET    /jobs                         list retained jobs (oldest first)
+//	GET    /jobs/{id}                    poll one job; Result set once done
+//	DELETE /jobs/{id}                    cancel a queued or running job
+//
+// Completed jobs are retained for the configured TTL and — when
+// WithSnapshot is active — persisted next to the trace snapshot under
+// the same network fingerprint, so a poller can fetch a finished job's
+// result even across a daemon restart. Jobs caught queued or running
+// by a restart come back failed with an explicit reason.
+
+// JobStatus is the wire form of an async job (the POST /jobs and GET
+// /jobs/{id} body).
+type JobStatus = jobs.Job
+
+// JobList is the GET /jobs response body.
+type JobList struct {
+	Jobs  []JobStatus `json:"jobs"`
+	Stats jobs.Stats  `json:"stats"`
+}
+
+// runJob is the queue's Runner: it resolves the suite, serializes on
+// the evaluation mutex like every synchronous endpoint, and returns the
+// run results as the job's opaque result payload. The queue has already
+// bounded ctx with the run-timeout and wires DELETE /jobs/{id} into its
+// cancellation.
+func (s *Server) runJob(ctx context.Context, spec jobs.Spec) (json.RawMessage, error) {
+	suite, err := testkit.BuiltinSuite(spec.Suites)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.net == nil {
+		return nil, errors.New("no network loaded")
+	}
+	workers := s.clampWorkers(spec.Workers)
+	sp := obs.NewRoot("service.job", s.metrics)
+	defer sp.EndStage()
+	ctx = obs.ContextWithSpan(ctx, sp)
+	out, err := s.runSuiteLocked(ctx, suite, workers)
+	if err != nil {
+		return nil, fmt.Errorf("run aborted: %w", err)
+	}
+	raw, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("encode results: %w", err)
+	}
+	return raw, nil
+}
+
+func (s *Server) postJob(w http.ResponseWriter, r *http.Request) {
+	// Validate up front so a bad suite or workers value fails the submit
+	// with a 400 now, not the job with a failure later.
+	if _, err := testkit.BuiltinSuite(r.URL.Query().Get("suite")); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	workers, err := parseWorkers(r.URL.Query().Get("workers"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.jobs.Submit(jobs.Spec{
+		Suites:  r.URL.Query().Get("suite"),
+		Workers: workers,
+	})
+	if errors.Is(err, jobs.ErrQueueFull) {
+		s.shedTotals.QueueFull.Add(1)
+		s.shed(w, "/jobs", "queue_full", http.StatusServiceUnavailable,
+			RetryAfterQueueFull, "job queue full (depth %d)", s.jobs.Config().QueueDepth)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "submit: %v", err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, JobList{Jobs: s.jobs.Jobs(), Stats: s.jobs.Stats()})
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) deleteJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+	case errors.Is(err, jobs.ErrFinished):
+		httpError(w, http.StatusConflict, "job %s already %s", j.ID, j.State)
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "cancel: %v", err)
+	default:
+		writeJSON(w, http.StatusOK, j)
+	}
+}
+
+// RunJobs runs the job queue's worker pool until ctx is cancelled and
+// every worker has exited — the same blocking lifecycle shape as
+// RunCheckpointer. The daemon runs it in a goroutine and waits for it
+// before the final checkpoint, so persisted job states are settled.
+func (s *Server) RunJobs(ctx context.Context) {
+	s.jobs.Start(ctx)
+	s.jobs.Wait()
+}
+
+// JobStats exposes the queue's health counters (also served inside
+// GET /stats).
+func (s *Server) JobStats() jobs.Stats { return s.jobs.Stats() }
+
+// flushJobGauges refreshes the queue-health gauges in the metrics
+// registry; called at scrape time so /metrics always reflects the
+// current queue shape.
+func (s *Server) flushJobGauges() {
+	st := s.jobs.Stats()
+	s.metrics.Gauge("yardstick_jobs_queue_depth").Set(float64(st.Depth))
+	s.metrics.Gauge("yardstick_jobs_running").Set(float64(st.Running))
+	s.metrics.Gauge("yardstick_jobs_retained").Set(float64(st.Retained))
+}
+
+// checkpointJobsLocked persists the job records next to the trace
+// snapshot under the same network fingerprint. Callers hold s.mu.
+func (s *Server) checkpointJobsLocked() error {
+	if s.jobsPath == "" || s.net == nil {
+		return nil
+	}
+	fp, err := core.Fingerprint(s.net)
+	if err != nil {
+		return err
+	}
+	return jobs.Save(s.jobsPath, fp, s.jobs.Records())
+}
+
+// restoreJobsLocked recovers persisted job records. Missing files and
+// fingerprint mismatches are tolerated (stale records are discarded).
+// Callers hold s.mu.
+func (s *Server) restoreJobsLocked() (int, error) {
+	if s.jobsPath == "" || s.net == nil {
+		return 0, nil
+	}
+	fp, err := core.Fingerprint(s.net)
+	if err != nil {
+		return 0, err
+	}
+	recs, err := jobs.Load(s.jobsPath, fp)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return 0, nil
+	case errors.Is(err, jobs.ErrMismatch):
+		s.logger.Warn("job records recorded against a different network; discarding", "path", s.jobsPath)
+		return 0, nil
+	case err != nil:
+		return 0, err
+	}
+	recovered, interrupted := s.jobs.Restore(recs)
+	if interrupted > 0 {
+		s.logger.Warn("jobs interrupted by restart surfaced as failed", "count", interrupted)
+	}
+	return recovered, nil
+}

@@ -1,0 +1,241 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"yardstick/internal/jobs"
+	"yardstick/internal/topogen"
+)
+
+// newJobServer builds a server with the async layer live: a small
+// network, a running worker pool, and the given extra options. The
+// returned cancel stops the workers.
+func newJobServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := WithNetwork(rg.Net, append([]Option{WithLogger(discardLogger())}, opts...)...)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); srv.RunJobs(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+	return srv, ts
+}
+
+// pollJob polls GET /jobs/{id} until the job is terminal.
+func pollJob(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var j JobStatus
+		doJSON(t, http.MethodGet, base+"/jobs/"+id, nil, http.StatusOK, &j)
+		if j.State.Terminal() {
+			return j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job never reached a terminal state")
+	return JobStatus{}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newJobServer(t)
+
+	// Submit: 202, Location header, queued-or-later snapshot.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/jobs?suite=default,internal", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d, want 202", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/jobs/"+sub.ID {
+		t.Fatalf("Location = %q, want /jobs/%s", loc, sub.ID)
+	}
+
+	// Poll to completion; the result decodes as run results.
+	j := pollJob(t, ts.URL, sub.ID)
+	if j.State != jobs.StateDone {
+		t.Fatalf("job = %+v, want done", j)
+	}
+	var results []RunResult
+	if err := json.Unmarshal(j.Result, &results); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d tests, want 2", len(results))
+	}
+
+	// The run accumulated coverage exactly like POST /run would.
+	var cov CoverageReport
+	doJSON(t, http.MethodGet, ts.URL+"/coverage", nil, http.StatusOK, &cov)
+	if cov.Total.RuleFractional <= 0 {
+		t.Fatal("async run accumulated no coverage")
+	}
+
+	// The job shows up in the listing.
+	var list JobList
+	doJSON(t, http.MethodGet, ts.URL+"/jobs", nil, http.StatusOK, &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != sub.ID || list.Stats.Done != 1 {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	_, ts := newJobServer(t)
+	doJSON(t, http.MethodPost, ts.URL+"/jobs?suite=nope", nil, http.StatusBadRequest, nil)
+	doJSON(t, http.MethodPost, ts.URL+"/jobs?suite=default&workers=-1", nil, http.StatusBadRequest, nil)
+	doJSON(t, http.MethodGet, ts.URL+"/jobs/absent", nil, http.StatusNotFound, nil)
+	doJSON(t, http.MethodDelete, ts.URL+"/jobs/absent", nil, http.StatusNotFound, nil)
+}
+
+func TestJobCancelAndConflict(t *testing.T) {
+	// No worker pool: submissions stay queued, so cancellation is
+	// deterministic.
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := WithNetwork(rg.Net, WithLogger(discardLogger()))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var sub JobStatus
+	doJSON(t, http.MethodPost, ts.URL+"/jobs?suite=default", nil, http.StatusAccepted, &sub)
+	var cancelled JobStatus
+	doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+sub.ID, nil, http.StatusOK, &cancelled)
+	if cancelled.State != jobs.StateCancelled || cancelled.Error == "" {
+		t.Fatalf("cancelled = %+v", cancelled)
+	}
+	// A second cancel conflicts: the job is already terminal.
+	doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+sub.ID, nil, http.StatusConflict, nil)
+}
+
+func TestJobQueueFullShedsWithRetryAfter(t *testing.T) {
+	// Depth 2, no workers: the third submission sheds.
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := WithNetwork(rg.Net, WithLogger(discardLogger()), WithJobQueue(2, time.Minute))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	doJSON(t, http.MethodPost, ts.URL+"/jobs?suite=default", nil, http.StatusAccepted, nil)
+	doJSON(t, http.MethodPost, ts.URL+"/jobs?suite=default", nil, http.StatusAccepted, nil)
+	resp, err := http.Post(ts.URL+"/jobs?suite=default", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("full-queue submit = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+
+	// Saturation flips readiness with the reason spelled out.
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz saturated = %d, want 503", rresp.StatusCode)
+	}
+	var ready ReadyReport
+	if err := json.NewDecoder(rresp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Reason != "queue_saturated" {
+		t.Fatalf("readyz reason = %q, want queue_saturated", ready.Reason)
+	}
+
+	// Stats surface the admission picture.
+	var stats StatsReport
+	doJSON(t, http.MethodGet, ts.URL+"/stats", nil, http.StatusOK, &stats)
+	if stats.Jobs.Depth != 2 || stats.Jobs.ShedFull != 1 || stats.Shed.QueueFull != 1 {
+		t.Fatalf("stats = jobs %+v shed %+v", stats.Jobs, stats.Shed)
+	}
+}
+
+func TestJobPersistenceAcrossServers(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "trace.snap")
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First server: run one job to completion, leave one queued, then
+	// shut down and checkpoint — the daemon's shutdown order.
+	srv1 := WithNetwork(rg.Net, WithLogger(discardLogger()), WithSnapshot(snap, time.Hour))
+	ts1 := httptest.NewServer(srv1.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); srv1.RunJobs(ctx) }()
+
+	var completed JobStatus
+	doJSON(t, http.MethodPost, ts1.URL+"/jobs?suite=default", nil, http.StatusAccepted, &completed)
+	completed = pollJob(t, ts1.URL, completed.ID)
+	if completed.State != jobs.StateDone {
+		t.Fatalf("first job = %+v", completed)
+	}
+	cancel()
+	<-done // workers settled: anything still queued stays queued
+	var queued JobStatus
+	doJSON(t, http.MethodPost, ts1.URL+"/jobs?suite=default", nil, http.StatusAccepted, &queued)
+	if err := srv1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// Second server, same network and snapshot path: the completed
+	// job's result is fetchable, the queued one failed with a reason.
+	srv2 := WithNetwork(rg.Net, WithLogger(discardLogger()), WithSnapshot(snap, time.Hour))
+	if _, err := srv2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	var got JobStatus
+	doJSON(t, http.MethodGet, ts2.URL+"/jobs/"+completed.ID, nil, http.StatusOK, &got)
+	if got.State != jobs.StateDone || len(got.Result) == 0 {
+		t.Fatalf("recovered job = %+v, want done with result", got)
+	}
+	doJSON(t, http.MethodGet, ts2.URL+"/jobs/"+queued.ID, nil, http.StatusOK, &got)
+	if got.State != jobs.StateFailed || !strings.Contains(got.Error, "restart") {
+		t.Fatalf("interrupted job = %+v, want failed with restart reason", got)
+	}
+}

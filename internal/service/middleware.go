@@ -150,9 +150,14 @@ func Instrument(reg *obs.Registry) Middleware {
 // routeLabel maps a request path to a bounded route label set.
 func routeLabel(path string) string {
 	switch path {
-	case "/network", "/trace", "/run", "/coverage", "/gaps",
+	case "/network", "/trace", "/run", "/jobs", "/coverage", "/gaps",
 		"/healthz", "/readyz", "/metrics", "/stats":
 		return path
+	}
+	// Job IDs are client-visible path segments; collapse them so the
+	// route label set stays bounded.
+	if strings.HasPrefix(path, "/jobs/") {
+		return "/jobs"
 	}
 	if strings.HasPrefix(path, "/debug/pprof") {
 		return "/debug/pprof"

@@ -18,10 +18,15 @@
 //	POST   /run?suite=a,b    run built-in tests server-side, accumulate coverage
 //	                         (&workers=n runs the suite sharded across up to
 //	                         n workers, capped by WithWorkers; 0 = the cap)
+//	POST   /jobs?suite=a,b   submit the same run asynchronously: 202 +
+//	                         Location, poll GET /jobs/{id}, cancel with
+//	                         DELETE /jobs/{id} (see jobs.go)
+//	GET    /jobs             list retained jobs and queue stats
 //	GET    /coverage         headline metrics + per-role rows
 //	GET    /gaps             untested rules by origin and role
 //	GET    /healthz          liveness: 200 once the process serves traffic
-//	GET    /readyz           readiness: 200 when a network is loaded, 503 before
+//	GET    /readyz           readiness: 200 when ready; 503 with a reason
+//	                         body (no_network, draining, queue_saturated)
 //
 // The server serializes all requests: the underlying BDD manager is
 // single-threaded by design. With WithWorkers(n > 1), POST /run can
@@ -32,6 +37,12 @@
 // The handler chain hardens the service for long-running deployment:
 // panics are recovered (500, logged stack, server survives), request
 // bodies are size-capped (413 past the limit), and requests are logged.
+// Compute-heavy endpoints additionally pass admission control
+// (admission.go): a per-route-class concurrency cap sheds with 429 +
+// Retry-After, a full job queue sheds with 503 + Retry-After, and a
+// draining server sheds everything while /readyz steers load balancers
+// away — under overload the service answers fast and explicitly rather
+// than queueing without bound.
 // With WithSnapshot, the accumulated trace is checkpointed to an
 // atomic-rename snapshot file — periodically and on shutdown — and
 // recovered on startup when the snapshot's network fingerprint matches
@@ -60,11 +71,13 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"yardstick/internal/bdd"
 	"yardstick/internal/core"
 	"yardstick/internal/hdr"
+	"yardstick/internal/jobs"
 	"yardstick/internal/netmodel"
 	"yardstick/internal/obs"
 	"yardstick/internal/report"
@@ -96,6 +109,18 @@ type Server struct {
 	maxWorkers   int
 	snapPath     string
 	snapInterval time.Duration
+
+	// Async admission layer (admission.go, jobs.go). The queue exists
+	// unconditionally — jobs simply wait until RunJobs starts workers —
+	// so the /jobs API needs no "is it enabled" branch anywhere.
+	jobs        *jobs.Queue
+	jobsPath    string // job-records snapshot, derived from snapPath
+	queueDepth  int
+	jobTTL      time.Duration
+	maxInflight int
+	inflight    atomic.Int64
+	draining    atomic.Bool
+	shedTotals  shedTotals
 
 	// engineBase is the last-flushed counter baseline of the canonical
 	// BDD manager. The canonical manager's movement is settled into the
@@ -134,15 +159,42 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// WithSnapshot enables crash-safe trace persistence: the accumulated
-// trace is checkpointed to path every interval (see RunCheckpointer)
-// and on Checkpoint calls, and Restore recovers it on startup. An
+// WithSnapshot enables crash-safe persistence: the accumulated trace is
+// checkpointed to path every interval (see RunCheckpointer) and on
+// Checkpoint calls, and Restore recovers it on startup. Job records
+// ride along in a sibling file (path + ".jobs") under the same network
+// fingerprint, so completed async jobs survive a restart too. An
 // interval <= 0 keeps the default of one minute.
 func WithSnapshot(path string, interval time.Duration) Option {
 	return func(s *Server) {
 		s.snapPath = path
+		s.jobsPath = path + ".jobs"
 		if interval > 0 {
 			s.snapInterval = interval
+		}
+	}
+}
+
+// WithJobQueue sizes the async-run admission layer: depth bounds how
+// many submitted jobs may wait (a full queue sheds POST /jobs with
+// 503 + Retry-After; default 64) and ttl is how long finished jobs stay
+// pollable before they are swept (default 1h). The worker pool is sized
+// off WithWorkers.
+func WithJobQueue(depth int, ttl time.Duration) Option {
+	return func(s *Server) {
+		s.queueDepth = depth
+		s.jobTTL = ttl
+	}
+}
+
+// WithAdmission caps concurrent compute-heavy requests (POST /run,
+// GET /coverage, GET /gaps, POST /jobs submissions): past the cap,
+// requests are shed with 429 + Retry-After instead of queueing on the
+// evaluation mutex. 0 (the default) disables the cap.
+func WithAdmission(maxInflight int) Option {
+	return func(s *Server) {
+		if maxInflight > 0 {
+			s.maxInflight = maxInflight
 		}
 	}
 }
@@ -161,11 +213,23 @@ func New(opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	// The queue wraps the server's own runner, so it is built after the
+	// options settle sizing (workers, run-timeout, depth, TTL).
+	s.jobs = jobs.New(s.runJob, jobs.Config{
+		QueueDepth: s.queueDepth,
+		Workers:    s.maxWorkers,
+		RunTimeout: s.runTimeout,
+		TTL:        s.jobTTL,
+	})
 	hdr.RegisterHelp(s.metrics)
 	s.metrics.SetHelp(sharded.MetricRuns, "Sharded suite runs")
 	s.metrics.SetHelp(sharded.MetricWorkerRuns, "Per-worker shard executions")
 	s.metrics.SetHelp(sharded.MetricBudgetTrips, "Shard runs that tripped their BDD budget")
 	s.metrics.SetHelp("yardstick_stage_duration_seconds", "Stage latency, by stage name")
+	s.metrics.SetHelp("yardstick_http_shed_total", "Requests shed by admission control, by route and reason")
+	s.metrics.SetHelp("yardstick_jobs_queue_depth", "Job-queue slots in use")
+	s.metrics.SetHelp("yardstick_jobs_running", "Jobs currently executing")
+	s.metrics.SetHelp("yardstick_jobs_retained", "Jobs held in memory, finished ones included")
 	return s
 }
 
@@ -189,9 +253,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /trace", s.postTrace)
 	mux.HandleFunc("GET /trace", s.getTrace)
 	mux.HandleFunc("DELETE /trace", s.deleteTrace)
-	mux.HandleFunc("POST /run", s.postRun)
-	mux.HandleFunc("GET /coverage", s.getCoverage)
-	mux.HandleFunc("GET /gaps", s.getGaps)
+	mux.HandleFunc("POST /run", s.admit("/run", s.postRun))
+	mux.HandleFunc("POST /jobs", s.admit("/jobs", s.postJob))
+	mux.HandleFunc("GET /jobs", s.listJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.getJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.deleteJob)
+	mux.HandleFunc("GET /coverage", s.admit("/coverage", s.getCoverage))
+	mux.HandleFunc("GET /gaps", s.admit("/gaps", s.getGaps))
 	mux.HandleFunc("GET /healthz", s.getHealthz)
 	mux.HandleFunc("GET /readyz", s.getReadyz)
 	mux.HandleFunc("GET /metrics", s.getMetrics)
@@ -364,8 +432,11 @@ func (s *Server) evalContext(r *http.Request) (context.Context, context.CancelFu
 // abortError maps an aborted evaluation to a response. Cancellation and
 // deadline map to 503 (the work was valid, the server declined to finish
 // it); budget exhaustion too, with the budget spelled out so operators
-// can retune limits.
+// can retune limits. The Retry-After hint keeps the 503 within the
+// backpressure contract: every refusal tells the client when to come
+// back.
 func abortError(w http.ResponseWriter, what string, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(RetryAfterInflight))
 	httpError(w, http.StatusServiceUnavailable, "%s aborted: %v", what, err)
 }
 
@@ -394,15 +465,29 @@ func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
 	sp := obs.NewRoot("service.run", s.metrics)
 	defer sp.EndStage()
 	ctx = obs.ContextWithSpan(ctx, sp)
+	out, rerr := s.runSuiteLocked(ctx, suite, workers)
+	if rerr != nil {
+		// Partial coverage already merged into the trace is kept: the
+		// trace is a monotonic union and every marked set was really
+		// exercised. The run itself reports the abort.
+		abortError(w, "run", rerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// runSuiteLocked evaluates suite (sequentially or sharded across
+// workers) against the loaded network, accumulating coverage into the
+// server trace, and converts the results to their wire form. The shared
+// core of POST /run and the async job runner. Callers hold s.mu and
+// have attached any span to ctx.
+func (s *Server) runSuiteLocked(ctx context.Context, suite testkit.Suite, workers int) ([]RunResult, error) {
 	var results []testkit.Result
 	if workers > 1 {
+		var err error
 		results, err = s.runSharded(ctx, suite, workers)
 		if err != nil {
-			// Partial coverage already merged into the trace is kept: the
-			// trace is a monotonic union and every marked set was really
-			// exercised. The run itself reports the abort.
-			abortError(w, "run", err)
-			return
+			return nil, err
 		}
 	} else {
 		defer s.net.Space.WatchContext(ctx)()
@@ -411,9 +496,7 @@ func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
 			gerr = ctx.Err()
 		}
 		if gerr != nil {
-			// See above: partial trace contributions are kept.
-			abortError(w, "run", gerr)
-			return
+			return nil, gerr
 		}
 	}
 	var out []RunResult
@@ -435,7 +518,7 @@ func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, rr)
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out, nil
 }
 
 // builtinSuite resolves the suite names the CLI tools also accept.
@@ -443,11 +526,10 @@ func builtinSuite(arg string) (testkit.Suite, error) {
 	return testkit.BuiltinSuite(arg)
 }
 
-// requestWorkers resolves the ?workers query parameter: absent or 1 is
-// sequential, 0 asks for the server's cap, anything else is clamped to
-// the WithWorkers cap.
-func (s *Server) requestWorkers(r *http.Request) (int, error) {
-	q := r.URL.Query().Get("workers")
+// parseWorkers resolves a ?workers query value: absent means
+// sequential (1); 0 asks for the server's cap (resolved by
+// clampWorkers); negatives and non-integers are rejected.
+func parseWorkers(q string) (int, error) {
 	if q == "" {
 		return 1, nil
 	}
@@ -455,13 +537,29 @@ func (s *Server) requestWorkers(r *http.Request) (int, error) {
 	if err != nil || n < 0 {
 		return 0, fmt.Errorf("workers: %q is not a non-negative integer", q)
 	}
+	return n, nil
+}
+
+// clampWorkers maps a requested worker count to the effective one:
+// 0 means the WithWorkers cap, everything else is clamped to [1, cap].
+func (s *Server) clampWorkers(n int) int {
 	if n == 0 || n > s.maxWorkers {
 		n = s.maxWorkers
 	}
 	if n < 1 {
 		n = 1
 	}
-	return n, nil
+	return n
+}
+
+// requestWorkers resolves the ?workers query parameter against the
+// WithWorkers cap.
+func (s *Server) requestWorkers(r *http.Request) (int, error) {
+	n, err := parseWorkers(r.URL.Query().Get("workers"))
+	if err != nil {
+		return 0, err
+	}
+	return s.clampWorkers(n), nil
 }
 
 // runSharded evaluates suite across up to n workers of the lazily built
@@ -644,6 +742,7 @@ func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
 	s.flushCanonicalLocked()
 	reg := s.metrics
 	s.mu.Unlock()
+	s.flushJobGauges()
 	w.Header().Set("Content-Type", obs.ContentType)
 	reg.WritePrometheus(w)
 }
@@ -669,15 +768,27 @@ type StatsReport struct {
 	TraceLocations int          `json:"traceLocations"`
 	MarkedRules    int          `json:"markedRules"`
 	Engine         EngineStats  `json:"engine,omitempty"`
-	Metrics        []obs.Metric `json:"metrics"`
+	// Admission-layer health: job-queue depth and counters, currently
+	// admitted heavy requests, draining state, and shed totals by
+	// reason.
+	Jobs     jobs.Stats   `json:"jobs"`
+	InFlight int64        `json:"inflight"`
+	Draining bool         `json:"draining"`
+	Shed     ShedReport   `json:"shed"`
+	Metrics  []obs.Metric `json:"metrics"`
 }
 
 func (s *Server) getStats(w http.ResponseWriter, r *http.Request) {
+	s.flushJobGauges()
 	s.mu.Lock()
 	body := StatsReport{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
 		NetworkLoaded: s.net != nil,
+		Jobs:          s.jobs.Stats(),
+		InFlight:      s.inflight.Load(),
+		Draining:      s.draining.Load(),
+		Shed:          s.shedTotals.report(),
 	}
 	ts := s.trace.Stats()
 	body.TraceLocations = ts.Locations
@@ -730,29 +841,53 @@ func (s *Server) getHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// getReadyz reports readiness: the service is ready once a network is
-// loaded, since every coverage endpoint needs one.
-func (s *Server) getReadyz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	ready := s.net != nil
-	s.mu.Unlock()
-	if !ready {
-		httpError(w, http.StatusServiceUnavailable, "no network loaded")
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+// ReadyReport is the GET /readyz response body. When unready, Reason is
+// one of "draining" (shutdown has begun — route elsewhere),
+// "queue_saturated" (the job queue has no admission headroom), or
+// "no_network" (nothing loaded yet).
+type ReadyReport struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
 }
 
-// Checkpoint writes the current trace to the snapshot file (atomic
-// rename; see core.SaveSnapshot). It is a no-op without WithSnapshot or
-// before a network is loaded.
+// getReadyz reports readiness with an explicit reason body, so load
+// balancers and operators can tell "never came up" from "overloaded"
+// from "going away" without reading logs.
+func (s *Server) getReadyz(w http.ResponseWriter, r *http.Request) {
+	reason := ""
+	switch {
+	case s.draining.Load():
+		reason = "draining"
+	case func() bool { s.mu.Lock(); defer s.mu.Unlock(); return s.net == nil }():
+		reason = "no_network"
+	case s.jobs.Stats().Saturated():
+		reason = "queue_saturated"
+	}
+	if reason != "" {
+		if reason != "no_network" {
+			// Transient unreadiness comes with a retry hint; an unloaded
+			// network needs an operator, not a retry loop.
+			w.Header().Set("Retry-After", strconv.Itoa(RetryAfterQueueFull))
+		}
+		writeJSON(w, http.StatusServiceUnavailable, ReadyReport{Status: "unready", Reason: reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyReport{Status: "ready"})
+}
+
+// Checkpoint writes the current trace and job records to their snapshot
+// files (atomic rename; see core.SaveSnapshot and jobs.Save). It is a
+// no-op without WithSnapshot or before a network is loaded.
 func (s *Server) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.snapPath == "" || s.net == nil {
 		return nil
 	}
-	return core.SaveSnapshot(s.snapPath, s.net, s.trace)
+	if err := core.SaveSnapshot(s.snapPath, s.net, s.trace); err != nil {
+		return err
+	}
+	return s.checkpointJobsLocked()
 }
 
 // Restore recovers the trace from the snapshot file. It reports whether
@@ -766,6 +901,12 @@ func (s *Server) Restore() (bool, error) {
 	defer s.mu.Unlock()
 	if s.snapPath == "" || s.net == nil {
 		return false, nil
+	}
+	// Job records recover independently of the trace: a missing or
+	// mismatched trace snapshot must not discard completed job results,
+	// and vice versa.
+	if _, err := s.restoreJobsLocked(); err != nil {
+		return false, fmt.Errorf("restore job records: %w", err)
 	}
 	snap, err := core.LoadSnapshot(s.snapPath, s.net)
 	switch {
