@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench profile loadproof ci
+.PHONY: all vet build test race bench profile loadproof clustersmoke ci
 
 all: ci
 
@@ -58,5 +58,40 @@ loadproof:
 		-check -out BENCH_service.json; \
 	rc=$$?; kill $$DPID; exit $$rc
 	@cat BENCH_service.json
+
+# Chaos-prove the distributed path locally: three workers, one killed
+# mid-run, coordinator must exit 0 with a coverage table byte-identical
+# to the single-node sequential baseline (same recipe as the CI
+# cluster-smoke job).
+clustersmoke:
+	$(GO) build -o /tmp/yardstickd ./cmd/yardstickd
+	$(GO) build -o /tmp/yardstick ./cmd/yardstick
+	$(GO) build -o /tmp/yardstick-coord ./cmd/yardstick-coord
+	/tmp/yardstickd -listen 127.0.0.1:18081 & W1=$$!; \
+	/tmp/yardstickd -listen 127.0.0.1:18082 > w2.log 2>&1 & W2=$$!; \
+	/tmp/yardstickd -listen 127.0.0.1:18083 & W3=$$!; \
+	trap "kill $$W1 $$W3 2>/dev/null || true" EXIT; \
+	for p in 18081 18082 18083; do \
+		for i in $$(seq 1 50); do curl -sf http://127.0.0.1:$$p/healthz > /dev/null && break; sleep 0.2; done; \
+	done; \
+	/tmp/yardstick -topology regional -suite default,internal,contract > baseline.out; \
+	sed -n '/^coverage:/,$$p' baseline.out | sed '/^$$/d' > baseline.cov; \
+	/tmp/yardstick-coord \
+		-nodes http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083 \
+		-suite default,internal,contract -rounds 120 -concurrency 3 -poll 25ms \
+		-fail-threshold 2 -cooldown 1s -hedge-after 2s \
+		-report cluster-report.json > cluster.out & CPID=$$!; \
+	for i in $$(seq 1 200); do \
+		n=$$(grep -c 'method=POST path=/jobs ' w2.log || true); \
+		[ "$$n" -ge 20 ] && break; sleep 0.05; \
+	done; \
+	kill -9 $$W2; \
+	rc=0; wait $$CPID || rc=$$?; \
+	test $$rc -eq 0 || { echo "coordinator exited $$rc"; exit $$rc; }; \
+	awk '/^coverage:/{f=1} /^wrote run report/{f=0} f' cluster.out | sed '/^$$/d' > cluster.cov; \
+	diff baseline.cov cluster.cov; \
+	grep -Eq '"trips": [1-9]' cluster-report.json || { echo "kill was not observed: no breaker trip"; exit 1; }; \
+	echo "cluster == single-node: exact (1 worker SIGKILLed mid-run)"; \
+	rm -f baseline.out baseline.cov cluster.out cluster.cov cluster-report.json w2.log
 
 ci: vet build race

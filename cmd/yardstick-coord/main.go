@@ -1,0 +1,268 @@
+// Command yardstick-coord runs a test suite across a fleet of
+// yardstickd workers and merges their coverage into one exact trace —
+// the multi-node front end of the coverage service:
+//
+//	yardstickd -listen :8081 &
+//	yardstickd -listen :8082 &
+//	yardstickd -listen :8083 &
+//	yardstick-coord -nodes http://localhost:8081,http://localhost:8082,http://localhost:8083 \
+//	    -topology regional -suite default,internal,contract
+//
+// The coordinator pushes its network to every node, partitions the
+// suite into shards, dispatches them through the async /jobs API, and
+// merges the per-shard trace fragments (GET /jobs/{id}/trace) by exact
+// BDD union — so the cluster result is bit-identical to a single-node
+// sequential run, no matter how shards were scheduled, retried, or
+// duplicated. Failed nodes trip a circuit breaker and their work is
+// re-dispatched; straggling shards can be hedged on a second node
+// (-hedge-after); when no healthy node remains the run degrades into
+// an explicit partial result instead of hanging.
+//
+// Exit codes mirror the yardstick CLI: 0 all tests passed and the run
+// is complete, 2 at least one test failed, 4 the run is incomplete
+// (shards failed or tests errored — the cluster could not vouch for
+// the whole suite), 1 usage or setup errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"yardstick"
+	"yardstick/internal/coord"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yardstick-coord:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// loadNetwork mirrors yardstickd's flag contract, minus the "start
+// empty" case: the coordinator owns the authoritative replica, so it
+// must have one. The returned role order matches the yardstick CLI's
+// per-topology ordering, so the two tools render comparable (diffable)
+// coverage tables.
+func loadNetwork(netFile, topology string, k int) (*yardstick.Network, []yardstick.Role, error) {
+	switch {
+	case netFile != "":
+		f, err := os.Open(netFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		var nw *yardstick.Network
+		if filepath.Ext(netFile) == ".txt" {
+			nw, err = yardstick.ParseNetworkText(f)
+		} else {
+			nw, err = yardstick.DecodeNetworkJSON(f)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		return nw, rolesOf(nw), nil
+	case topology == "example":
+		ex, err := yardstick.BuildExample(yardstick.ExampleOpts{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return ex.Net, []yardstick.Role{yardstick.RoleLeaf, yardstick.RoleSpine, yardstick.RoleBorder}, nil
+	case topology == "fattree":
+		ft, err := yardstick.BuildFatTree(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ft.Net, []yardstick.Role{yardstick.RoleToR, yardstick.RoleAgg, yardstick.RoleCore}, nil
+	case topology == "regional":
+		rg, err := yardstick.BuildRegional(yardstick.RegionalOpts{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return rg.Net, []yardstick.Role{yardstick.RoleToR, yardstick.RoleAgg, yardstick.RoleSpine, yardstick.RoleHub}, nil
+	}
+	return nil, nil, fmt.Errorf("unknown topology %q (want example, fattree, or regional, or use -net)", topology)
+}
+
+// reportFile is the -report artifact: the run's per-shard and per-node
+// accounting as JSON, for CI to archive and humans to diff.
+type reportFile struct {
+	Suites   []string            `json:"suites"`
+	Rounds   int                 `json:"rounds"`
+	Complete bool                `json:"complete"`
+	Shards   []coord.ShardStatus `json:"shards"`
+	Nodes    []coord.NodeReport  `json:"nodes"`
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("yardstick-coord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		nodesArg      = fs.String("nodes", "", "comma-separated worker base URLs (required)")
+		suiteArg      = fs.String("suite", "default,internal", "comma-separated built-in suites; each becomes one shard")
+		topology      = fs.String("topology", "regional", "generated network: example, fattree, or regional")
+		netFile       = fs.String("net", "", "network from a JSON or text file instead of -topology")
+		k             = fs.Int("k", 8, "fat-tree arity")
+		rounds        = fs.Int("rounds", 1, "repeat the shard list this many times (coverage is unchanged — merge is idempotent — but the run stretches, useful for soak and chaos testing)")
+		workers       = fs.Int("workers", 0, "per-job worker hint sent to nodes (0 = node default)")
+		concurrency   = fs.Int("concurrency", 0, "in-flight shard cap (0 = 2 per node)")
+		shardTimeout  = fs.Duration("shard-timeout", 60*time.Second, "per-attempt deadline: submit, poll, fetch fragment")
+		attempts      = fs.Int("attempts", 3, "dispatch attempts per shard")
+		backoff       = fs.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubled per attempt, jittered, Retry-After honored)")
+		hedgeAfter    = fs.Duration("hedge-after", 0, "hedge a straggling shard on a second node after this long (0 = off)")
+		poll          = fs.Duration("poll", 0, "job poll interval (0 = client default)")
+		failThreshold = fs.Int("fail-threshold", 3, "consecutive failures that trip a node's circuit breaker")
+		cooldown      = fs.Duration("cooldown", 2*time.Second, "breaker open time before a half-open probe")
+		runTimeout    = fs.Duration("timeout", 0, "whole-run deadline (0 = none)")
+		reportPath    = fs.String("report", "", "write the per-shard/per-node JSON report here")
+		verbose       = fs.Bool("v", false, "log dispatch, retry, and breaker events to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if *nodesArg == "" {
+		return 1, fmt.Errorf("-nodes is required")
+	}
+	var nodes []string
+	for _, n := range strings.Split(*nodesArg, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	suites := strings.Split(*suiteArg, ",")
+	for i := range suites {
+		suites[i] = strings.TrimSpace(suites[i])
+	}
+
+	nw, roles, err := loadNetwork(*netFile, *topology, *k)
+	if err != nil {
+		return 1, err
+	}
+
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(stderr, nil)).With("app", "yardstick-coord")
+	}
+	co, err := coord.New(coord.Config{
+		Nodes:            nodes,
+		Net:              nw,
+		Workers:          *workers,
+		Rounds:           *rounds,
+		Concurrency:      *concurrency,
+		ShardTimeout:     *shardTimeout,
+		MaxAttempts:      *attempts,
+		Backoff:          *backoff,
+		HedgeAfter:       *hedgeAfter,
+		Poll:             *poll,
+		FailureThreshold: *failThreshold,
+		Cooldown:         *cooldown,
+		Logger:           logger,
+	})
+	if err != nil {
+		return 1, err
+	}
+
+	if *runTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *runTimeout)
+		defer cancel()
+	}
+	res, err := co.Run(ctx, suites...)
+	if err != nil {
+		return 1, err
+	}
+
+	// Shard and node accounting first: on a degraded run this is the
+	// diagnosis.
+	done := 0
+	for _, sh := range res.Shards {
+		if sh.Done {
+			done++
+		}
+	}
+	fmt.Fprintf(stdout, "shards: %d/%d complete over %d nodes\n", done, len(res.Shards), len(res.Nodes))
+	for _, nr := range res.Nodes {
+		fmt.Fprintf(stdout, "  %-32s %-9s dispatched %3d  ok %3d  failed %3d  shed %3d  trips %d\n",
+			nr.Node, nr.State, nr.Dispatched, nr.Succeeded, nr.Failed, nr.Sheds, nr.Trips)
+	}
+	for _, sh := range res.Shards {
+		if !sh.Done {
+			fmt.Fprintf(stdout, "  shard %d (%s, round %d) FAILED after %d attempts: %s\n",
+				sh.ID, sh.Suite, sh.Round, sh.Attempts, sh.Error)
+		}
+	}
+
+	failed, errored := false, false
+	fmt.Fprintln(stdout, "\ntests:")
+	for _, s := range suites {
+		for _, r := range res.Tests[s] {
+			status := "PASS"
+			switch {
+			case r.Errored:
+				status = fmt.Sprintf("ERROR (%s)", r.Error)
+				errored = true
+			case !r.Pass:
+				status = fmt.Sprintf("FAIL (%d failures)", len(r.Failures))
+				failed = true
+			}
+			fmt.Fprintf(stdout, "  %-24s %-18s %6d checks  %s\n", r.Name, r.Kind, r.Checks, status)
+		}
+	}
+
+	cov := yardstick.NewCoverage(nw, res.Trace)
+	rows := yardstick.ReportByRole(cov, roles)
+	rows = append(rows, yardstick.ReportTotal(cov, "TOTAL"))
+	fmt.Fprintln(stdout, "\ncoverage:")
+	yardstick.RenderTable(stdout, rows)
+
+	if *reportPath != "" {
+		rep := reportFile{Suites: suites, Rounds: *rounds, Complete: res.Complete,
+			Shards: res.Shards, Nodes: res.Nodes}
+		buf, merr := json.MarshalIndent(rep, "", " ")
+		if merr != nil {
+			return 1, merr
+		}
+		if werr := os.WriteFile(*reportPath, append(buf, '\n'), 0o644); werr != nil {
+			return 1, werr
+		}
+		fmt.Fprintf(stdout, "\nwrote run report to %s\n", *reportPath)
+	}
+
+	switch {
+	case failed:
+		return 2, nil
+	case !res.Complete || errored:
+		// Incomplete runs and errored tests share a verdict: the cluster
+		// did not vouch for the whole suite.
+		return 4, nil
+	}
+	return 0, nil
+}
+
+func rolesOf(net *yardstick.Network) []yardstick.Role {
+	seen := map[yardstick.Role]bool{}
+	var out []yardstick.Role
+	for _, d := range net.Devices {
+		if !seen[d.Role] {
+			seen[d.Role] = true
+			out = append(out, d.Role)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"yardstick"
+	"yardstick/internal/service"
+)
+
+func startWorker(t *testing.T) string {
+	t.Helper()
+	srv := service.New(service.WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); srv.RunJobs(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+	return ts.URL
+}
+
+// TestCoordCLI drives the full binary body against three in-process
+// workers and checks the cluster's coverage table is byte-identical to
+// a single-node sequential run of the same suites.
+func TestCoordCLI(t *testing.T) {
+	nodes := []string{startWorker(t), startWorker(t), startWorker(t)}
+	report := filepath.Join(t.TempDir(), "report.json")
+
+	var out, errOut bytes.Buffer
+	code, err := run(context.Background(), []string{
+		"-nodes", strings.Join(nodes, ","),
+		"-suite", "default,internal",
+		"-rounds", "2",
+		"-poll", "2ms",
+		"-report", report,
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "shards: 4/4 complete over 3 nodes") {
+		t.Fatalf("missing shard summary in output:\n%s", out.String())
+	}
+
+	// The cluster coverage table must match a single-node run exactly.
+	nw, roles, err := loadNetwork("", "regional", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := yardstick.BuiltinSuite("default,internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := yardstick.NewTrace()
+	suite.Run(context.Background(), nw, trace)
+	cov := yardstick.NewCoverage(nw, trace)
+	rows := yardstick.ReportByRole(cov, roles)
+	rows = append(rows, yardstick.ReportTotal(cov, "TOTAL"))
+	var want bytes.Buffer
+	yardstick.RenderTable(&want, rows)
+	if !strings.Contains(out.String(), want.String()) {
+		t.Fatalf("cluster coverage table differs from single-node run.\nwant:\n%s\ngot:\n%s", want.String(), out.String())
+	}
+
+	var rep reportFile
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if !rep.Complete || len(rep.Shards) != 4 || len(rep.Nodes) != 3 {
+		t.Fatalf("report = %+v, want complete with 4 shards over 3 nodes", rep)
+	}
+}
+
+func TestCoordCLIFlagErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code, err := run(context.Background(), nil, &out, &errOut); err == nil || code != 1 {
+		t.Fatalf("missing -nodes = (%d, %v), want usage error", code, err)
+	}
+	if code, err := run(context.Background(), []string{"-nodes", "http://x", "-topology", "bogus"},
+		&out, &errOut); err == nil || code != 1 {
+		t.Fatalf("bad topology = (%d, %v), want setup error", code, err)
+	}
+}

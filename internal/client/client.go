@@ -166,10 +166,10 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
-// attempt runs one HTTP round trip. It returns the response body when
-// the status matches wantCode, an *APIError for other statuses, and the
-// transport error otherwise.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, wantCode int) ([]byte, error) {
+// attempt runs one HTTP round trip. It returns the response body and
+// headers when the status matches wantCode, an *APIError for other
+// statuses, and the transport error otherwise.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, wantCode int) ([]byte, http.Header, error) {
 	if c.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
@@ -181,19 +181,19 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if resp.StatusCode != wantCode {
 		var e struct {
@@ -203,13 +203,13 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		if e.Error == "" {
 			e.Error = strings.TrimSpace(string(data))
 		}
-		return nil, &APIError{
+		return nil, resp.Header, &APIError{
 			StatusCode: resp.StatusCode,
 			Message:    e.Error,
 			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()),
 		}
 	}
-	return data, nil
+	return data, resp.Header, nil
 }
 
 // retryable reports whether an attempt error is transient: connection
@@ -226,6 +226,14 @@ func retryable(err error) bool {
 // do runs attempts under the retry policy and decodes the final body
 // into out (when non-nil).
 func (c *Client) do(ctx context.Context, method, path string, body []byte, wantCode int, out any) error {
+	_, err := c.doHeader(ctx, method, path, body, wantCode, out)
+	return err
+}
+
+// doHeader is do, additionally returning the final response's headers —
+// for endpoints whose paging metadata (X-Total-Count, Link) rides on
+// headers rather than the body.
+func (c *Client) doHeader(ctx context.Context, method, path string, body []byte, wantCode int, out any) (http.Header, error) {
 	var lastErr error
 	for n := 0; n < c.retry.MaxAttempts; n++ {
 		if n > 0 {
@@ -234,22 +242,22 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, wantC
 			case <-t.C:
 			case <-ctx.Done():
 				t.Stop()
-				return fmt.Errorf("client: %s %s: %w (last error: %v)", method, path, ctx.Err(), lastErr)
+				return nil, fmt.Errorf("client: %s %s: %w (last error: %v)", method, path, ctx.Err(), lastErr)
 			}
 		}
-		data, err := c.attempt(ctx, method, path, body, wantCode)
+		data, hdr, err := c.attempt(ctx, method, path, body, wantCode)
 		if err == nil {
 			if out == nil {
-				return nil
+				return hdr, nil
 			}
-			return json.Unmarshal(data, out)
+			return hdr, json.Unmarshal(data, out)
 		}
 		lastErr = err
 		if !retryable(err) || ctx.Err() != nil {
-			return err
+			return hdr, err
 		}
 	}
-	return fmt.Errorf("client: %s %s: giving up after %d attempts: %w", method, path, c.retry.MaxAttempts, lastErr)
+	return nil, fmt.Errorf("client: %s %s: giving up after %d attempts: %w", method, path, c.retry.MaxAttempts, lastErr)
 }
 
 // LoadNetwork uploads a network (PUT /network), replacing the server's
@@ -336,7 +344,7 @@ func (c *Client) Healthz(ctx context.Context) error {
 // Ready checks readiness (GET /readyz) with a single attempt: "not
 // ready yet" is an expected state, not a transient failure to retry.
 func (c *Client) Ready(ctx context.Context) (bool, error) {
-	_, err := c.attempt(ctx, http.MethodGet, "/readyz", nil, http.StatusOK)
+	_, _, err := c.attempt(ctx, http.MethodGet, "/readyz", nil, http.StatusOK)
 	var ae *APIError
 	if errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable {
 		return false, nil

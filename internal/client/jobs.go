@@ -8,16 +8,20 @@ package client
 // submit-and-wait into a drop-in asynchronous replacement for Run.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
+	"yardstick/internal/core"
+	"yardstick/internal/netmodel"
 	"yardstick/internal/service"
 )
 
@@ -47,10 +51,90 @@ func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) 
 }
 
 // Jobs lists the server's retained jobs with queue stats (GET /jobs).
+// The server caps the response at its default page size; use ListJobs
+// to filter by state and walk the full list page by page.
 func (c *Client) Jobs(ctx context.Context) (service.JobList, error) {
 	var out service.JobList
 	err := c.do(ctx, http.MethodGet, "/jobs", nil, http.StatusOK, &out)
 	return out, err
+}
+
+// JobsQuery selects a window of the server's job list: an optional
+// state filter ("queued", "running", "done", "failed", "cancelled";
+// empty = all) and an offset/limit page (Limit <= 0 = the server's
+// default page size; the server hard-caps oversized limits).
+type JobsQuery struct {
+	State         string
+	Offset, Limit int
+}
+
+// JobPage is one page of the job list plus the paging metadata the
+// server returns in headers: the filtered total and whether rows remain
+// past this page.
+type JobPage struct {
+	service.JobList
+	// Total is the number of jobs matching the filter server-side
+	// (X-Total-Count) — not the page length.
+	Total int
+	// More reports that the server advertised a next page (a Link
+	// rel="next" header); continue with Offset advanced by len(Jobs).
+	More bool
+}
+
+// ListJobs fetches one page of the server's retained jobs
+// (GET /jobs?state=&offset=&limit=).
+func (c *Client) ListJobs(ctx context.Context, q JobsQuery) (JobPage, error) {
+	v := url.Values{}
+	if q.State != "" {
+		v.Set("state", q.State)
+	}
+	if q.Offset > 0 {
+		v.Set("offset", strconv.Itoa(q.Offset))
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	path := "/jobs"
+	if len(v) > 0 {
+		path += "?" + v.Encode()
+	}
+	var page JobPage
+	hdr, err := c.doHeader(ctx, http.MethodGet, path, nil, http.StatusOK, &page.JobList)
+	if err != nil {
+		return page, err
+	}
+	if t := hdr.Get("X-Total-Count"); t != "" {
+		if n, aerr := strconv.Atoi(t); aerr == nil {
+			page.Total = n
+		}
+	}
+	page.More = strings.Contains(hdr.Get("Link"), `rel="next"`)
+	return page, nil
+}
+
+// JobTraceRaw downloads a done job's own coverage fragment as raw trace
+// JSON (GET /jobs/{id}/trace). The bytes are validated as JSON but not
+// decoded against a network — a coordinator collects fragments
+// concurrently and decodes them later, serialized on the canonical BDD
+// space. A 409 means the job is not done yet; a 410 means the fragment
+// is gone (artifact evicted or the node restarted) and the shard should
+// be re-run.
+func (c *Client) JobTraceRaw(ctx context.Context, id string) ([]byte, error) {
+	var raw json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/jobs/"+url.PathEscape(id)+"/trace", nil, http.StatusOK, &raw)
+	return raw, err
+}
+
+// JobTrace downloads a done job's coverage fragment and decodes it
+// against net — which must be (a deterministic replica of) the network
+// the job ran against. Decoding writes net's BDD space; keep it
+// single-threaded with other symbolic work.
+func (c *Client) JobTrace(ctx context.Context, id string, net *netmodel.Network) (*core.Trace, error) {
+	raw, err := c.JobTraceRaw(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeTraceJSON(net, bytes.NewReader(raw))
 }
 
 // CancelJob cancels a queued or running job (DELETE /jobs/{id}). A job
@@ -61,24 +145,41 @@ func (c *Client) CancelJob(ctx context.Context, id string) (service.JobStatus, e
 	return j, err
 }
 
+// DefaultJobPoll is the poll interval WaitJob uses when the caller
+// passes poll <= 0 — the guard that keeps RunAsync's WaitJob(ctx, id, 0)
+// from busy-polling the server.
+const DefaultJobPoll = 250 * time.Millisecond
+
 // WaitJob polls a job until it reaches a terminal state (done, failed,
-// or cancelled), pausing poll between probes (poll <= 0 means 250ms).
-// It returns the terminal job; reaching a terminal state is not an
-// error here even when the state is failed — callers decide what a
-// failed job means to them.
+// or cancelled), pausing between probes (poll <= 0 means
+// DefaultJobPoll). Each pause is equal-jittered — half deterministic,
+// half uniformly random — so a fleet of pollers that submitted together
+// does not probe in lockstep. A shed poll response (429/503 from
+// admission control) does not fail the wait: the job is still running,
+// the server was just busy — WaitJob backs off by the server's
+// Retry-After hint (at least one poll interval) and keeps polling.
+// Other errors return; reaching a terminal state is not an error here
+// even when the state is failed — callers decide what a failed job
+// means to them.
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (service.JobStatus, error) {
 	if poll <= 0 {
-		poll = 250 * time.Millisecond
+		poll = DefaultJobPoll
 	}
 	for {
 		j, err := c.Job(ctx, id)
+		pause := poll/2 + rand.N(poll/2+1)
 		if err != nil {
-			return j, err
-		}
-		if j.State.Terminal() {
+			hint, shed := IsShed(err)
+			if !shed || ctx.Err() != nil {
+				return j, err
+			}
+			if hint > pause {
+				pause = hint
+			}
+		} else if j.State.Terminal() {
 			return j, nil
 		}
-		t := time.NewTimer(poll)
+		t := time.NewTimer(pause)
 		select {
 		case <-t.C:
 		case <-ctx.Done():

@@ -201,6 +201,130 @@ func TestJobHelpers(t *testing.T) {
 	}
 }
 
+// TestListJobsPaging walks a multi-page job list via the typed paging
+// API: Total reflects the filtered count, More drives the walk, and the
+// pages cover every job exactly once.
+func TestListJobsPaging(t *testing.T) {
+	// No worker pool: submitted jobs stay queued, so the list is stable.
+	rg := buildNet(t)
+	srv := service.WithNetwork(rg.Net, quiet(), service.WithJobQueue(16, time.Minute))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := New(ts.URL, WithRetry(fastRetry(2)))
+	ctx := context.Background()
+
+	want := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		j, err := c.SubmitJob(ctx, 0, "default")
+		if err != nil {
+			t.Fatalf("SubmitJob: %v", err)
+		}
+		want[j.ID] = false
+	}
+
+	got := 0
+	for q := (JobsQuery{State: "queued", Limit: 2}); ; {
+		page, err := c.ListJobs(ctx, q)
+		if err != nil {
+			t.Fatalf("ListJobs(%+v): %v", q, err)
+		}
+		if page.Total != 5 {
+			t.Fatalf("page.Total = %d, want 5", page.Total)
+		}
+		for _, j := range page.Jobs {
+			seen, ok := want[j.ID]
+			if !ok || seen {
+				t.Fatalf("page returned unexpected or duplicate job %s", j.ID)
+			}
+			want[j.ID] = true
+			got++
+		}
+		if !page.More {
+			break
+		}
+		q.Offset += len(page.Jobs)
+	}
+	if got != 5 {
+		t.Fatalf("paged walk covered %d jobs, want 5", got)
+	}
+}
+
+// TestJobTraceRoundTrip: a done job's fragment downloads as raw JSON and
+// decodes against a deterministic replica of the network — the replica
+// is what a coordinator holds, not the worker's own in-memory net.
+func TestJobTraceRoundTrip(t *testing.T) {
+	ts := newAsyncServer(t)
+	c := New(ts.URL, WithRetry(fastRetry(2)))
+	ctx := context.Background()
+
+	j, err := c.SubmitJob(ctx, 0, "default", "internal")
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if j, err = c.WaitJob(ctx, j.ID, time.Millisecond); err != nil || j.State != jobs.StateDone {
+		t.Fatalf("WaitJob = (%+v, %v), want done", j, err)
+	}
+
+	raw, err := c.JobTraceRaw(ctx, j.ID)
+	if err != nil || len(raw) == 0 {
+		t.Fatalf("JobTraceRaw = (%d bytes, %v)", len(raw), err)
+	}
+	replica := buildNet(t)
+	tr, err := c.JobTrace(ctx, j.ID, replica.Net)
+	if err != nil {
+		t.Fatalf("JobTrace: %v", err)
+	}
+	if st := tr.Stats(); st.Locations == 0 || st.MarkedRules == 0 {
+		t.Fatalf("decoded fragment is empty: %+v", st)
+	}
+
+	// An unknown job surfaces the 404 as a typed error.
+	var ae *APIError
+	if _, err := c.JobTraceRaw(ctx, "absent"); !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("JobTraceRaw(absent) = %v, want 404", err)
+	}
+}
+
+// TestWaitJobShedTolerant: poll responses shed by admission control
+// (503/429) do not abort the wait — WaitJob backs off and keeps polling
+// until the job is terminal. Non-shed errors still return immediately.
+func TestWaitJobShedTolerant(t *testing.T) {
+	var polls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/jobs/j1":
+			// Shed the first three polls, then report done.
+			if polls.Add(1) <= 3 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"id":"j1","state":"done"}`))
+		case r.URL.Path == "/jobs/gone":
+			http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	// MaxAttempts 1: the per-request retry layer is off, so shed handling
+	// is exercised in WaitJob itself.
+	c := New(ts.URL, WithRetry(fastRetry(1)))
+	j, err := c.WaitJob(context.Background(), "j1", 2*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob through sheds: %v", err)
+	}
+	if j.State != jobs.StateDone || polls.Load() != 4 {
+		t.Fatalf("WaitJob = %+v after %d polls, want done after 4", j, polls.Load())
+	}
+
+	var ae *APIError
+	if _, err := c.WaitJob(context.Background(), "gone", time.Millisecond); !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("WaitJob on missing job = %v, want immediate 404", err)
+	}
+}
+
 // TestCancelJobConflict: cancelling a finished job surfaces the 409.
 func TestCancelJobConflict(t *testing.T) {
 	ts := newAsyncServer(t)

@@ -1,0 +1,725 @@
+// Package coord runs a test suite across a fleet of yardstickd worker
+// nodes and merges their coverage into one exact trace — the paper's
+// deployment story (§7: testing tools report coverage to a service)
+// scaled out, with the failure handling a real fleet needs.
+//
+// The shape is partition → dispatch → collect → merge:
+//
+//   - Partition: each built-in suite name becomes one shard (optionally
+//     repeated for -rounds; re-running a shard is free because coverage
+//     merges by BDD union).
+//   - Dispatch: shards are submitted through the async /jobs API of each
+//     worker and polled to completion; the per-shard fragment comes back
+//     via GET /jobs/{id}/trace as exact cube JSON.
+//   - Merge: fragments decode against the coordinator's own
+//     deterministic replica of the network — rule and location IDs are
+//     indices, identical across replicas, so only the symbolic sets are
+//     rebuilt — and fold into one trace by same-space union.
+//
+// Every robustness decision leans on one invariant: merging is an
+// idempotent, commutative union, so it is always safe to run a shard
+// again, anywhere. That turns retries, re-dispatch after a node dies,
+// duplicate execution after a lost response, and hedged dispatch from
+// correctness hazards into pure scheduling choices.
+//
+// Failure handling, from mildest to worst:
+//
+//   - A shed poll (429/503) is not a failure: the client backs off by
+//     the server's Retry-After hint and keeps polling.
+//   - A failed attempt (connection error, HTTP failure, failed job,
+//     lost fragment) is retried with jittered exponential backoff, on a
+//     different node when one is available.
+//   - A node that fails repeatedly trips a circuit breaker: it stops
+//     receiving shards for a cooldown, then a single half-open probe
+//     decides whether it rejoins the rotation. Its queued work is
+//     re-dispatched to healthy nodes.
+//   - A shard whose primary dispatch lingers past HedgeAfter is hedged
+//     on a second node; first success wins, the loser is cancelled and
+//     the duplicate coverage (if any) merges to the same union.
+//   - When no healthy node remains, the run degrades gracefully: Run
+//     returns an explicit partial Result (per-shard status, Complete
+//     false) instead of an error or a hang.
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"yardstick/internal/bdd"
+	"yardstick/internal/client"
+	"yardstick/internal/core"
+	"yardstick/internal/jobs"
+	"yardstick/internal/netmodel"
+	"yardstick/internal/service"
+)
+
+// Config describes the fleet and the run.
+type Config struct {
+	// Nodes are the worker base URLs (http://host:port). At least one.
+	Nodes []string
+
+	// Net is the coordinator's replica of the network under test. It is
+	// pushed to every node before its first shard (PUT /network) and is
+	// the space shard fragments decode into, so it must be built
+	// deterministically (same generator, same options) as any replica a
+	// node might already hold.
+	Net *netmodel.Network
+
+	// NewClient builds the client for one node. nil means
+	// client.New(base); tests inject clients whose transports carry
+	// chaos faults.
+	NewClient func(base string) *client.Client
+
+	// Workers is the per-job worker-count hint sent to nodes (<= 0
+	// leaves it to the node).
+	Workers int
+
+	// Rounds repeats the shard list this many times (<= 0 means 1).
+	// Extra rounds add no coverage — merge is idempotent — but stretch
+	// the run, which is how the chaos tests and the CI cluster-smoke
+	// keep a kill window open.
+	Rounds int
+
+	// Concurrency bounds in-flight shards (<= 0 means 2 per node).
+	Concurrency int
+
+	// ShardTimeout bounds one dispatch attempt end to end: submit, poll
+	// to terminal, download the fragment (<= 0 means 60s). It is the
+	// backstop that turns a hung worker into a retryable failure.
+	ShardTimeout time.Duration
+
+	// MaxAttempts bounds dispatch attempts per shard, first try
+	// included (<= 0 means 3).
+	MaxAttempts int
+
+	// Backoff is the base delay between a shard's attempts, doubled per
+	// attempt with equal jitter; a server Retry-After hint is honored
+	// when larger (<= 0 means 100ms).
+	Backoff time.Duration
+
+	// HedgeAfter launches a second dispatch of a still-running shard on
+	// another node after this long; first success wins (0 disables).
+	HedgeAfter time.Duration
+
+	// Poll is the job poll interval (<= 0 means client.DefaultJobPoll).
+	Poll time.Duration
+
+	// FailureThreshold is the consecutive-failure count that trips a
+	// node's circuit breaker (<= 0 means 3). Sheds do not count: a
+	// shedding node is busy, not broken.
+	FailureThreshold int
+
+	// Cooldown is how long a tripped breaker stays open before one
+	// half-open probe may test the node again (<= 0 means 2s).
+	Cooldown time.Duration
+
+	// Logger receives dispatch/retry/trip events. nil discards.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.NewClient == nil {
+		c.NewClient = func(base string) *client.Client { return client.New(base) }
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2 * len(c.Nodes)
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 60 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Breaker states. closed = healthy rotation; open = cooling off after
+// FailureThreshold consecutive failures; half-open = one probe in
+// flight deciding reinstatement.
+type breakerState uint8
+
+const (
+	stClosed breakerState = iota
+	stOpen
+	stHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stClosed:
+		return "closed"
+	case stOpen:
+		return "open"
+	case stHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// node is one worker plus its health accounting.
+type node struct {
+	base string
+	c    *client.Client
+
+	// loadMu serializes network pushes so concurrent shards do not race
+	// redundant PUT /network calls at the same node.
+	loadMu sync.Mutex
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int // consecutive non-shed failures
+	openedAt time.Time
+	loaded   bool // network pushed and acknowledged
+	inflight int
+
+	// Counters for the end-of-run report.
+	dispatched, succeeded, failed, sheds, trips int
+}
+
+// availableClosed claims the node if its breaker is closed.
+func (n *node) availableClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state == stClosed
+}
+
+func (n *node) inflightNow() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inflight
+}
+
+// claimProbe moves an open breaker past its cooldown to half-open and
+// claims the single probe slot. Only one caller wins until the probe
+// resolves.
+func (n *node) claimProbe(now time.Time, cooldown time.Duration) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state != stOpen || now.Sub(n.openedAt) < cooldown {
+		return false
+	}
+	n.state = stHalfOpen
+	return true
+}
+
+func (n *node) acquire() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.inflight++
+	n.dispatched++
+}
+
+func (n *node) release() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.inflight--
+}
+
+// onSuccess closes the breaker (a half-open probe that succeeds
+// reinstates the node) and clears the failure streak.
+func (n *node) onSuccess() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.succeeded++
+	n.fails = 0
+	n.state = stClosed
+}
+
+// onFailure records a non-shed failure: the streak grows, and crossing
+// the threshold — or failing the half-open probe — opens the breaker.
+// Reports whether this failure tripped it.
+func (n *node) onFailure(now time.Time, threshold int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failed++
+	n.fails++
+	if n.state == stHalfOpen || (n.state == stClosed && n.fails >= threshold) {
+		n.state = stOpen
+		n.openedAt = now
+		n.trips++
+		return true
+	}
+	return false
+}
+
+// onShed records a load-shed: counted for the report, invisible to the
+// breaker (a node shedding load is doing its job). A half-open probe
+// that comes back shed still reinstates the node — it is alive.
+func (n *node) onShed() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sheds++
+	if n.state == stHalfOpen {
+		n.state = stClosed
+		n.fails = 0
+	}
+}
+
+// onNeutral releases a claim without judging the node — the attempt was
+// cancelled by the coordinator (a hedge lost the race, or the whole run
+// was cancelled), which says nothing about node health. A half-open
+// probe rolls back to open so another probe can run.
+func (n *node) onNeutral() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state == stHalfOpen {
+		n.state = stOpen
+	}
+}
+
+func (n *node) markUnloaded() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.loaded = false
+}
+
+func (n *node) report() NodeReport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return NodeReport{
+		Node: n.base, State: n.state.String(),
+		Dispatched: n.dispatched, Succeeded: n.succeeded,
+		Failed: n.failed, Sheds: n.sheds, Trips: n.trips,
+	}
+}
+
+// ShardStatus is one shard's outcome in the Result.
+type ShardStatus struct {
+	ID       int    `json:"id"`
+	Suite    string `json:"suite"`
+	Round    int    `json:"round"`
+	Node     string `json:"node,omitempty"` // node that completed it
+	Attempts int    `json:"attempts"`
+	Hedged   bool   `json:"hedged,omitempty"`
+	Done     bool   `json:"done"`
+	Error    string `json:"error,omitempty"`
+}
+
+// NodeReport is one node's health accounting in the Result.
+type NodeReport struct {
+	Node       string `json:"node"`
+	State      string `json:"state"` // breaker state at end of run
+	Dispatched int    `json:"dispatched"`
+	Succeeded  int    `json:"succeeded"`
+	Failed     int    `json:"failed"`
+	Sheds      int    `json:"sheds"`
+	Trips      int    `json:"trips"`
+}
+
+// Result is a distributed run's outcome. Complete false is the graceful
+// degradation contract: the trace still holds the union of every shard
+// that did finish, and Shards says exactly which did not and why — the
+// distributed analogue of the Errored test verdict, which never vouches
+// for what it could not check.
+type Result struct {
+	Shards   []ShardStatus
+	Nodes    []NodeReport
+	Complete bool
+	// Trace is the merged coverage in Config.Net's space.
+	Trace *core.Trace
+	// Tests holds one result set per suite (from the first shard of
+	// that suite to finish — repeated rounds re-run identical tests).
+	Tests map[string][]service.RunResult
+}
+
+// Coordinator dispatches shards across the fleet. Create with New;
+// node health (breaker state, counters) persists across Run calls.
+type Coordinator struct {
+	cfg   Config
+	nodes []*node
+}
+
+// New validates the config and prepares the fleet.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("coord: no nodes")
+	}
+	if cfg.Net == nil {
+		return nil, errors.New("coord: no network replica")
+	}
+	cfg = cfg.withDefaults()
+	co := &Coordinator{cfg: cfg}
+	for _, base := range cfg.Nodes {
+		co.nodes = append(co.nodes, &node{base: base, c: cfg.NewClient(base)})
+	}
+	return co, nil
+}
+
+// shardRun is a ShardStatus plus the collected fragment bytes.
+type shardRun struct {
+	ShardStatus
+	raw     []byte
+	results []service.RunResult
+}
+
+// Run partitions the suites into shards, dispatches them across the
+// fleet, and merges the fragments. The error return covers only setup
+// problems and context cancellation; fleet failures degrade into the
+// Result (Complete false, per-shard errors).
+func (co *Coordinator) Run(ctx context.Context, suites ...string) (*Result, error) {
+	if len(suites) == 0 {
+		return nil, errors.New("coord: no suites")
+	}
+	shards := make([]*shardRun, 0, len(suites)*co.cfg.Rounds)
+	for round := 0; round < co.cfg.Rounds; round++ {
+		for _, s := range suites {
+			shards = append(shards, &shardRun{ShardStatus: ShardStatus{
+				ID: len(shards), Suite: s, Round: round,
+			}})
+		}
+	}
+
+	// Dispatch: a fixed worker pool pulls shards off a channel. Workers
+	// never touch the coordinator's BDD space — fragments stay as bytes
+	// until the single-threaded merge below.
+	feed := make(chan *shardRun)
+	var wg sync.WaitGroup
+	for i := 0; i < co.cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range feed {
+				co.runShard(ctx, sh)
+			}
+		}()
+	}
+	for _, sh := range shards {
+		feed <- sh
+	}
+	close(feed)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("coord: run cancelled: %w", err)
+	}
+
+	return co.mergeShards(shards), nil
+}
+
+// mergeShards decodes every collected fragment against the replica
+// network and folds them into one trace — sequentially, in shard order:
+// decode and union are BDD-manager work, and the manager is
+// single-threaded. Order does not affect the union (it is commutative),
+// only the manager's internal node numbering.
+func (co *Coordinator) mergeShards(shards []*shardRun) *Result {
+	res := &Result{Complete: true, Trace: core.NewTrace(), Tests: map[string][]service.RunResult{}}
+	for _, sh := range shards {
+		if sh.Done {
+			// Guarded: decode and union run on the replica's BDD manager,
+			// which a budget trip may have poisoned.
+			var derr error
+			gerr := bdd.Guard(func() {
+				var frag *core.Trace
+				if frag, derr = core.DecodeTraceJSON(co.cfg.Net, bytes.NewReader(sh.raw)); derr == nil {
+					res.Trace.Merge(frag)
+				}
+			})
+			if err := errors.Join(gerr, derr); err != nil {
+				// A fragment that does not decode is a failed shard: its
+				// coverage is unknown, so the run cannot claim it.
+				sh.Done = false
+				sh.Error = fmt.Sprintf("fragment decode: %v", err)
+			}
+		}
+		if sh.Done {
+			if _, ok := res.Tests[sh.Suite]; !ok && sh.results != nil {
+				res.Tests[sh.Suite] = sh.results
+			}
+		} else {
+			res.Complete = false
+		}
+		res.Shards = append(res.Shards, sh.ShardStatus)
+	}
+	for _, n := range co.nodes {
+		res.Nodes = append(res.Nodes, n.report())
+	}
+	return res
+}
+
+// runShard drives one shard to completion or to attempt exhaustion.
+func (co *Coordinator) runShard(ctx context.Context, sh *shardRun) {
+	var lastErr error
+	var lastNode *node
+	for attempt := 1; attempt <= co.cfg.MaxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			lastErr = ctx.Err()
+			break
+		}
+		sh.Attempts = attempt
+		// Prefer a node other than the one that just failed this shard;
+		// fall back to any healthy node (a one-node fleet retries in
+		// place).
+		n := co.waitForNode(ctx, lastNode)
+		if n == nil {
+			n = co.waitForNode(ctx, nil)
+		}
+		if n == nil {
+			lastErr = errors.New("no healthy node")
+			co.cfg.Logger.Warn("coord: no healthy node for shard",
+				"shard", sh.ID, "suite", sh.Suite, "attempt", attempt)
+			continue
+		}
+		err := co.dispatch(ctx, sh, n)
+		if err == nil {
+			sh.Done = true
+			sh.Error = ""
+			return
+		}
+		lastErr = err
+		lastNode = n
+		co.cfg.Logger.Warn("coord: shard attempt failed",
+			"shard", sh.ID, "suite", sh.Suite, "node", n.base, "attempt", attempt, "err", err)
+		co.backoff(ctx, attempt, err)
+	}
+	if lastErr != nil {
+		sh.Error = lastErr.Error()
+	}
+}
+
+// waitForNode picks a node for a shard, excluding one. A tripped node
+// whose cooldown has elapsed takes priority as a half-open probe — the
+// probe IS a real shard dispatch, and it must outrank the healthy
+// nodes, or a fleet with any capacity left would never re-admit a
+// recovered node. Otherwise the closed node with the least in-flight
+// work wins. When nothing is available it waits — bounded by the
+// cooldown plus slack, so a dead fleet degrades instead of hanging.
+func (co *Coordinator) waitForNode(ctx context.Context, exclude *node) *node {
+	deadline := time.Now().Add(co.cfg.Cooldown + co.cfg.Backoff + 50*time.Millisecond)
+	for {
+		var best *node
+		now := time.Now()
+		for _, n := range co.nodes {
+			if n != exclude && n.claimProbe(now, co.cfg.Cooldown) {
+				co.cfg.Logger.Info("coord: probing node", "node", n.base)
+				best = n
+				break
+			}
+		}
+		if best == nil {
+			for _, n := range co.nodes {
+				if n == exclude || !n.availableClosed() {
+					continue
+				}
+				if best == nil || n.inflightNow() < best.inflightNow() {
+					best = n
+				}
+			}
+		}
+		if best != nil {
+			best.acquire()
+			return best
+		}
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return nil
+		}
+		t := time.NewTimer(10 * time.Millisecond)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
+}
+
+// pickHedge is the non-blocking variant for hedged dispatch: a healthy
+// node other than the primary, or nothing. Hedging never waits and
+// never spends a half-open probe — probes are for recovery, not racing.
+func (co *Coordinator) pickHedge(primary *node) *node {
+	var best *node
+	for _, n := range co.nodes {
+		if n == primary || !n.availableClosed() {
+			continue
+		}
+		if best == nil || n.inflightNow() < best.inflightNow() {
+			best = n
+		}
+	}
+	if best != nil {
+		best.acquire()
+	}
+	return best
+}
+
+// dispatch runs one attempt of a shard on a claimed primary node,
+// hedging on a second node if the primary lingers past HedgeAfter.
+// The claim on every launched node is released here.
+func (co *Coordinator) dispatch(ctx context.Context, sh *shardRun, primary *node) error {
+	actx, cancel := context.WithTimeout(ctx, co.cfg.ShardTimeout)
+	defer cancel()
+
+	type outcome struct {
+		out shardOut
+		err error
+		n   *node
+	}
+	ch := make(chan outcome, 2)
+	var won atomic.Bool
+	launch := func(n *node) {
+		go func() {
+			out, err := co.attemptOn(actx, sh.Suite, n)
+			switch {
+			case err == nil:
+				n.onSuccess()
+			case won.Load() || ctx.Err() != nil:
+				// Cancelled by the winner or by the caller — says
+				// nothing about the node.
+				n.onNeutral()
+			default:
+				if _, shed := client.IsShed(err); shed {
+					n.onShed()
+				} else if n.onFailure(time.Now(), co.cfg.FailureThreshold) {
+					co.cfg.Logger.Warn("coord: breaker tripped", "node", n.base)
+				}
+			}
+			n.release()
+			ch <- outcome{out, err, n}
+		}()
+	}
+
+	launch(primary)
+	outstanding := 1
+	var hedgeC <-chan time.Time
+	if co.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(co.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			outstanding--
+			if o.err == nil {
+				won.Store(true)
+				sh.Node = o.n.base
+				sh.raw = o.out.raw
+				sh.results = o.out.results
+				return nil
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("node %s: %w", o.n.base, o.err)
+			}
+			if outstanding == 0 {
+				return firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if sec := co.pickHedge(primary); sec != nil {
+				sh.Hedged = true
+				co.cfg.Logger.Info("coord: hedging shard",
+					"shard", sh.ID, "suite", sh.Suite, "primary", primary.base, "hedge", sec.base)
+				outstanding++
+				launch(sec)
+			}
+		}
+	}
+}
+
+// shardOut is one successful attempt's collected payload.
+type shardOut struct {
+	raw     []byte
+	results []service.RunResult
+}
+
+// attemptOn runs a shard once on one node: ensure the network is
+// loaded, submit, poll to terminal, download the fragment. A lost
+// response after the job actually ran leaves a duplicate execution
+// behind on retry — safe, merge is idempotent — so no cleanup pass is
+// needed.
+func (co *Coordinator) attemptOn(ctx context.Context, suite string, n *node) (shardOut, error) {
+	var out shardOut
+	if err := co.ensureLoaded(ctx, n); err != nil {
+		return out, fmt.Errorf("load network: %w", err)
+	}
+	j, err := n.c.SubmitJob(ctx, co.cfg.Workers, suite)
+	if err != nil {
+		return out, fmt.Errorf("submit: %w", err)
+	}
+	if j, err = n.c.WaitJob(ctx, j.ID, co.cfg.Poll); err != nil {
+		return out, fmt.Errorf("wait job %s: %w", j.ID, err)
+	}
+	if j.State != jobs.StateDone {
+		// A worker that restarted (or was never loaded) fails jobs with
+		// "no network loaded"; flag it so the next attempt re-pushes
+		// before submitting.
+		if strings.Contains(j.Error, "no network loaded") {
+			n.markUnloaded()
+		}
+		return out, fmt.Errorf("job %s %s: %s", j.ID, j.State, j.Error)
+	}
+	if out.raw, err = n.c.JobTraceRaw(ctx, j.ID); err != nil {
+		// 410 Gone (artifact lost to a restart) lands here: the retry
+		// re-runs the shard, which regenerates the fragment.
+		return out, fmt.Errorf("fetch trace %s: %w", j.ID, err)
+	}
+	if len(j.Result) > 0 {
+		if uerr := json.Unmarshal(j.Result, &out.results); uerr != nil {
+			return out, fmt.Errorf("decode job %s result: %w", j.ID, uerr)
+		}
+	}
+	return out, nil
+}
+
+// ensureLoaded pushes the replica network to a node that has not
+// acknowledged one yet, serialized per node.
+func (co *Coordinator) ensureLoaded(ctx context.Context, n *node) error {
+	n.loadMu.Lock()
+	defer n.loadMu.Unlock()
+	n.mu.Lock()
+	loaded := n.loaded
+	n.mu.Unlock()
+	if loaded {
+		return nil
+	}
+	if _, err := n.c.LoadNetwork(ctx, co.cfg.Net); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.loaded = true
+	n.mu.Unlock()
+	return nil
+}
+
+// backoff sleeps between a shard's attempts: base doubled per attempt
+// with equal jitter, capped, and stretched to any server Retry-After
+// hint carried by the error.
+func (co *Coordinator) backoff(ctx context.Context, attempt int, err error) {
+	d := co.cfg.Backoff << (attempt - 1)
+	if max := 2 * time.Second; d > max {
+		d = max
+	}
+	d = d/2 + rand.N(d/2+1)
+	if hint, shed := client.IsShed(err); shed && hint > d {
+		d = min(hint, 5*time.Second)
+	}
+	t := time.NewTimer(d)
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		t.Stop()
+	}
+}

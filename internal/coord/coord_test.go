@@ -1,0 +1,450 @@
+package coord
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"yardstick/internal/client"
+	"yardstick/internal/core"
+	"yardstick/internal/faults"
+	"yardstick/internal/netmodel"
+	"yardstick/internal/service"
+	"yardstick/internal/testkit"
+	"yardstick/internal/topogen"
+)
+
+func newSeededRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func quiet() service.Option {
+	return service.WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
+}
+
+// replica builds the deterministic network every party holds: the
+// coordinator's merge space, the single-node baseline, and (via
+// PUT /network round-trip) each worker's copy.
+func replica(t *testing.T) *netmodel.Network {
+	t.Helper()
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rg.Net
+}
+
+// startWorker boots one yardstickd-shaped worker: empty server (the
+// coordinator pushes the network), live job pool.
+func startWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := service.New(quiet())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); srv.RunJobs(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+	return ts
+}
+
+// fleet boots n workers and returns their base URLs plus one chaos
+// transport per node (zero-valued: no faults until a test arms them).
+func fleet(t *testing.T, n int) ([]string, map[string]*faults.ChaosTransport) {
+	t.Helper()
+	bases := make([]string, 0, n)
+	chaos := make(map[string]*faults.ChaosTransport, n)
+	for i := 0; i < n; i++ {
+		ts := startWorker(t)
+		bases = append(bases, ts.URL)
+		chaos[ts.URL] = &faults.ChaosTransport{}
+	}
+	return bases, chaos
+}
+
+// fastCfg is a test-speed coordinator config over the fleet, routing
+// every node's client through its chaos transport.
+func fastCfg(nodes []string, chaos map[string]*faults.ChaosTransport, rep *netmodel.Network) Config {
+	return Config{
+		Nodes: nodes,
+		Net:   rep,
+		NewClient: func(base string) *client.Client {
+			return client.New(base,
+				client.WithHTTPClient(&http.Client{Transport: chaos[base]}),
+				client.WithRetry(client.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}),
+			)
+		},
+		Poll:             2 * time.Millisecond,
+		ShardTimeout:     10 * time.Second,
+		Backoff:          2 * time.Millisecond,
+		MaxAttempts:      3,
+		FailureThreshold: 2,
+		Cooldown:         30 * time.Millisecond,
+	}
+}
+
+// baseline runs the suites once, sequentially, in-process, against the
+// same replica the coordinator merges into — the single-node ground
+// truth the distributed run must reproduce exactly.
+func baseline(t *testing.T, rep *netmodel.Network, suites []string) *core.Trace {
+	t.Helper()
+	suite, err := testkit.BuiltinSuite(strings.Join(suites, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := core.NewTrace()
+	suite.Run(context.Background(), rep, tr)
+	return tr
+}
+
+// requireIdentical asserts the distributed trace is bit-identical to
+// the single-node baseline: same marked rules, same packet set (same
+// canonical BDD node) at every location.
+func requireIdentical(t *testing.T, got, want *core.Trace) {
+	t.Helper()
+	if gs, ws := got.Stats(), want.Stats(); gs != ws {
+		t.Fatalf("merged trace stats %+v != baseline %+v", gs, ws)
+	}
+	if !got.Equal(want) {
+		t.Fatal("merged trace differs from the single-node baseline")
+	}
+}
+
+// TestClusterMatchesSingleNode: the happy path over 3 nodes — with
+// repeated rounds, so shards of the same suite land on multiple nodes —
+// merges to exactly the single-node sequential trace.
+func TestClusterMatchesSingleNode(t *testing.T) {
+	rep := replica(t)
+	nodes, chaos := fleet(t, 3)
+	suites := []string{"default", "connected", "internal", "agg", "contract", "host"}
+
+	cfg := fastCfg(nodes, chaos, rep)
+	cfg.Rounds = 2
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run(context.Background(), suites...)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Complete {
+		t.Fatalf("run incomplete: %+v", res.Shards)
+	}
+	if len(res.Shards) != len(suites)*2 {
+		t.Fatalf("shards = %d, want %d", len(res.Shards), len(suites)*2)
+	}
+	for _, sh := range res.Shards {
+		if !sh.Done || sh.Node == "" {
+			t.Fatalf("shard not done: %+v", sh)
+		}
+	}
+	for _, s := range suites {
+		rr, ok := res.Tests[s]
+		if !ok || len(rr) == 0 {
+			t.Fatalf("no test results for suite %s", s)
+		}
+		for _, r := range rr {
+			if !r.Pass {
+				t.Fatalf("suite %s test %s failed: %+v", s, r.Name, r)
+			}
+		}
+	}
+	total := 0
+	for _, nr := range res.Nodes {
+		total += nr.Succeeded
+	}
+	if total != len(res.Shards) {
+		t.Fatalf("node successes = %d, want %d", total, len(res.Shards))
+	}
+	requireIdentical(t, res.Trace, baseline(t, rep, suites))
+}
+
+// crashAfterSubmits crashes the chaos transport permanently once the
+// node has accepted `after` job submissions — a worker SIGKILLed midway
+// through the run, deterministically.
+type crashAfterSubmits struct {
+	ct    *faults.ChaosTransport
+	seen  atomic.Int32
+	after int32
+}
+
+func (c *crashAfterSubmits) RoundTrip(r *http.Request) (*http.Response, error) {
+	if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/jobs") &&
+		c.seen.Add(1) == c.after {
+		c.ct.Crash()
+	}
+	return c.ct.RoundTrip(r)
+}
+
+// TestKillWorkerMidRun is the tentpole assertion: a 3-node cluster
+// where one worker dies after completing real work still finishes the
+// run — failed and orphaned shards re-dispatch to the survivors — and
+// the merged coverage is bit-identical to the single-node baseline,
+// because re-running shards merges by idempotent union.
+func TestKillWorkerMidRun(t *testing.T) {
+	rep := replica(t)
+	nodes, chaos := fleet(t, 3)
+	suites := []string{"default", "internal", "contract"}
+
+	// The doomed node dies as it accepts its 3rd job: it has done real
+	// work (fragments already collected from it) and still owes work
+	// (the accepted job's fragment can never be fetched).
+	doomed := nodes[1]
+	killer := &crashAfterSubmits{ct: chaos[doomed], after: 3}
+
+	cfg := fastCfg(nodes, chaos, rep)
+	cfg.Rounds = 4
+	// Threshold 1: the breaker counts *consecutive* failures, and the
+	// doomed node can have two shards in flight at crash time whose
+	// completions interleave success/failure — tripping on the first
+	// failure keeps the "kill was observed" assertion deterministic.
+	cfg.FailureThreshold = 1
+	cfg.NewClient = func(base string) *client.Client {
+		var rt http.RoundTripper = chaos[base]
+		if base == doomed {
+			rt = killer
+		}
+		return client.New(base,
+			client.WithHTTPClient(&http.Client{Transport: rt}),
+			client.WithRetry(client.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}),
+		)
+	}
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run(context.Background(), suites...)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Complete {
+		t.Fatalf("run incomplete after single-node kill: %+v", res.Shards)
+	}
+	var dead NodeReport
+	for _, nr := range res.Nodes {
+		if nr.Node == doomed {
+			dead = nr
+		}
+	}
+	if dead.Failed == 0 {
+		t.Fatalf("killed node reports no failures: %+v", dead)
+	}
+	if dead.State == "closed" {
+		t.Fatalf("killed node's breaker still closed: %+v", dead)
+	}
+	// Survivors absorbed everything: every shard is done, and the union
+	// is exact despite retries, re-dispatch, and duplicate execution.
+	requireIdentical(t, res.Trace, baseline(t, rep, suites))
+}
+
+// TestHedgedDispatch: a node that black-holes every request (accepts
+// connections, never answers) cannot stall the run for ShardTimeout —
+// the hedge launches on a healthy node after HedgeAfter and wins.
+func TestHedgedDispatch(t *testing.T) {
+	rep := replica(t)
+	nodes, chaos := fleet(t, 2)
+	suites := []string{"default", "internal"}
+
+	// Node 0 hangs everything; chaos hangs resolve when the request
+	// context is cancelled, which the hedge's win triggers.
+	chaos[nodes[0]].PHang = 1
+	chaos[nodes[0]].Rand = newSeededRand()
+
+	cfg := fastCfg(nodes, chaos, rep)
+	cfg.HedgeAfter = 25 * time.Millisecond
+	cfg.ShardTimeout = 30 * time.Second // only hedging can finish this fast
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := co.Run(context.Background(), suites...)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Complete {
+		t.Fatalf("run incomplete: %+v", res.Shards)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("run took %v; hedging should have rescued the hung shards long before ShardTimeout", elapsed)
+	}
+	hedged := false
+	for _, sh := range res.Shards {
+		hedged = hedged || sh.Hedged
+		if sh.Node == nodes[0] {
+			t.Fatalf("shard credited to the black-holed node: %+v", sh)
+		}
+	}
+	if !hedged {
+		t.Fatalf("no shard was hedged: %+v", res.Shards)
+	}
+	requireIdentical(t, res.Trace, baseline(t, rep, suites))
+}
+
+// TestAllNodesDownDegrades: with every node dead the run neither errors
+// nor hangs — it returns an explicit partial result naming each shard's
+// failure, the degradation ladder's last rung.
+func TestAllNodesDownDegrades(t *testing.T) {
+	rep := replica(t)
+	nodes, chaos := fleet(t, 2)
+	for _, ct := range chaos {
+		ct.Crash()
+	}
+
+	cfg := fastCfg(nodes, chaos, rep)
+	cfg.MaxAttempts = 2
+	cfg.Cooldown = 15 * time.Millisecond
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run(context.Background(), "default", "internal")
+	if err != nil {
+		t.Fatalf("Run on a dead fleet must degrade, not error: %v", err)
+	}
+	if res.Complete {
+		t.Fatal("run claims completeness with every node dead")
+	}
+	for _, sh := range res.Shards {
+		if sh.Done || sh.Error == "" {
+			t.Fatalf("shard on a dead fleet = %+v, want failed with a reason", sh)
+		}
+	}
+	if st := res.Trace.Stats(); st.Locations != 0 || st.MarkedRules != 0 {
+		t.Fatalf("dead fleet produced coverage: %+v", st)
+	}
+	tripped := 0
+	for _, nr := range res.Nodes {
+		if nr.Trips > 0 {
+			tripped++
+		}
+	}
+	if tripped == 0 {
+		t.Fatalf("no breaker tripped on a dead fleet: %+v", res.Nodes)
+	}
+}
+
+// TestBreakerRecovery: a node dead at the start of the run trips its
+// breaker, then revives mid-run; the half-open probe re-admits it and
+// it finishes real shards. Node state persists on the Coordinator, so
+// one run is enough to observe trip → cooldown → probe → closed.
+func TestBreakerRecovery(t *testing.T) {
+	rep := replica(t)
+	nodes, chaos := fleet(t, 2)
+	flaky := nodes[1]
+	chaos[flaky].Crash()
+
+	cfg := fastCfg(nodes, chaos, rep)
+	cfg.FailureThreshold = 1
+	cfg.Cooldown = 10 * time.Millisecond
+	cfg.Rounds = 300
+	cfg.Concurrency = 2
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reviveTimer := time.AfterFunc(20*time.Millisecond, chaos[flaky].Revive)
+	defer reviveTimer.Stop()
+
+	res, err := co.Run(context.Background(), "default")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Complete {
+		t.Fatalf("run incomplete: %+v", res.Shards)
+	}
+	var fr NodeReport
+	for _, nr := range res.Nodes {
+		if nr.Node == flaky {
+			fr = nr
+		}
+	}
+	if fr.Trips == 0 {
+		t.Fatalf("flaky node never tripped: %+v", fr)
+	}
+	if fr.Succeeded == 0 {
+		t.Fatalf("flaky node was never re-admitted after reviving: %+v", fr)
+	}
+	if fr.State != "closed" {
+		t.Fatalf("flaky node's breaker = %s after recovery, want closed", fr.State)
+	}
+	requireIdentical(t, res.Trace, baseline(t, rep, []string{"default"}))
+}
+
+// TestWorkerRestartReload: a worker that restarts (losing its network
+// and artifacts, keeping its address) fails the next job with "no
+// network loaded"; the coordinator re-pushes the replica and the retry
+// succeeds — no operator intervention, no stale state.
+func TestWorkerRestartReload(t *testing.T) {
+	rep := replica(t)
+
+	// A worker on a listener we control, so a restart keeps the address.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	startOn := func(l net.Listener) (*http.Server, context.CancelFunc) {
+		srv := service.New(quiet())
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(l)
+		ctx, cancel := context.WithCancel(context.Background())
+		go srv.RunJobs(ctx)
+		return hs, cancel
+	}
+	hs1, cancel1 := startOn(ln)
+
+	cfg := Config{
+		Nodes: []string{"http://" + addr},
+		Net:   rep,
+		NewClient: func(base string) *client.Client {
+			return client.New(base, client.WithRetry(client.RetryPolicy{
+				MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+			}))
+		},
+		Poll: 2 * time.Millisecond, Backoff: 2 * time.Millisecond,
+		ShardTimeout: 10 * time.Second, MaxAttempts: 3,
+		FailureThreshold: 3, Cooldown: 30 * time.Millisecond,
+	}
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run(context.Background(), "default")
+	if err != nil || !res.Complete {
+		t.Fatalf("first run = (%+v, %v), want complete", res, err)
+	}
+
+	// Restart: same address, fresh empty server. The coordinator still
+	// believes the network is loaded.
+	cancel1()
+	hs1.Close()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	hs2, cancel2 := startOn(ln2)
+	defer func() { cancel2(); hs2.Close() }()
+
+	res, err = co.Run(context.Background(), "internal")
+	if err != nil {
+		t.Fatalf("post-restart run: %v", err)
+	}
+	if !res.Complete {
+		t.Fatalf("post-restart run incomplete: %+v", res.Shards)
+	}
+	if res.Shards[0].Attempts < 2 {
+		t.Fatalf("post-restart shard took %d attempts, want >= 2 (fail, re-push, succeed)", res.Shards[0].Attempts)
+	}
+	requireIdentical(t, res.Trace, baseline(t, rep, []string{"internal"}))
+}

@@ -130,6 +130,55 @@ func (t *Trace) TransferTo(dst *hdr.Space) *Trace {
 	return out
 }
 
+// Equal reports whether two traces mark the same rules and equal packet
+// sets at the same locations. Both traces' sets must live in the same
+// BDD space — set equality is canonical-node identity within one
+// manager, which is exactly the "bit-identical" a distributed run must
+// reproduce against its single-node baseline. Empty-set entries count:
+// MarkPacket never stores one, so any difference in stored locations is
+// a real coverage difference.
+//
+// Equal snapshots each trace under its own lock in turn, never holding
+// both at once, so it cannot deadlock against a concurrent
+// Merge(a, b)/Merge(b, a) pair. Set comparison touches the shared BDD
+// manager only trivially (node identity), so no manager serialization
+// is needed beyond the usual single-threaded discipline.
+func (t *Trace) Equal(other *Trace) bool {
+	if t == other {
+		return true
+	}
+	snap := func(tr *Trace) (map[dataplane.Loc]hdr.Set, map[netmodel.RuleID]bool) {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
+		locs := make(map[dataplane.Loc]hdr.Set, len(tr.packets))
+		for l, s := range tr.packets {
+			locs[l] = s
+		}
+		rules := make(map[netmodel.RuleID]bool, len(tr.rules))
+		for r := range tr.rules {
+			rules[r] = true
+		}
+		return locs, rules
+	}
+	tl, tr := snap(t)
+	ol, or := snap(other)
+	if len(tl) != len(ol) || len(tr) != len(or) {
+		return false
+	}
+	for r := range tr {
+		if !or[r] {
+			return false
+		}
+	}
+	for loc, s := range tl {
+		os, ok := ol[loc]
+		if !ok || !s.Equal(os) {
+			return false
+		}
+	}
+	return true
+}
+
 // PacketsAt returns the trace's packet set at a location (empty set of sp
 // when none).
 func (t *Trace) PacketsAt(sp *hdr.Space, loc dataplane.Loc) hdr.Set {

@@ -56,6 +56,105 @@ func TestTraceTransferTo(t *testing.T) {
 	}
 }
 
+// TestMergeIdempotent: merge(T, T) == T, and folding the same fragment
+// in any number of times changes nothing — the invariant that makes the
+// distributed coordinator's retries, re-dispatch, duplicate execution,
+// and hedged dispatch all safe.
+func TestMergeIdempotent(t *testing.T) {
+	cn := buildChain(t)
+	sp := cn.n.Space
+	mk := func() *Trace {
+		tr := NewTrace()
+		tr.MarkPacket(dataplane.Injected(cn.d1), sp.DstPrefix(pfx(t, "10.0.0.0/9")))
+		tr.MarkPacket(cn.loc1Peer, sp.DstPrefix(pfx(t, "10.0.0.0/16")).Intersect(sp.Proto(6)))
+		tr.MarkRule(cn.r2)
+		return tr
+	}
+
+	tr, dup := mk(), mk()
+	if !tr.Equal(dup) {
+		t.Fatal("identically recorded traces are not Equal")
+	}
+	tr.Merge(tr) // self-merge: the degenerate duplicate
+	if !tr.Equal(dup) {
+		t.Fatal("merge(T, T) changed T")
+	}
+	for i := 0; i < 3; i++ {
+		tr.Merge(dup)
+	}
+	if !tr.Equal(dup) {
+		t.Fatal("repeated duplicate merges changed the trace")
+	}
+
+	// A genuinely new mark does change it — Equal is not vacuous.
+	tr.MarkRule(cn.r1)
+	if tr.Equal(dup) {
+		t.Fatal("Equal missed a differing rule mark")
+	}
+}
+
+// TestMergeOrderIndependentAcrossSpaces: three workers record
+// overlapping fragments against three independent replica spaces; the
+// canonical merge is the same union no matter the arrival order —
+// transfer then merge is commutative, so a coordinator may fold
+// fragments in whatever order the network delivers them.
+func TestMergeOrderIndependentAcrossSpaces(t *testing.T) {
+	canon := buildChain(t)
+	csp := canon.n.Space
+
+	// Each worker marks a different (deliberately overlapping) slice of
+	// the same coverage story in its own space.
+	frag := func(t *testing.T) [3]*Trace {
+		t.Helper()
+		var out [3]*Trace
+		for i := range out {
+			w := buildChain(t)
+			if w.n.Space == csp {
+				t.Fatal("fixture error: replica shares the canonical space")
+			}
+			sp := w.n.Space
+			tr := NewTrace()
+			switch i {
+			case 0:
+				tr.MarkPacket(dataplane.Injected(w.d1), sp.DstPrefix(pfx(t, "10.0.0.0/9")))
+				tr.MarkRule(w.r1)
+			case 1:
+				tr.MarkPacket(dataplane.Injected(w.d1), sp.DstPrefix(pfx(t, "10.0.0.0/16")))
+				tr.MarkPacket(w.loc1Peer, sp.Proto(6))
+				tr.MarkRule(w.r1) // overlaps worker 0's rule mark
+			case 2:
+				tr.MarkPacket(w.loc1Peer, sp.Proto(17))
+				tr.MarkRule(w.r2)
+			}
+			out[i] = tr.TransferTo(csp)
+		}
+		return out
+	}
+
+	merge := func(order [3]int, frags [3]*Trace) *Trace {
+		acc := NewTrace()
+		for _, i := range order {
+			acc.Merge(frags[i])
+		}
+		return acc
+	}
+	frags := frag(t)
+	want := merge([3]int{0, 1, 2}, frags)
+	for _, order := range [][3]int{{2, 1, 0}, {1, 0, 2}, {0, 2, 1}} {
+		if got := merge(order, frags); !got.Equal(want) {
+			t.Fatalf("merge order %v produced a different trace", order)
+		}
+	}
+
+	// And with a straggler's duplicate arriving twice mid-stream.
+	dup := merge([3]int{2, 0, 1}, frags)
+	dup.Merge(frags[0])
+	dup.Merge(frags[2])
+	if !dup.Equal(want) {
+		t.Fatal("duplicate fragment arrivals changed the union")
+	}
+}
+
 // blockingWriter stalls the first write until released, signalling when
 // the write has started.
 type blockingWriter struct {

@@ -1,0 +1,229 @@
+package faults
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chaosClient returns an http.Client routed through the transport with a
+// short request timeout so hangs resolve quickly in tests.
+func chaosClient(ct *ChaosTransport) *http.Client {
+	return &http.Client{Transport: ct, Timeout: 250 * time.Millisecond}
+}
+
+func TestChaosPassthrough(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+
+	// Zero value: no faults, ever.
+	ct := &ChaosTransport{}
+	for i := 0; i < 20; i++ {
+		resp, err := chaosClient(ct).Get(ts.URL)
+		if err != nil {
+			t.Fatalf("passthrough request %d: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	if n := ct.Injected(); n != 0 {
+		t.Fatalf("zero-value transport injected %d faults", n)
+	}
+}
+
+func TestChaosCrashAndRevive(t *testing.T) {
+	var served int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	ct := &ChaosTransport{}
+	c := chaosClient(ct)
+	if resp, err := c.Get(ts.URL); err != nil {
+		t.Fatalf("pre-crash request: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	ct.Crash()
+	if _, err := c.Get(ts.URL); err == nil {
+		t.Fatal("crashed transport completed a request")
+	}
+	if served != 1 {
+		t.Fatalf("crashed request reached the server (served=%d)", served)
+	}
+
+	ct.Revive()
+	if resp, err := c.Get(ts.URL); err != nil {
+		t.Fatalf("post-revive request: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+func TestChaosReset(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	ct := &ChaosTransport{PReset: 1, Rand: rand.New(rand.NewSource(1))}
+	if _, err := chaosClient(ct).Get(ts.URL); err == nil || !strings.Contains(err.Error(), "reset") {
+		t.Fatalf("reset fault = %v, want connection-reset error", err)
+	}
+	if got := ct.Counts()[FaultReset]; got != 1 {
+		t.Fatalf("reset count = %d, want 1", got)
+	}
+}
+
+func TestChaosHangRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	ct := &ChaosTransport{PHang: 1, Rand: rand.New(rand.NewSource(1))}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := (&http.Client{Transport: ct}).Do(req)
+	if err == nil {
+		t.Fatal("hung request completed")
+	}
+	if since := time.Since(start); since < 25*time.Millisecond || since > 5*time.Second {
+		t.Fatalf("hang resolved in %v, want ~the context deadline", since)
+	}
+}
+
+func TestChaosSlowDelays(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	ct := &ChaosTransport{PSlow: 1, Delay: 40 * time.Millisecond, Rand: rand.New(rand.NewSource(1))}
+	start := time.Now()
+	resp, err := chaosClient(ct).Get(ts.URL)
+	if err != nil {
+		t.Fatalf("slow request: %v", err)
+	}
+	resp.Body.Close()
+	if since := time.Since(start); since < 35*time.Millisecond {
+		t.Fatalf("slow fault added only %v, want >= ~40ms", since)
+	}
+}
+
+func TestChaosError500(t *testing.T) {
+	var served bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { served = true }))
+	defer ts.Close()
+
+	ct := &ChaosTransport{P500: 1, Rand: rand.New(rand.NewSource(1))}
+	resp, err := chaosClient(ct).Get(ts.URL)
+	if err != nil {
+		t.Fatalf("500 fault: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want synthesized 500", resp.StatusCode)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || !strings.Contains(body.Error, "chaos") {
+		t.Fatalf("500 body = (%+v, %v), want chaos error JSON", body, err)
+	}
+	if served {
+		t.Fatal("synthesized 500 reached the real server")
+	}
+}
+
+// TestChaosTruncate: a truncated body must surface as a read/decode
+// error, never as a silently short but "successful" document — the
+// property the coordinator's fragment downloads rely on.
+func TestChaosTruncate(t *testing.T) {
+	payload := `{"key":"` + strings.Repeat("x", 4096) + `"}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+
+	ct := &ChaosTransport{PTruncate: 1, Rand: rand.New(rand.NewSource(1))}
+	resp, err := chaosClient(ct).Get(ts.URL)
+	if err != nil {
+		t.Fatalf("truncate round trip: %v", err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("reading truncated body = (%d bytes, %v), want unexpected EOF", len(got), err)
+	}
+	if len(got) >= len(payload) {
+		t.Fatalf("truncate delivered the whole %d-byte payload", len(got))
+	}
+	var out map[string]string
+	if json.Unmarshal(got, &out) == nil {
+		t.Fatal("truncated JSON decoded cleanly; the cut must break the document")
+	}
+}
+
+// TestChaosMatchScopes: a Match substring confines faults to matching
+// paths; everything else passes clean.
+func TestChaosMatchScopes(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	ct := &ChaosTransport{PReset: 1, Match: "/trace", Rand: rand.New(rand.NewSource(1))}
+	c := chaosClient(ct)
+	if resp, err := c.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatalf("non-matching path faulted: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if _, err := c.Get(ts.URL + "/jobs/j1/trace"); err == nil {
+		t.Fatal("matching path was not faulted")
+	}
+}
+
+// TestChaosDeterministicSchedule: the same seed yields the same fault
+// schedule, so a failing chaos test reproduces exactly.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	schedule := func(seed int64) []bool {
+		ct := &ChaosTransport{PReset: 0.4, Rand: rand.New(rand.NewSource(seed))}
+		c := chaosClient(ct)
+		var out []bool
+		for i := 0; i < 32; i++ {
+			resp, err := c.Get(ts.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at request %d with the same seed", i)
+		}
+	}
+	diff := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != diff[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 32-request schedules (suspicious)")
+	}
+}

@@ -297,6 +297,18 @@ func (q *Queue) worker(ctx context.Context) {
 	}
 }
 
+// jobIDKey carries the executing job's ID on its context, so a Runner
+// can key side artifacts (the coverage service keys per-job trace
+// exports) without widening the Runner signature.
+type jobIDKey struct{}
+
+// JobID returns the ID of the job a Runner is executing, when ctx is a
+// job execution context ("" otherwise).
+func JobID(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey{}).(string)
+	return id
+}
+
 // exec runs one dequeued job to a terminal state.
 func (q *Queue) exec(ctx context.Context, j *job) {
 	q.mu.Lock()
@@ -305,6 +317,7 @@ func (q *Queue) exec(ctx context.Context, j *job) {
 		return
 	}
 	jctx, cancel := q.jobContext(ctx)
+	jctx = context.WithValue(jctx, jobIDKey{}, j.ID)
 	j.State = StateRunning
 	j.Started = time.Now()
 	j.cancel = cancel

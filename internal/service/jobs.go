@@ -1,13 +1,16 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
 	"net/http"
+	"strconv"
 
+	"yardstick/internal/bdd"
 	"yardstick/internal/core"
 	"yardstick/internal/jobs"
 	"yardstick/internal/obs"
@@ -23,8 +26,16 @@ import (
 // mutex.
 //
 //	POST   /jobs?suite=a,b[&workers=n]   submit; 202 + Location: /jobs/{id}
-//	GET    /jobs                         list retained jobs (oldest first)
+//	GET    /jobs                         list retained jobs (oldest first;
+//	                                     ?state= filters, ?offset=/?limit=
+//	                                     page — the response is hard-capped
+//	                                     and carries X-Total-Count plus a
+//	                                     Link rel="next" header when more
+//	                                     rows remain)
 //	GET    /jobs/{id}                    poll one job; Result set once done
+//	GET    /jobs/{id}/trace              a done job's own coverage fragment
+//	                                     as trace JSON (409 until done, 410
+//	                                     once evicted or after a restart)
 //	DELETE /jobs/{id}                    cancel a queued or running job
 //
 // Completed jobs are retained for the configured TTL and — when
@@ -48,6 +59,13 @@ type JobList struct {
 // run results as the job's opaque result payload. The queue has already
 // bounded ctx with the run-timeout and wires DELETE /jobs/{id} into its
 // cancellation.
+//
+// Unlike POST /run, the job records its coverage into a private
+// fragment first and only then folds the fragment into the accumulated
+// trace — both live in the canonical space, so the fold is a cheap
+// same-space union. The fragment is what GET /jobs/{id}/trace exports:
+// a distributed coordinator needs exactly this shard's contribution,
+// not whatever else the node has accumulated.
 func (s *Server) runJob(ctx context.Context, spec jobs.Spec) (json.RawMessage, error) {
 	suite, err := testkit.BuiltinSuite(spec.Suites)
 	if err != nil {
@@ -62,15 +80,82 @@ func (s *Server) runJob(ctx context.Context, spec jobs.Spec) (json.RawMessage, e
 	sp := obs.NewRoot("service.job", s.metrics)
 	defer sp.EndStage()
 	ctx = obs.ContextWithSpan(ctx, sp)
-	out, err := s.runSuiteLocked(ctx, suite, workers)
+	frag := core.NewTrace()
+	out, err := s.runSuiteLocked(ctx, suite, workers, frag)
+	// Whatever coverage the run managed to record is kept, even when the
+	// run aborted: the trace is a monotonic union. Guarded — folding is
+	// same-space BDD unions and the manager may have been poisoned by a
+	// budget trip during the run.
+	if merr := bdd.Guard(func() { s.trace.Merge(frag) }); err == nil {
+		err = merr
+	}
 	if err != nil {
 		return nil, fmt.Errorf("run aborted: %w", err)
+	}
+	if err := s.storeJobTraceLocked(jobs.JobID(ctx), frag); err != nil {
+		return nil, fmt.Errorf("encode job trace: %w", err)
 	}
 	raw, err := json.Marshal(out)
 	if err != nil {
 		return nil, fmt.Errorf("encode results: %w", err)
 	}
 	return raw, nil
+}
+
+// storeJobTraceLocked serializes a finished job's coverage fragment for
+// GET /jobs/{id}/trace and prunes artifacts whose jobs the queue no
+// longer retains, so the artifact map is bounded by job retention.
+// Cube extraction is BDD-manager work; callers hold s.mu.
+func (s *Server) storeJobTraceLocked(id string, frag *core.Trace) error {
+	if id == "" {
+		return nil // not running under the job queue (tests driving runJob directly)
+	}
+	var buf bytes.Buffer
+	if err := frag.EncodeJSON(&buf); err != nil {
+		return err
+	}
+	for old := range s.jobTraces {
+		if _, ok := s.jobs.Get(old); !ok {
+			delete(s.jobTraces, old)
+		}
+	}
+	s.jobTraces[id] = buf.Bytes()
+	return nil
+}
+
+// getJobTrace serves a done job's own coverage fragment as trace JSON.
+// The status codes draw the coordinator's re-dispatch map: 404 means
+// the job never existed here (or was swept — resubmit), 409 means poll
+// again (the job is not done), and 410 means the result is done but
+// the fragment is gone (artifacts are memory-only; a restarted daemon
+// keeps the job record, not the trace) — re-run the shard, the merge
+// being idempotent makes that exact.
+func (s *Server) getJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if !j.State.Terminal() {
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterInflight))
+		httpError(w, http.StatusConflict, "job %s is %s; trace available once done", id, j.State)
+		return
+	}
+	if j.State != jobs.StateDone {
+		httpError(w, http.StatusConflict, "job %s ended %s; no trace", id, j.State)
+		return
+	}
+	s.mu.Lock()
+	data, ok := s.jobTraces[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusGone, "job %s trace no longer available (evicted or daemon restarted); re-run the shard", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
 }
 
 func (s *Server) postJob(w http.ResponseWriter, r *http.Request) {
@@ -103,8 +188,79 @@ func (s *Server) postJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j)
 }
 
+// Job-list paging bounds. TTL-retained jobs accumulate between sweeps,
+// so the response is hard-capped: DefaultJobsPage rows unless ?limit=
+// asks for fewer (or more, up to MaxJobsPage). X-Total-Count always
+// carries the filtered total and a Link rel="next" header points at the
+// next page while rows remain, so a coordinator can page the whole list
+// without ever provoking an unbounded response.
+const (
+	DefaultJobsPage = 100
+	MaxJobsPage     = 500
+)
+
+// listQuery is the parsed GET /jobs query: an optional state filter and
+// an offset/limit window.
+type listQuery struct {
+	state         jobs.State // "" = all
+	offset, limit int
+}
+
+func parseListQuery(r *http.Request) (listQuery, error) {
+	q := listQuery{limit: DefaultJobsPage}
+	if v := r.URL.Query().Get("state"); v != "" {
+		switch st := jobs.State(v); st {
+		case jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCancelled:
+			q.state = st
+		default:
+			return q, fmt.Errorf("state: unknown state %q", v)
+		}
+	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("offset: %q is not a non-negative integer", v)
+		}
+		q.offset = n
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return q, fmt.Errorf("limit: %q is not a positive integer", v)
+		}
+		q.limit = min(n, MaxJobsPage)
+	}
+	return q, nil
+}
+
 func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, JobList{Jobs: s.jobs.Jobs(), Stats: s.jobs.Stats()})
+	q, err := parseListQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	all := s.jobs.Jobs()
+	if q.state != "" {
+		kept := all[:0]
+		for _, j := range all {
+			if j.State == q.state {
+				kept = append(kept, j)
+			}
+		}
+		all = kept
+	}
+	total := len(all)
+	w.Header().Set("X-Total-Count", strconv.Itoa(total))
+	start := min(q.offset, total)
+	end := min(start+q.limit, total)
+	if end < total {
+		next := fmt.Sprintf("/jobs?offset=%d&limit=%d", end, q.limit)
+		if q.state != "" {
+			next += "&state=" + string(q.state)
+		}
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", next, "next"))
+	}
+	writeJSON(w, http.StatusOK, JobList{Jobs: all[start:end], Stats: s.jobs.Stats()})
 }
 
 func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {

@@ -22,6 +22,11 @@
 //	                         Location, poll GET /jobs/{id}, cancel with
 //	                         DELETE /jobs/{id} (see jobs.go)
 //	GET    /jobs             list retained jobs and queue stats
+//	                         (?state= filter, ?offset=/?limit= paging with
+//	                         X-Total-Count and Link rel="next" headers)
+//	GET    /jobs/{id}/trace  a done job's own coverage fragment as trace
+//	                         JSON — the shard-collection feed of the
+//	                         distributed coordinator (internal/coord)
 //	GET    /coverage         headline metrics + per-role rows
 //	GET    /gaps             untested rules by origin and role
 //	GET    /healthz          liveness: 200 once the process serves traffic
@@ -115,6 +120,13 @@ type Server struct {
 	// so the /jobs API needs no "is it enabled" branch anywhere.
 	jobs        *jobs.Queue
 	jobsPath    string // job-records snapshot, derived from snapPath
+	// jobTraces holds each done job's own coverage fragment as encoded
+	// trace JSON, keyed by job ID — the GET /jobs/{id}/trace export a
+	// distributed coordinator collects shard results through. Entries
+	// are pruned alongside the queue's retention (see storeJobTrace) and
+	// are memory-only: after a restart the endpoint answers 410 Gone and
+	// the coordinator re-dispatches the shard (merge is idempotent).
+	jobTraces   map[string][]byte
 	queueDepth  int
 	jobTTL      time.Duration
 	maxInflight int
@@ -203,6 +215,7 @@ func WithAdmission(maxInflight int) Option {
 func New(opts ...Option) *Server {
 	s := &Server{
 		trace:        core.NewTrace(),
+		jobTraces:    map[string][]byte{},
 		logger:       slog.Default(),
 		metrics:      obs.NewRegistry(),
 		started:      time.Now(),
@@ -257,6 +270,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs", s.admit("/jobs", s.postJob))
 	mux.HandleFunc("GET /jobs", s.listJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.getJob)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.getJobTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.deleteJob)
 	mux.HandleFunc("GET /coverage", s.admit("/coverage", s.getCoverage))
 	mux.HandleFunc("GET /gaps", s.admit("/gaps", s.getGaps))
@@ -322,6 +336,7 @@ func (s *Server) putNetwork(w http.ResponseWriter, r *http.Request) {
 	s.net = net
 	s.trace = core.NewTrace()     // a new network invalidates the old trace
 	s.engine = nil                // and the old replica pool
+	s.jobTraces = map[string][]byte{} // job fragments decode against the old network
 	s.engineBase = bdd.Stats{}    // fresh manager, fresh counter baseline
 	writeJSON(w, http.StatusOK, statsBody(net))
 }
@@ -465,7 +480,7 @@ func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
 	sp := obs.NewRoot("service.run", s.metrics)
 	defer sp.EndStage()
 	ctx = obs.ContextWithSpan(ctx, sp)
-	out, rerr := s.runSuiteLocked(ctx, suite, workers)
+	out, rerr := s.runSuiteLocked(ctx, suite, workers, s.trace)
 	if rerr != nil {
 		// Partial coverage already merged into the trace is kept: the
 		// trace is a monotonic union and every marked set was really
@@ -478,20 +493,22 @@ func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
 
 // runSuiteLocked evaluates suite (sequentially or sharded across
 // workers) against the loaded network, accumulating coverage into the
-// server trace, and converts the results to their wire form. The shared
-// core of POST /run and the async job runner. Callers hold s.mu and
-// have attached any span to ctx.
-func (s *Server) runSuiteLocked(ctx context.Context, suite testkit.Suite, workers int) ([]RunResult, error) {
+// destination trace, and converts the results to their wire form. The
+// shared core of POST /run (into the server trace) and the async job
+// runner (into a per-job fragment that is then folded into the server
+// trace — see runJob). into must live in the canonical space. Callers
+// hold s.mu and have attached any span to ctx.
+func (s *Server) runSuiteLocked(ctx context.Context, suite testkit.Suite, workers int, into *core.Trace) ([]RunResult, error) {
 	var results []testkit.Result
 	if workers > 1 {
 		var err error
-		results, err = s.runSharded(ctx, suite, workers)
+		results, err = s.runSharded(ctx, suite, workers, into)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		defer s.net.Space.WatchContext(ctx)()
-		gerr := bdd.Guard(func() { results = suite.Run(ctx, s.net, s.trace) })
+		gerr := bdd.Guard(func() { results = suite.Run(ctx, s.net, into) })
 		if gerr == nil {
 			gerr = ctx.Err()
 		}
@@ -563,10 +580,10 @@ func (s *Server) requestWorkers(r *http.Request) (int, error) {
 }
 
 // runSharded evaluates suite across up to n workers of the lazily built
-// replica pool and merges the coverage into the accumulated trace. On
+// replica pool and merges the coverage into the destination trace. On
 // error the partial merged coverage is kept (monotonic union) and the
 // error describes the abort.
-func (s *Server) runSharded(ctx context.Context, suite testkit.Suite, n int) ([]testkit.Result, error) {
+func (s *Server) runSharded(ctx context.Context, suite testkit.Suite, n int, into *core.Trace) ([]testkit.Result, error) {
 	if s.engine == nil {
 		eng, err := sharded.New(ctx, s.net, sharded.Config{
 			Workers: s.maxWorkers,
@@ -581,7 +598,7 @@ func (s *Server) runSharded(ctx context.Context, suite testkit.Suite, n int) ([]
 	// res.Trace is already in the canonical space; folding it into the
 	// accumulated trace is same-space unions. Guard anyway: the canonical
 	// manager could have been poisoned by an earlier budgeted request.
-	merr := bdd.Guard(func() { s.trace.Merge(res.Trace) })
+	merr := bdd.Guard(func() { into.Merge(res.Trace) })
 	if rerr != nil {
 		return res.Results, rerr
 	}
