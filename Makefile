@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench profile loadproof clustersmoke ci
+.PHONY: all vet build test race bench profile loadproof clustersmoke churnsmoke ci
 
 all: ci
 
@@ -28,7 +28,7 @@ race:
 # prints an advisory comparison against the previously committed
 # numbers before overwriting them.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSuiteParallel|BenchmarkComputeMatchSets' -benchmem -count 3 -timeout 30m . > bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSuiteParallel|BenchmarkComputeMatchSets|BenchmarkChurn' -benchmem -count 3 -timeout 30m . > bench.out
 	$(GO) test -run '^$$' -bench BenchmarkBDD -benchmem -count 3 -timeout 15m ./internal/bdd >> bench.out
 	$(GO) run ./cmd/benchfmt -delta BENCH_eval.json -o BENCH_eval.json < bench.out
 	@rm -f bench.out
@@ -93,5 +93,18 @@ clustersmoke:
 	grep -Eq '"trips": [1-9]' cluster-report.json || { echo "kill was not observed: no breaker trip"; exit 1; }; \
 	echo "cluster == single-node: exact (1 worker SIGKILLed mid-run)"; \
 	rm -f baseline.out baseline.cov cluster.out cluster.cov cluster-report.json w2.log
+
+# Prove incremental coverage stays exact under churn: replay a seeded
+# 50-event BGP flap schedule against a live daemon via PATCH /network
+# (lockstep with a local twin), then byte-diff the final coverage table
+# against a from-scratch rebuild and require the daemon trace to equal
+# the local one exactly (same recipe as the CI churn-smoke job).
+churnsmoke:
+	$(GO) build -o /tmp/yardstickd ./cmd/yardstickd
+	$(GO) build -o /tmp/churn ./cmd/churn
+	/tmp/yardstickd -listen 127.0.0.1:18084 & DPID=$$!; \
+	trap "kill $$DPID 2>/dev/null || true" EXIT; \
+	for i in $$(seq 1 50); do curl -sf http://127.0.0.1:18084/healthz > /dev/null && break; sleep 0.2; done; \
+	/tmp/churn -addr http://127.0.0.1:18084 -events 50 -seed 1 -check
 
 ci: vet build race

@@ -21,6 +21,7 @@ import (
 
 	"yardstick/internal/core"
 	"yardstick/internal/dataplane"
+	"yardstick/internal/delta"
 	"yardstick/internal/experiments"
 	"yardstick/internal/netmodel"
 	"yardstick/internal/probegen"
@@ -365,4 +366,58 @@ func BenchmarkProbeGeneration(b *testing.B) {
 		probegen.Generate(context.Background(), core.NewCoverage(ft.Net, core.NewTrace()), probegen.Options{})
 	}
 	_ = cov
+}
+
+// BenchmarkChurn is the incremental-evaluation headline: the cost of
+// absorbing a single-rule delta on the regional Clos through the delta
+// engine versus the full re-evaluation it replaces (decode the wire
+// bytes into a fresh BDD space and re-derive every match set). The
+// delta path re-derives one device's tables; the rebuild re-derives
+// ~2000 rules' worth.
+func BenchmarkChurn(b *testing.B) {
+	b.Run("delta-single-rule", func(b *testing.B) {
+		rg, err := topogen.BuildRegional(topogen.RegionalOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := delta.NewEngine(rg.Net, core.NewTrace())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Alternate one FIB route between two targets so every
+		// iteration commits a real modification.
+		spec := rg.Net.RuleSpecOf(1)
+		dsts := [2]string{"10.250.0.0/16", "10.251.0.0/16"}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			spec.Match.Dst = dsts[i%2]
+			if _, err := eng.Apply(delta.Document{Ops: []delta.Op{
+				{Op: delta.OpModify, Rule: 1, Spec: &spec},
+			}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		rg, err := topogen.BuildRegional(topogen.RegionalOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rg.Net.EncodeJSON(&buf); err != nil {
+			b.Fatal(err)
+		}
+		raw := buf.Bytes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net, err := netmodel.DecodeJSON(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.ComputeMatchSets()
+		}
+	})
 }

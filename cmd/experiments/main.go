@@ -4,6 +4,7 @@
 //	-fig 7    coverage improvement across test-suite iterations
 //	-fig 8    overhead of coverage tracking on fat-trees of growing size
 //	-fig 9    time to compute each metric from the coverage trace
+//	-fig churn  incremental coverage under BGP flap churn (delta vs rebuild)
 //	-fig all  everything
 //
 // Fat-tree sizes for figures 8 and 9 are controlled with -k (comma
@@ -29,13 +30,14 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 6, 6a..6d, 7, 8, 9, mutation, all")
-		kArg       = flag.String("k", "4,6,8,10", "fat-tree arities for figures 8 and 9")
-		pathBudget = flag.Int("pathbudget", 500000, "path budget for figure 9 (0 = unlimited)")
-		skipPaths  = flag.Bool("nopaths", false, "skip the path metric in figure 9")
-		mutations  = flag.Int("mutations", 60, "faults to inject in the mutation study")
-		subnets    = flag.Int("subnets", 1, "host subnets per ToR in the regional network (raise toward the paper's Figure 6d ToR interface numbers)")
-		profile    = flag.Bool("profile", false, "print a span-tree profile of the figure runs to stderr")
+		fig         = flag.String("fig", "all", "figure to regenerate: 6, 6a..6d, 7, 8, 9, mutation, churn, all")
+		kArg        = flag.String("k", "4,6,8,10", "fat-tree arities for figures 8 and 9")
+		pathBudget  = flag.Int("pathbudget", 500000, "path budget for figure 9 (0 = unlimited)")
+		skipPaths   = flag.Bool("nopaths", false, "skip the path metric in figure 9")
+		mutations   = flag.Int("mutations", 60, "faults to inject in the mutation study")
+		churnEvents = flag.Int("churnevents", 12, "BGP flap events to replay in the churn study")
+		subnets     = flag.Int("subnets", 1, "host subnets per ToR in the regional network (raise toward the paper's Figure 6d ToR interface numbers)")
+		profile     = flag.Bool("profile", false, "print a span-tree profile of the figure runs to stderr")
 	)
 	flag.Parse()
 
@@ -123,6 +125,20 @@ func main() {
 		fmt.Println("=== Mutation study: coverage vs bug-finding ===")
 		fmt.Print(experiments.RenderMutation(res))
 		fmt.Println()
+	}
+
+	if want("churn") {
+		fctx, end := figCtx("churn")
+		rg := mustRegional(*subnets)
+		res, err := experiments.ChurnStudy(fctx, rg, *churnEvents, 1)
+		end()
+		fmt.Println("=== Churn study: incremental coverage under BGP flaps ===")
+		fmt.Print(experiments.RenderChurn(res))
+		fmt.Println()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	}
 
 	if want("9") {

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"yardstick/internal/core"
+	"yardstick/internal/delta"
 	"yardstick/internal/netmodel"
 	"yardstick/internal/service"
 )
@@ -270,6 +271,26 @@ func (c *Client) LoadNetwork(ctx context.Context, net *netmodel.Network) (servic
 	}
 	err := c.do(ctx, http.MethodPut, "/network", buf.Bytes(), http.StatusOK, &st)
 	return st, err
+}
+
+// PatchNetwork applies a rule-level delta document to the loaded
+// network (PATCH /network) without resetting the server's trace. The
+// document should carry the base fingerprint the ops were diffed
+// against (NetworkStats.Fingerprint, or the previous Applied's); a
+// stale base answers 409, which is not retried — re-read, re-diff,
+// resend. Retrying a transient failure is safe: a delta that actually
+// applied before the response was lost changes the fingerprint, so the
+// resend fails the base precondition instead of double-applying.
+func (c *Client) PatchNetwork(ctx context.Context, doc delta.Document) (*delta.Applied, error) {
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode delta: %w", err)
+	}
+	var out delta.Applied
+	if err := c.do(ctx, http.MethodPatch, "/network", body, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // NetworkStats fetches the loaded network's stats (GET /network).

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"yardstick/internal/dataplane"
+	"yardstick/internal/netmodel"
+)
+
+func TestTraceRemapRules(t *testing.T) {
+	cn := buildChain(t)
+	tr := NewTrace()
+	tr.MarkRule(cn.r1)
+	tr.MarkRule(cn.r2)
+	tr.MarkRule(cn.rDrop)
+	pk := cn.n.Space.DstPrefix(pfx(t, "10.0.1.0/24"))
+	tr.MarkPacket(dataplane.Injected(cn.d1), pk)
+
+	// r1 keeps its ID, r2 is dropped, rDrop compacts down one slot.
+	remap := make([]netmodel.RuleID, 3)
+	remap[cn.r1] = cn.r1
+	remap[cn.r2] = netmodel.NoRule
+	remap[cn.rDrop] = cn.rDrop - 1
+	dropped := tr.RemapRules(remap)
+	if len(dropped) != 1 || dropped[0] != cn.r2 {
+		t.Fatalf("dropped = %v, want [%d]", dropped, cn.r2)
+	}
+	if !tr.RuleMarked(cn.r1) {
+		t.Error("surviving mark on r1 lost")
+	}
+	if !tr.RuleMarked(cn.rDrop - 1) {
+		t.Error("compacted mark not carried to new ID")
+	}
+	if tr.RuleMarked(cn.rDrop) {
+		t.Error("old ID still marked after compaction")
+	}
+	// Packet marks are keyed by location and survive untouched.
+	if !tr.PacketsAt(cn.n.Space, dataplane.Injected(cn.d1)).Equal(pk) {
+		t.Error("packet marks must survive a rule remap")
+	}
+}
+
+func TestTraceRemapRulesOutOfUniverse(t *testing.T) {
+	tr := NewTrace()
+	tr.MarkRule(5)  // beyond the remap table
+	tr.MarkRule(-3) // nonsense ID (traces are client-reported)
+	tr.MarkRule(0)
+	dropped := tr.RemapRules([]netmodel.RuleID{0: 0, 1: netmodel.NoRule})
+	if len(dropped) != 2 || dropped[0] != -3 || dropped[1] != 5 {
+		t.Fatalf("dropped = %v, want [-3 5] (ascending)", dropped)
+	}
+	if !tr.RuleMarked(0) {
+		t.Error("in-range mark lost")
+	}
+	if st := tr.Stats(); st.MarkedRules != 1 {
+		t.Errorf("MarkedRules = %d, want 1", st.MarkedRules)
+	}
+}

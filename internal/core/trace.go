@@ -16,6 +16,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 
 	"yardstick/internal/dataplane"
@@ -128,6 +129,29 @@ func (t *Trace) TransferTo(dst *hdr.Space) *Trace {
 		out.rules[r] = true
 	}
 	return out
+}
+
+// RemapRules rewrites the trace's rule marks through remap (old ID →
+// new ID; netmodel.NoRule drops the mark) after a rule-level network
+// mutation. Marks on IDs outside the remap are dropped too — they
+// cannot refer to anything in the new universe. Packet marks are keyed
+// by location, which survives rule churn unchanged, so they are not
+// touched. It returns the old IDs whose marks were dropped, ascending —
+// the explicit coverage decay a delta report accounts for.
+func (t *Trace) RemapRules(remap []netmodel.RuleID) (dropped []netmodel.RuleID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rules := make(map[netmodel.RuleID]bool, len(t.rules))
+	for r := range t.rules {
+		if int(r) >= 0 && int(r) < len(remap) && remap[r] != netmodel.NoRule {
+			rules[remap[r]] = true
+		} else {
+			dropped = append(dropped, r)
+		}
+	}
+	t.rules = rules
+	sort.Slice(dropped, func(i, j int) bool { return dropped[i] < dropped[j] })
+	return dropped
 }
 
 // Equal reports whether two traces mark the same rules and equal packet

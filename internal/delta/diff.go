@@ -1,0 +1,156 @@
+package delta
+
+import (
+	"fmt"
+
+	"yardstick/internal/netmodel"
+)
+
+// Diff computes a delta document's operations transforming old's
+// forwarding state into next's. The two networks must share a topology
+// (same device, interface, and link structure — e.g. next was rebuilt by
+// a control-plane replay over old.CloneTopology()), because rule specs
+// reference devices and interfaces by index.
+//
+// FIB rules are matched by their match fields, which a FIB keys
+// uniquely (one route per prefix): a match present on both sides with a
+// different action or origin becomes a modify, one side only becomes a
+// remove or add. Should a table carry duplicate matches (nothing in the
+// model forbids it), the diff falls back to replacing that device's
+// whole table — correct, just coarser. ACLs are order-sensitive, so any
+// difference in an ACL's sequence replaces the device's ACL wholesale.
+//
+// Remove/modify IDs refer to old's universe; ops are emitted in device
+// order and are valid as one atomic document against old.
+func Diff(old, next *netmodel.Network) ([]Op, error) {
+	if old.Family() != next.Family() {
+		return nil, fmt.Errorf("delta: diff across families")
+	}
+	if len(old.Devices) != len(next.Devices) || len(old.Ifaces) != len(next.Ifaces) {
+		return nil, fmt.Errorf("delta: diff across different topologies")
+	}
+	for i, d := range old.Devices {
+		if next.Devices[i].Name != d.Name {
+			return nil, fmt.Errorf("delta: device %d name mismatch (%q vs %q)", i, d.Name, next.Devices[i].Name)
+		}
+	}
+	var ops []Op
+	for i := range old.Devices {
+		dev := netmodel.DeviceID(i)
+		ops = append(ops, diffACL(old, next, dev)...)
+		fibOps, err := diffFIB(old, next, dev)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, fibOps...)
+	}
+	return ops, nil
+}
+
+// specEqual compares the definition-relevant fields of two rules via
+// their wire specs (match, action, origin, deny — everything a delta
+// can change).
+func specEqual(a, b netmodel.RuleSpec) bool {
+	if a.Device != b.Device || a.Table != b.Table || a.Action != b.Action ||
+		a.Origin != b.Origin || a.Deny != b.Deny || a.Match != b.Match {
+		return false
+	}
+	if len(a.Out) != len(b.Out) {
+		return false
+	}
+	for i := range a.Out {
+		if a.Out[i] != b.Out[i] {
+			return false
+		}
+	}
+	if (a.Transform == nil) != (b.Transform == nil) {
+		return false
+	}
+	if a.Transform != nil && *a.Transform != *b.Transform {
+		return false
+	}
+	return true
+}
+
+// diffACL replaces a device's ACL wholesale when the sequences differ.
+func diffACL(old, next *netmodel.Network, dev netmodel.DeviceID) []Op {
+	oldACL := old.Device(dev).ACL
+	nextACL := next.Device(dev).ACL
+	same := len(oldACL) == len(nextACL)
+	if same {
+		for i := range oldACL {
+			if !specEqual(old.RuleSpecOf(oldACL[i]), next.RuleSpecOf(nextACL[i])) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return nil
+	}
+	ops := make([]Op, 0, len(oldACL)+len(nextACL))
+	for _, id := range oldACL {
+		ops = append(ops, Op{Op: OpRemove, Rule: id})
+	}
+	for _, id := range nextACL {
+		spec := next.RuleSpecOf(id)
+		ops = append(ops, Op{Op: OpAdd, Spec: &spec})
+	}
+	return ops
+}
+
+func diffFIB(old, next *netmodel.Network, dev netmodel.DeviceID) ([]Op, error) {
+	oldFIB := old.Device(dev).FIB
+	nextFIB := next.Device(dev).FIB
+	oldBy := make(map[netmodel.Match]netmodel.RuleID, len(oldFIB))
+	nextBy := make(map[netmodel.Match]netmodel.RuleID, len(nextFIB))
+	dup := false
+	for _, id := range oldFIB {
+		m := old.Rule(id).Match
+		if _, seen := oldBy[m]; seen {
+			dup = true
+		}
+		oldBy[m] = id
+	}
+	for _, id := range nextFIB {
+		m := next.Rule(id).Match
+		if _, seen := nextBy[m]; seen {
+			dup = true
+		}
+		nextBy[m] = id
+	}
+	if dup {
+		// Ambiguous keying: replace the table.
+		ops := make([]Op, 0, len(oldFIB)+len(nextFIB))
+		for _, id := range oldFIB {
+			ops = append(ops, Op{Op: OpRemove, Rule: id})
+		}
+		for _, id := range nextFIB {
+			spec := next.RuleSpecOf(id)
+			ops = append(ops, Op{Op: OpAdd, Spec: &spec})
+		}
+		return ops, nil
+	}
+	var ops []Op
+	// Removals and modifications, in old table order.
+	for _, id := range oldFIB {
+		m := old.Rule(id).Match
+		nid, ok := nextBy[m]
+		if !ok {
+			ops = append(ops, Op{Op: OpRemove, Rule: id})
+			continue
+		}
+		if !specEqual(old.RuleSpecOf(id), next.RuleSpecOf(nid)) {
+			spec := next.RuleSpecOf(nid)
+			ops = append(ops, Op{Op: OpModify, Rule: id, Spec: &spec})
+		}
+	}
+	// Additions, in next table order.
+	for _, id := range nextFIB {
+		if _, ok := oldBy[next.Rule(id).Match]; !ok {
+			spec := next.RuleSpecOf(id)
+			ops = append(ops, Op{Op: OpAdd, Spec: &spec})
+		}
+	}
+	return ops, nil
+}

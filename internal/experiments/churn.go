@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"yardstick/internal/bgp"
+	"yardstick/internal/core"
+	"yardstick/internal/delta"
+	"yardstick/internal/netmodel"
+	"yardstick/internal/report"
+	"yardstick/internal/topogen"
+)
+
+// ChurnStep is one flap event's worth of the churn time series: the
+// coverage the suite's single up-front run still attests after the
+// network moved underneath it.
+type ChurnStep struct {
+	Step  int
+	Event string // "origin N down" / "origin N up"
+	Rules int
+	Ops   int // delta document size
+
+	RuleCoverage   float64 // weighted rule coverage after the event
+	ConfigCoverage float64 // covered config-line fraction (arXiv 2209.12870 sense)
+	Decay          float64 // cumulative covered fraction lost to dropped rule marks
+
+	DeltaNS   int64 // incremental apply
+	RebuildNS int64 // from-scratch decode + match-set re-derivation
+	Identical bool  // incremental coverage bit-identical to the rebuild
+}
+
+// ChurnResult is the full study.
+type ChurnResult struct {
+	Steps     []ChurnStep
+	DeltaNS   int64 // totals across the series
+	RebuildNS int64
+}
+
+// Speedup is the series-total rebuild/delta time ratio.
+func (r *ChurnResult) Speedup() float64 {
+	if r.DeltaNS == 0 {
+		return 0
+	}
+	return float64(r.RebuildNS) / float64(r.DeltaNS)
+}
+
+// ChurnStudy runs the incremental-coverage-under-churn scenario: test
+// once, then watch coverage decay as a deterministic BGP flap schedule
+// churns the regional network's forwarding state. Each event is
+// re-converged by control-plane replay, diffed into a rule-level delta,
+// and applied incrementally; every step also times (and validates
+// against) the from-scratch rebuild the delta engine replaces.
+//
+// On cancellation the completed steps are returned with ctx.Err().
+func ChurnStudy(ctx context.Context, rg *topogen.Regional, events int, seed int64) (*ChurnResult, error) {
+	trace := core.NewTrace()
+	FinalSuite().Run(ctx, rg.Net, trace)
+	eng, err := delta.NewEngine(rg.Net, trace)
+	if err != nil {
+		return nil, err
+	}
+	replay := bgp.NewReplay(bgp.Config{
+		Net: rg.Net, Origins: rg.Origins, Statics: rg.Statics, Export: rg.Export,
+	})
+	flaps := bgp.GenFlaps(seed, events, len(rg.Origins))
+
+	res := &ChurnResult{}
+	var decay float64
+	for i, ev := range flaps {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if err := replay.Toggle(ev); err != nil {
+			return res, err
+		}
+		next, err := replay.Build()
+		if err != nil {
+			return res, err
+		}
+		ops, err := delta.Diff(eng.Net, next)
+		if err != nil {
+			return res, err
+		}
+
+		t0 := time.Now()
+		ap, err := eng.Apply(delta.Document{Ops: ops})
+		deltaNS := time.Since(t0).Nanoseconds()
+		if err != nil {
+			return res, err
+		}
+		decay += ap.Decay.LostFraction
+
+		// The alternative the delta path replaces: tear down and rebuild
+		// from the wire bytes, fresh BDD space, full re-derivation. Also
+		// the per-step validation that incremental stayed exact.
+		t1 := time.Now()
+		var buf bytes.Buffer
+		if err := eng.Net.EncodeJSON(&buf); err != nil {
+			return res, err
+		}
+		rb, err := netmodel.DecodeJSON(&buf)
+		if err != nil {
+			return res, err
+		}
+		rb.ComputeMatchSets()
+		rebuildNS := time.Since(t1).Nanoseconds()
+
+		moved := eng.Trace.TransferTo(rb.Space)
+		covLive := core.NewCoverage(eng.Net, eng.Trace)
+		covRb := core.NewCoverage(rb, moved)
+		identical := core.RuleCoverage(covLive, nil, core.Weighted) == core.RuleCoverage(covRb, nil, core.Weighted) &&
+			core.RuleCoverage(covLive, nil, core.Fractional) == core.RuleCoverage(covRb, nil, core.Fractional)
+
+		dir := "down"
+		if ev.Up {
+			dir = "up"
+		}
+		cfgRows := report.ConfigCoverage(covLive)
+		res.Steps = append(res.Steps, ChurnStep{
+			Step:           i + 1,
+			Event:          fmt.Sprintf("origin %d %s", ev.Origin, dir),
+			Rules:          len(eng.Net.Rules),
+			Ops:            len(ops),
+			RuleCoverage:   core.RuleCoverage(covLive, nil, core.Weighted),
+			ConfigCoverage: report.ConfigTotal(cfgRows).Fraction(),
+			Decay:          decay,
+			DeltaNS:        deltaNS,
+			RebuildNS:      rebuildNS,
+			Identical:      identical,
+		})
+		res.DeltaNS += deltaNS
+		res.RebuildNS += rebuildNS
+	}
+	return res, nil
+}
+
+// RenderChurn formats the time series as a table.
+func RenderChurn(res *ChurnResult) string {
+	s := fmt.Sprintf("%4s %-14s %6s %4s %9s %8s %7s %9s %11s %6s\n",
+		"step", "event", "rules", "ops", "rule-cov", "cfg-cov", "decay", "delta", "rebuild", "exact")
+	for _, st := range res.Steps {
+		s += fmt.Sprintf("%4d %-14s %6d %4d %8.2f%% %7.2f%% %6.3f %9s %11s %6v\n",
+			st.Step, st.Event, st.Rules, st.Ops,
+			100*st.RuleCoverage, 100*st.ConfigCoverage, st.Decay,
+			time.Duration(st.DeltaNS).Round(time.Microsecond),
+			time.Duration(st.RebuildNS).Round(time.Microsecond),
+			st.Identical)
+	}
+	s += fmt.Sprintf("\ntotals: delta %s, rebuild %s (%.1fx speedup over %d events)\n",
+		time.Duration(res.DeltaNS).Round(time.Microsecond),
+		time.Duration(res.RebuildNS).Round(time.Microsecond),
+		res.Speedup(), len(res.Steps))
+	return s
+}

@@ -17,7 +17,7 @@ type jsonNetwork struct {
 	Family  string       `json:"family,omitempty"` // "ipv6"; absent = IPv4
 	Devices []jsonDevice `json:"devices"`
 	Ifaces  []jsonIface  `json:"ifaces"`
-	Rules   []jsonRule   `json:"rules"`
+	Rules   []RuleSpec   `json:"rules"`
 }
 
 type jsonDevice struct {
@@ -36,7 +36,11 @@ type jsonIface struct {
 	External bool   `json:"external,omitempty"`
 }
 
-type jsonMatch struct {
+// MatchSpec is the wire form of a rule's match fields. It is shared by
+// the whole-network JSON format and the rule-delta documents of
+// internal/delta (PATCH /network), so a delta can carry exactly what a
+// network file would.
+type MatchSpec struct {
 	Dst     string    `json:"dst,omitempty"`
 	Src     string    `json:"src,omitempty"`
 	Proto   *int32    `json:"proto,omitempty"`
@@ -44,19 +48,24 @@ type jsonMatch struct {
 	SrcPort *[2]int32 `json:"srcPort,omitempty"`
 }
 
-type jsonTransform struct {
+// TransformSpec is the wire form of a rule's header rewrite.
+type TransformSpec struct {
 	RewriteDst bool   `json:"rewriteDst,omitempty"`
 	RewriteSrc bool   `json:"rewriteSrc,omitempty"`
 	Addr       string `json:"addr"`
 }
 
-type jsonRule struct {
+// RuleSpec is the wire form of one rule: the element type of a network
+// file's "rules" array and the payload of delta add/modify operations.
+// Device and interface references are indices into the network the spec
+// is applied to.
+type RuleSpec struct {
 	Device    int32          `json:"device"`
 	Table     string         `json:"table"` // "acl" or "fib"
-	Match     jsonMatch      `json:"match"`
+	Match     MatchSpec      `json:"match"`
 	Action    string         `json:"action"` // "forward", "drop", "deliver"
 	Out       []int32        `json:"out,omitempty"`
-	Transform *jsonTransform `json:"transform,omitempty"`
+	Transform *TransformSpec `json:"transform,omitempty"`
 	Origin    string         `json:"origin,omitempty"`
 	Deny      bool           `json:"deny,omitempty"`
 }
@@ -75,8 +84,9 @@ func parsePrefix(s string) (netip.Prefix, error) {
 	return netip.ParsePrefix(s)
 }
 
-func toJSONMatch(m Match) jsonMatch {
-	var jm jsonMatch
+// MatchSpecOf converts match fields to their wire form.
+func MatchSpecOf(m Match) MatchSpec {
+	var jm MatchSpec
 	jm.Dst = prefixString(m.DstPrefix)
 	jm.Src = prefixString(m.SrcPrefix)
 	if m.Proto >= 0 {
@@ -92,7 +102,8 @@ func toJSONMatch(m Match) jsonMatch {
 	return jm
 }
 
-func fromJSONMatch(jm jsonMatch) (Match, error) {
+// Match parses and validates the spec's match fields.
+func (jm MatchSpec) Match() (Match, error) {
 	m := MatchAll()
 	var err error
 	if m.DstPrefix, err = parsePrefix(jm.Dst); err != nil {
@@ -131,6 +142,125 @@ func checkPort(r *[2]int32) error {
 	return nil
 }
 
+// RuleDef is a parsed, validated rule specification in model types —
+// what a RuleSpec becomes after ParseRuleSpec, and what Mutation
+// operations consume.
+type RuleDef struct {
+	Device DeviceID
+	Table  TableKind
+	Match  Match
+	Action Action
+	Origin RouteOrigin
+	Deny   bool
+}
+
+// ParseRuleSpec validates a wire-format rule against the network's
+// topology (device and interface references must resolve) and converts
+// it to model types. ACL entries take their action from the deny flag;
+// the spec's action field is ignored for them, mirroring DecodeJSON.
+func (n *Network) ParseRuleSpec(spec RuleSpec) (RuleDef, error) {
+	var def RuleDef
+	if int(spec.Device) < 0 || int(spec.Device) >= len(n.Devices) {
+		return def, fmt.Errorf("device %d out of range", spec.Device)
+	}
+	def.Device = DeviceID(spec.Device)
+	m, err := spec.Match.Match()
+	if err != nil {
+		return def, fmt.Errorf("match: %w", err)
+	}
+	def.Match = m
+	def.Origin = RouteOrigin(spec.Origin)
+	def.Deny = spec.Deny
+	if spec.Table == "acl" {
+		// ACL actions are implied by the deny flag.
+		def.Table = TableACL
+		if spec.Deny {
+			def.Action = Action{Kind: ActDrop}
+		} else {
+			def.Action = Action{Kind: ActForward}
+		}
+		return def, nil
+	}
+	switch spec.Action {
+	case "forward":
+		def.Action.Kind = ActForward
+		if len(spec.Out) == 0 {
+			return def, fmt.Errorf("forward with no out interfaces")
+		}
+		for _, out := range spec.Out {
+			if int(out) < 0 || int(out) >= len(n.Ifaces) {
+				return def, fmt.Errorf("out iface %d out of range", out)
+			}
+			if n.Iface(IfaceID(out)).Device != def.Device {
+				return def, fmt.Errorf("out iface %d not on device", out)
+			}
+			def.Action.OutIfaces = append(def.Action.OutIfaces, IfaceID(out))
+		}
+	case "drop":
+		def.Action.Kind = ActDrop
+	case "deliver":
+		def.Action.Kind = ActDeliver
+	default:
+		return def, fmt.Errorf("unknown action %q", spec.Action)
+	}
+	if spec.Transform != nil {
+		addr, err := netip.ParseAddr(spec.Transform.Addr)
+		if err != nil {
+			return def, fmt.Errorf("transform: %w", err)
+		}
+		def.Action.Transform = &Transform{
+			RewriteDst: spec.Transform.RewriteDst,
+			RewriteSrc: spec.Transform.RewriteSrc,
+			Addr:       addr,
+		}
+	}
+	if spec.Table != "fib" {
+		return def, fmt.Errorf("unknown table %q", spec.Table)
+	}
+	def.Table = TableFIB
+	return def, nil
+}
+
+// ruleSpec converts a live rule back to its wire form.
+func ruleSpec(r *Rule) RuleSpec {
+	jr := RuleSpec{
+		Device: int32(r.Device),
+		Match:  MatchSpecOf(r.Match),
+		Origin: string(r.Origin),
+		Deny:   r.Deny,
+	}
+	if r.Table == TableACL {
+		jr.Table = "acl"
+	} else {
+		jr.Table = "fib"
+	}
+	switch r.Action.Kind {
+	case ActForward:
+		jr.Action = "forward"
+		for _, out := range r.Action.OutIfaces {
+			jr.Out = append(jr.Out, int32(out))
+		}
+	case ActDrop:
+		jr.Action = "drop"
+	case ActDeliver:
+		jr.Action = "deliver"
+	}
+	if tr := r.Action.Transform; tr != nil {
+		jr.Transform = &TransformSpec{
+			RewriteDst: tr.RewriteDst,
+			RewriteSrc: tr.RewriteSrc,
+			Addr:       tr.Addr.String(),
+		}
+	}
+	return jr
+}
+
+// RuleSpecOf returns the wire-format spec of an existing rule, suitable
+// as the payload of a delta add or modify operation.
+func (n *Network) RuleSpecOf(id RuleID) RuleSpec {
+	return ruleSpec(n.Rules[id])
+}
+
 // EncodeJSON writes the network (topology and rules) as JSON. Match sets
 // are not serialized; they are recomputed on decode.
 func (n *Network) EncodeJSON(w io.Writer) error {
@@ -158,36 +288,7 @@ func (n *Network) EncodeJSON(w io.Writer) error {
 		})
 	}
 	for _, r := range n.Rules {
-		jr := jsonRule{
-			Device: int32(r.Device),
-			Match:  toJSONMatch(r.Match),
-			Origin: string(r.Origin),
-			Deny:   r.Deny,
-		}
-		if r.Table == TableACL {
-			jr.Table = "acl"
-		} else {
-			jr.Table = "fib"
-		}
-		switch r.Action.Kind {
-		case ActForward:
-			jr.Action = "forward"
-			for _, out := range r.Action.OutIfaces {
-				jr.Out = append(jr.Out, int32(out))
-			}
-		case ActDrop:
-			jr.Action = "drop"
-		case ActDeliver:
-			jr.Action = "deliver"
-		}
-		if tr := r.Action.Transform; tr != nil {
-			jr.Transform = &jsonTransform{
-				RewriteDst: tr.RewriteDst,
-				RewriteSrc: tr.RewriteSrc,
-				Addr:       tr.Addr.String(),
-			}
-		}
-		jn.Rules = append(jn.Rules, jr)
+		jn.Rules = append(jn.Rules, ruleSpec(r))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -259,57 +360,11 @@ func DecodeJSON(r io.Reader) (*Network, error) {
 		}
 	}
 	for i, jr := range jn.Rules {
-		if int(jr.Device) < 0 || int(jr.Device) >= len(n.Devices) {
-			return nil, fmt.Errorf("netmodel: rule %d: device %d out of range", i, jr.Device)
-		}
-		m, err := fromJSONMatch(jr.Match)
+		def, err := n.ParseRuleSpec(jr)
 		if err != nil {
-			return nil, fmt.Errorf("netmodel: rule %d match: %w", i, err)
+			return nil, fmt.Errorf("netmodel: rule %d: %w", i, err)
 		}
-		if jr.Table == "acl" {
-			// ACL actions are implied by the deny flag.
-			id := n.AddACLRule(DeviceID(jr.Device), m, jr.Deny)
-			n.Rule(id).Origin = RouteOrigin(jr.Origin)
-			continue
-		}
-		var act Action
-		switch jr.Action {
-		case "forward":
-			act.Kind = ActForward
-			if len(jr.Out) == 0 {
-				return nil, fmt.Errorf("netmodel: rule %d: forward with no out interfaces", i)
-			}
-			for _, out := range jr.Out {
-				if int(out) < 0 || int(out) >= len(n.Ifaces) {
-					return nil, fmt.Errorf("netmodel: rule %d: out iface %d out of range", i, out)
-				}
-				if n.Iface(IfaceID(out)).Device != DeviceID(jr.Device) {
-					return nil, fmt.Errorf("netmodel: rule %d: out iface %d not on device", i, out)
-				}
-				act.OutIfaces = append(act.OutIfaces, IfaceID(out))
-			}
-		case "drop":
-			act.Kind = ActDrop
-		case "deliver":
-			act.Kind = ActDeliver
-		default:
-			return nil, fmt.Errorf("netmodel: rule %d: unknown action %q", i, jr.Action)
-		}
-		if jr.Transform != nil {
-			addr, err := netip.ParseAddr(jr.Transform.Addr)
-			if err != nil {
-				return nil, fmt.Errorf("netmodel: rule %d transform: %w", i, err)
-			}
-			act.Transform = &Transform{
-				RewriteDst: jr.Transform.RewriteDst,
-				RewriteSrc: jr.Transform.RewriteSrc,
-				Addr:       addr,
-			}
-		}
-		if jr.Table != "fib" {
-			return nil, fmt.Errorf("netmodel: rule %d: unknown table %q", i, jr.Table)
-		}
-		n.AddFIBRule(DeviceID(jr.Device), m, act, RouteOrigin(jr.Origin))
+		n.addDef(def)
 	}
 	n.ComputeMatchSets()
 	return n, nil

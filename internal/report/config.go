@@ -1,0 +1,85 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"yardstick/internal/core"
+	"yardstick/internal/netmodel"
+)
+
+// Config-line coverage, after "Test coverage metrics for the network
+// configuration" (arXiv 2209.12870): treat each forwarding rule's
+// definition as one generated configuration line and ask which lines any
+// test exercised at all. Unlike the fractional and weighted metrics,
+// this is binary per line — a line counts as covered as soon as one
+// packet (or a direct state inspection) touches its rule — so it tracks
+// the *breadth* of a suite across the configuration rather than the
+// depth on any one rule. Under churn it is the first metric to decay:
+// a replaced route's line starts at zero regardless of how thoroughly
+// its predecessor was tested.
+
+// ConfigRow is config-line coverage for one route origin: how many
+// rule-defining lines that origin contributes and how many are covered.
+type ConfigRow struct {
+	Origin  netmodel.RouteOrigin
+	Lines   int
+	Covered int
+}
+
+// Fraction returns covered/lines (0 for an empty origin).
+func (r ConfigRow) Fraction() float64 {
+	if r.Lines == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(r.Lines)
+}
+
+// ConfigCoverage buckets every rule's config line by origin and counts
+// the lines whose covered set T[r] is non-empty. Rows are sorted by
+// origin; rules with empty match sets still count as lines (a config
+// line shadowed into unreachability is untestable and shows up here as
+// permanently uncovered — the 2209.12870 dead-line signal).
+func ConfigCoverage(c *core.Coverage) []ConfigRow {
+	counts := make(map[netmodel.RouteOrigin]*ConfigRow)
+	for i := range c.Net.Rules {
+		rid := netmodel.RuleID(i)
+		origin := c.Net.Rule(rid).Origin
+		row, ok := counts[origin]
+		if !ok {
+			row = &ConfigRow{Origin: origin}
+			counts[origin] = row
+		}
+		row.Lines++
+		if !c.Covered(rid).IsEmpty() {
+			row.Covered++
+		}
+	}
+	out := make([]ConfigRow, 0, len(counts))
+	for _, row := range counts {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// ConfigTotal sums rows into a single all-origins row.
+func ConfigTotal(rows []ConfigRow) ConfigRow {
+	total := ConfigRow{Origin: "total"}
+	for _, r := range rows {
+		total.Lines += r.Lines
+		total.Covered += r.Covered
+	}
+	return total
+}
+
+// RenderConfig writes config-line coverage rows plus a total line.
+func RenderConfig(w io.Writer, rows []ConfigRow) {
+	fmt.Fprintf(w, "%-12s %8s %8s %9s\n", "origin", "lines", "covered", "line-cov")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %8d %8d %8.1f%%\n", r.Origin, r.Lines, r.Covered, 100*r.Fraction())
+	}
+	t := ConfigTotal(rows)
+	fmt.Fprintf(w, "%-12s %8d %8d %8.1f%%\n", t.Origin, t.Lines, t.Covered, 100*t.Fraction())
+}

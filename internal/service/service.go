@@ -101,10 +101,19 @@ type Server struct {
 	mu    sync.Mutex
 	net   *netmodel.Network
 	trace *core.Trace
+	// netFP caches the loaded network's fingerprint ("" until first
+	// needed; see fingerprintLocked). PUT uses it to detect a no-op
+	// re-upload, PATCH to validate a delta document's base and to avoid
+	// re-hashing the network on every delta.
+	netFP string
 	// engine is the lazily built sharded evaluation pool for the current
 	// network (nil until the first parallel /run; reset when the network
 	// changes). Replicas are expensive to build, cheap to keep.
 	engine *sharded.Engine
+	// delta counts churn-path activity (PATCH /network applications and
+	// full network resets), mirrored into the metrics registry and
+	// reported raw in /stats.
+	delta deltaTotals
 
 	logger       *slog.Logger
 	metrics      *obs.Registry
@@ -118,8 +127,8 @@ type Server struct {
 	// Async admission layer (admission.go, jobs.go). The queue exists
 	// unconditionally — jobs simply wait until RunJobs starts workers —
 	// so the /jobs API needs no "is it enabled" branch anywhere.
-	jobs        *jobs.Queue
-	jobsPath    string // job-records snapshot, derived from snapPath
+	jobs     *jobs.Queue
+	jobsPath string // job-records snapshot, derived from snapPath
 	// jobTraces holds each done job's own coverage fragment as encoded
 	// trace JSON, keyed by job ID — the GET /jobs/{id}/trace export a
 	// distributed coordinator collects shard results through. Entries
@@ -243,6 +252,8 @@ func New(opts ...Option) *Server {
 	s.metrics.SetHelp("yardstick_jobs_queue_depth", "Job-queue slots in use")
 	s.metrics.SetHelp("yardstick_jobs_running", "Jobs currently executing")
 	s.metrics.SetHelp("yardstick_jobs_retained", "Jobs held in memory, finished ones included")
+	s.metrics.SetHelp(MetricNetworkResets, "Full network replacements that reset the trace and replica pool")
+	s.metrics.SetHelp(MetricDeltaApplied, "Rule-level delta documents applied via PATCH /network")
 	return s
 }
 
@@ -262,6 +273,7 @@ func WithNetwork(net *netmodel.Network, opts ...Option) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /network", s.putNetwork)
+	mux.HandleFunc("PATCH /network", s.admit("/network", s.patchNetwork))
 	mux.HandleFunc("GET /network", s.getNetwork)
 	mux.HandleFunc("POST /trace", s.postTrace)
 	mux.HandleFunc("GET /trace", s.getTrace)
@@ -331,14 +343,53 @@ func (s *Server) putNetwork(w http.ResponseWriter, r *http.Request) {
 		decodeError(w, "network", err)
 		return
 	}
+	fp, err := core.Fingerprint(net)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "fingerprint network: %v", err)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Idempotent re-upload: loading a byte-identical network again is a
+	// no-op that keeps the accumulated trace, the replica pool, and the
+	// retained job fragments — deploy pipelines PUT unconditionally, and
+	// coverage must not evaporate when nothing changed.
+	if s.net != nil && fp == s.fingerprintLocked() {
+		body := statsBody(s.net, fp)
+		body.Unchanged = true
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	if s.net != nil {
+		s.delta.networkResets++
+		s.metrics.Counter(MetricNetworkResets).Inc()
+	}
 	s.net = net
-	s.trace = core.NewTrace()     // a new network invalidates the old trace
-	s.engine = nil                // and the old replica pool
+	s.netFP = fp
+	s.trace = core.NewTrace()         // a new network invalidates the old trace
+	s.engine = nil                    // and the old replica pool
 	s.jobTraces = map[string][]byte{} // job fragments decode against the old network
-	s.engineBase = bdd.Stats{}    // fresh manager, fresh counter baseline
-	writeJSON(w, http.StatusOK, statsBody(net))
+	s.engineBase = bdd.Stats{}        // fresh manager, fresh counter baseline
+	writeJSON(w, http.StatusOK, statsBody(net, fp))
+}
+
+// fingerprintLocked returns the loaded network's fingerprint, computing
+// and caching it on first use ("" with no network or on an encode
+// failure — in which case a PUT/PATCH precondition can never match,
+// which fails safe). Callers hold s.mu.
+func (s *Server) fingerprintLocked() string {
+	if s.net == nil {
+		return ""
+	}
+	if s.netFP == "" {
+		fp, err := core.Fingerprint(s.net)
+		if err != nil {
+			s.logger.Error("fingerprinting loaded network", "err", err)
+			return ""
+		}
+		s.netFP = fp
+	}
+	return s.netFP
 }
 
 // NetworkStats is the GET /network (and PUT /network) response body.
@@ -348,16 +399,23 @@ type NetworkStats struct {
 	Ifaces  int    `json:"ifaces"`
 	Links   int    `json:"links"`
 	Rules   int    `json:"rules"`
+	// Fingerprint identifies the loaded network — the base a PATCH
+	// /network delta document must name.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Unchanged marks a PUT that matched the loaded network's
+	// fingerprint and therefore kept the trace and replica pool.
+	Unchanged bool `json:"unchanged,omitempty"`
 }
 
-func statsBody(net *netmodel.Network) NetworkStats {
+func statsBody(net *netmodel.Network, fp string) NetworkStats {
 	st := net.Stats()
 	return NetworkStats{
-		Family:  net.Family().String(),
-		Devices: st.Devices,
-		Ifaces:  st.Ifaces,
-		Links:   st.Links,
-		Rules:   st.Rules,
+		Family:      net.Family().String(),
+		Devices:     st.Devices,
+		Ifaces:      st.Ifaces,
+		Links:       st.Links,
+		Rules:       st.Rules,
+		Fingerprint: fp,
 	}
 }
 
@@ -368,7 +426,7 @@ func (s *Server) getNetwork(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no network loaded")
 		return
 	}
-	writeJSON(w, http.StatusOK, statsBody(s.net))
+	writeJSON(w, http.StatusOK, statsBody(s.net, s.fingerprintLocked()))
 }
 
 // TraceStats is the POST /trace response body: the size of the
@@ -788,11 +846,14 @@ type StatsReport struct {
 	// Admission-layer health: job-queue depth and counters, currently
 	// admitted heavy requests, draining state, and shed totals by
 	// reason.
-	Jobs     jobs.Stats   `json:"jobs"`
-	InFlight int64        `json:"inflight"`
-	Draining bool         `json:"draining"`
-	Shed     ShedReport   `json:"shed"`
-	Metrics  []obs.Metric `json:"metrics"`
+	Jobs     jobs.Stats `json:"jobs"`
+	InFlight int64      `json:"inflight"`
+	Draining bool       `json:"draining"`
+	Shed     ShedReport `json:"shed"`
+	// Delta reports churn-path totals: applied delta documents, full
+	// network resets, and the rule/mark movement deltas caused.
+	Delta   DeltaReport  `json:"delta"`
+	Metrics []obs.Metric `json:"metrics"`
 }
 
 func (s *Server) getStats(w http.ResponseWriter, r *http.Request) {
@@ -806,12 +867,13 @@ func (s *Server) getStats(w http.ResponseWriter, r *http.Request) {
 		InFlight:      s.inflight.Load(),
 		Draining:      s.draining.Load(),
 		Shed:          s.shedTotals.report(),
+		Delta:         s.delta.report(),
 	}
 	ts := s.trace.Stats()
 	body.TraceLocations = ts.Locations
 	body.MarkedRules = ts.MarkedRules
 	if s.net != nil {
-		body.Network = statsBody(s.net)
+		body.Network = statsBody(s.net, s.fingerprintLocked())
 		body.Engine = s.engineStatsLocked()
 		s.flushCanonicalLocked()
 	}

@@ -1,0 +1,107 @@
+package sharded
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"yardstick/internal/delta"
+	"yardstick/internal/netmodel"
+)
+
+// TestPatchParity is the replica-pool half of the churn correctness
+// bar: a pool patched in place with the same delta the canonical
+// network took must behave exactly like a pool rebuilt from the patched
+// canonical — identical test results, identical coverage metrics.
+func TestPatchParity(t *testing.T) {
+	ctx := context.Background()
+	canonical, err := regionalBuilder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(ctx, canonical, Config{Workers: 2, Build: JSONReplicator(canonical)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A batch against the pre-delta universe: drop rule 0, repoint rule
+	// 1, add a blackhole on rule 1's device.
+	mod := canonical.RuleSpecOf(1)
+	mod.Match.Dst = "10.99.0.0/16"
+	add := netmodel.RuleSpec{
+		Device: mod.Device, Table: "fib", Action: "drop",
+		Match:  netmodel.MatchSpec{Dst: "10.123.0.0/16"},
+		Origin: "static",
+	}
+	ops := []delta.Op{
+		{Op: delta.OpRemove, Rule: 0},
+		{Op: delta.OpModify, Rule: 1, Spec: &mod},
+		{Op: delta.OpAdd, Spec: &add},
+	}
+
+	// Canonical first (the service does the same), then the pool.
+	if err := delta.ApplyOps(canonical, ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Patch(func(n *netmodel.Network) error {
+		return delta.ApplyOps(n, ops)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: a pool rebuilt from scratch off the patched canonical.
+	fresh, err := New(ctx, canonical, Config{Workers: 2, Build: JSONReplicator(canonical)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	suite := fullSuite(t)
+	patched, err := eng.Run(ctx, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := fresh.Run(ctx, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patched.Results) != len(rebuilt.Results) {
+		t.Fatalf("%d results vs %d", len(patched.Results), len(rebuilt.Results))
+	}
+	for i := range patched.Results {
+		p, r := patched.Results[i], rebuilt.Results[i]
+		if p.Name != r.Name || p.Status() != r.Status() || p.Checks != r.Checks {
+			t.Errorf("result %d = %s/%s (%d checks), rebuilt pool got %s/%s (%d)",
+				i, p.Name, p.Status(), p.Checks, r.Name, r.Status(), r.Checks)
+		}
+	}
+	if got, want := measure(canonical, patched.Trace), measure(canonical, rebuilt.Trace); got != want {
+		t.Errorf("patched-pool metrics %+v, rebuilt-pool metrics %+v", got, want)
+	}
+}
+
+func TestPatchErrors(t *testing.T) {
+	ctx := context.Background()
+	canonical, err := regionalBuilder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(ctx, canonical, Config{Workers: 2, Build: JSONReplicator(canonical)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An apply error propagates with the replica index.
+	boom := errors.New("boom")
+	if err := eng.Patch(func(*netmodel.Network) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("apply error not propagated: %v", err)
+	}
+
+	// An apply that mutates replicas without the canonical network moving
+	// in lockstep is divergence, not success.
+	err = eng.Patch(func(n *netmodel.Network) error {
+		return delta.ApplyOps(n, []delta.Op{{Op: delta.OpRemove, Rule: 0}})
+	})
+	if err == nil {
+		t.Fatal("replica-only mutation accepted; pool now silently diverged")
+	}
+}

@@ -204,6 +204,31 @@ func New(ctx context.Context, canonical *netmodel.Network, cfg Config) (*Engine,
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return len(e.replicas) }
 
+// Patch applies a rule-level mutation to every replica in place, keeping
+// the pool aligned with a canonical network the caller has already
+// mutated (the engine never touches the canonical space here). The apply
+// function must be deterministic — the same delta against structurally
+// identical replicas — so replica indices keep meaning the same thing in
+// every space; each patched replica is re-validated against the
+// canonical network's family and counts, exactly like New.
+//
+// On any error the pool must be considered torn (some replicas patched,
+// some not): discard the engine and rebuild. Patch charges each
+// replica's own budget; a trip surfaces as the apply function's error.
+func (e *Engine) Patch(apply func(*netmodel.Network) error) error {
+	want := e.canonical.Stats()
+	for i, r := range e.replicas {
+		if err := apply(r); err != nil {
+			return fmt.Errorf("sharded: patching replica %d: %w", i, err)
+		}
+		if r.Family() != e.canonical.Family() || r.Stats() != want {
+			return fmt.Errorf("sharded: replica %d diverged after patch (stats %+v, want %+v)",
+				i, r.Stats(), want)
+		}
+	}
+	return nil
+}
+
 // ReplicaStats returns the current BDD counters of every replica
 // manager, ordered by worker index. Replica managers are quiescent
 // between runs, so callers aggregating engine health (a /coverage

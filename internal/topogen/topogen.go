@@ -434,6 +434,12 @@ type Regional struct {
 	DCOf        map[netmodel.DeviceID]int
 	PodAggs     map[netmodel.DeviceID][]netmodel.DeviceID // ToR → its pod's aggs
 	Opts        RegionalOpts
+
+	// Control-plane inputs the network was converged from, for replaying
+	// churn (bgp.Replay) against the same topology and policy.
+	Origins []bgp.Origination
+	Statics []bgp.StaticRoute
+	Export  bgp.ExportFilter
 }
 
 // BuildRegional constructs the §7.1 regional network: per DC, pods of ToRs
@@ -586,6 +592,9 @@ func BuildRegional(opts RegionalOpts) (*Regional, error) {
 		return true
 	}
 
+	rg.Origins = origins
+	rg.Statics = statics
+	rg.Export = export
 	rib, err := bgp.Run(bgp.Config{Net: n, Origins: origins, Statics: statics, Export: export})
 	if err != nil {
 		return nil, err

@@ -47,6 +47,7 @@ import (
 	"yardstick/internal/bgp"
 	"yardstick/internal/core"
 	"yardstick/internal/dataplane"
+	"yardstick/internal/delta"
 	"yardstick/internal/faults"
 	"yardstick/internal/hdr"
 	"yardstick/internal/netmodel"
@@ -422,6 +423,58 @@ func BuildRegional(opts RegionalOpts) (*RegionalNet, error) { return topogen.Bui
 // installs the resulting FIBs.
 func RunBGP(cfg BGPConfig) (*BGPResult, error) { return bgp.Run(cfg) }
 
+// Incremental evaluation under churn: rule-level deltas applied to a
+// live network and its accumulated trace, without a suite re-run.
+type (
+	// DeltaOp is one rule-level change (add/remove/modify).
+	DeltaOp = delta.Op
+	// DeltaOpKind identifies a delta operation.
+	DeltaOpKind = delta.OpKind
+	// DeltaDocument is an atomic batch of ops plus the fingerprint of
+	// the network they were computed against (the PATCH /network wire
+	// format).
+	DeltaDocument = delta.Document
+	// DeltaEngine owns one live network and the trace recorded against
+	// it; Apply mutates both in place.
+	DeltaEngine = delta.Engine
+	// DeltaApplied reports one delta application: coverage decay from
+	// dropped rule marks plus per-device coverage drift.
+	DeltaApplied = delta.Applied
+	// DeltaRuleSpec is the portable rule definition carried by add and
+	// modify ops.
+	DeltaRuleSpec = netmodel.RuleSpec
+	// FlapEvent toggles one BGP origination.
+	FlapEvent = bgp.FlapEvent
+	// FlapReplay re-converges forwarding state after each toggle — the
+	// churn workload generator.
+	FlapReplay = bgp.Replay
+)
+
+// Delta operations.
+const (
+	DeltaAdd    = delta.OpAdd
+	DeltaRemove = delta.OpRemove
+	DeltaModify = delta.OpModify
+)
+
+// NewDeltaEngine wraps a frozen network and its trace for incremental
+// evaluation, fingerprinting the network once.
+func NewDeltaEngine(net *Network, trace *CoverageTrace) (*DeltaEngine, error) {
+	return delta.NewEngine(net, trace)
+}
+
+// DiffNetworks computes the rule-level ops that turn old into next,
+// expressed against old's rule universe.
+func DiffNetworks(old, next *Network) ([]DeltaOp, error) { return delta.Diff(old, next) }
+
+// GenFlaps returns a deterministic withdraw/re-announce schedule over a
+// configuration's originations; the same seed always yields the same
+// schedule.
+func GenFlaps(seed int64, n, origins int) []FlapEvent { return bgp.GenFlaps(seed, n, origins) }
+
+// NewFlapReplay starts a flap replay with every origination announced.
+func NewFlapReplay(cfg BGPConfig) *FlapReplay { return bgp.NewReplay(cfg) }
+
 // Probe generation (the complementary ATPG direction).
 type (
 	// Probe is one generated, verified end-to-end concrete test.
@@ -520,6 +573,9 @@ type (
 	// Regression is one device whose coverage dropped between
 	// snapshots.
 	Regression = report.Regression
+	// ConfigRow is one device's config-line coverage (lines of
+	// rendered configuration attested by the trace).
+	ConfigRow = report.ConfigRow
 )
 
 // Report helpers.
@@ -538,6 +594,9 @@ var (
 	RenderRegressions     = report.RenderRegressions
 	PathUniverseDrift     = report.PathUniverseDrift
 	BuildHTMLReport       = report.BuildHTMLReport
+	ConfigCoverage        = report.ConfigCoverage
+	ConfigTotal           = report.ConfigTotal
+	RenderConfig          = report.RenderConfig
 )
 
 // HTMLReport is a renderable self-contained coverage page.
