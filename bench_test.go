@@ -301,10 +301,8 @@ func BenchmarkSuiteParallel(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			eng, err := sharded.New(ctx, rg.Net, sharded.Config{
-				Workers: w,
-				Build:   sharded.JSONReplicator(rg.Net),
-			})
+			// Build nil → the default arena-clone replicator.
+			eng, err := sharded.New(ctx, rg.Net, sharded.Config{Workers: w})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -319,6 +317,48 @@ func BenchmarkSuiteParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSnapshotClone measures the O(size) snapshot-clone primitives
+// the sharded engine builds its replicas from: the raw bdd.Manager copy,
+// the full netmodel.Network clone (manager copy plus topology tables,
+// match sets carried by index), and — for contrast — the JSON replica
+// rebuild the clone replaced. The manager is sized by a real workload
+// first (the regional suite), so the copy moves production-shaped
+// tables, not an empty arena.
+func BenchmarkSnapshotClone(b *testing.B) {
+	ctx := context.Background()
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite, err := testkit.BuiltinSuite("default,connected,internal,agg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite.Run(ctx, rg.Net, core.NewTrace()) // grow the manager to working size
+	rg.Net.ComputeMatchSets()
+
+	b.Run("manager", func(b *testing.B) {
+		m := rg.Net.Space.Manager()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Clone()
+		}
+	})
+	b.Run("network", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rg.Net.Clone()
+		}
+	})
+	b.Run("json-rebuild", func(b *testing.B) {
+		build := sharded.JSONReplicator(rg.Net)
+		for i := 0; i < b.N; i++ {
+			if _, err := build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // cloneStructure rebuilds a network's devices and rules through the

@@ -186,9 +186,42 @@ func writeDelta(w io.Writer, old, cur *Report) {
 	}
 }
 
+// checkParity is the replica-cost guardrail: the workers=1 variant of
+// BenchmarkSuiteParallel does the same evaluation work as sequential
+// plus replica upkeep and trace merge, so its bytes/op must stay within
+// `factor` of sequential's. (Allocation counts are deterministic, so
+// unlike timings this is meaningful even on noisy shared runners.) It
+// prints its verdict and returns false on violation; callers decide
+// whether that is fatal — CI runs it advisory with `|| true`.
+func checkParity(w io.Writer, rep *Report, factor float64) bool {
+	var seq, par *Record
+	for i := range rep.Benchmarks {
+		switch rep.Benchmarks[i].Name {
+		case "BenchmarkSuiteParallel/sequential":
+			seq = &rep.Benchmarks[i]
+		case "BenchmarkSuiteParallel/workers=1":
+			par = &rep.Benchmarks[i]
+		}
+	}
+	if seq == nil || par == nil || seq.BytesPerOp == nil || par.BytesPerOp == nil {
+		fmt.Fprintln(w, "benchfmt: parity: BenchmarkSuiteParallel sequential/workers=1 bytes/op not in input (need -benchmem), skipped")
+		return true
+	}
+	ratio := *par.BytesPerOp / *seq.BytesPerOp
+	ok := ratio <= factor
+	verdict := "ok"
+	if !ok {
+		verdict = fmt.Sprintf("EXCEEDS %gx — replica-cost regression", factor)
+	}
+	fmt.Fprintf(w, "benchfmt: parity: workers=1 %.0f B/op vs sequential %.0f B/op (%.2fx, limit %gx): %s\n",
+		*par.BytesPerOp, *seq.BytesPerOp, ratio, factor, verdict)
+	return ok
+}
+
 func main() {
 	outPath := flag.String("o", "", "write JSON here instead of stdout")
 	deltaPath := flag.String("delta", "", "compare against a baseline JSON report (advisory, printed to stderr)")
+	parity := flag.Float64("parity", 0, "check workers=1 bytes/op is within this factor of sequential (0 disables); exits 1 on violation")
 	flag.Parse()
 
 	// Read the baseline before creating -o: they are allowed to be the
@@ -226,5 +259,8 @@ func main() {
 	}
 	if baseline != nil {
 		writeDelta(os.Stderr, baseline, rep)
+	}
+	if *parity > 0 && !checkParity(os.Stderr, rep, *parity) {
+		os.Exit(1)
 	}
 }

@@ -184,3 +184,39 @@ BenchmarkB-1    10    9500 ns/op
 		t.Errorf("B = %v ns/op, want 9000", b.NsPerOp)
 	}
 }
+
+// TestCheckParity: the workers=1 bytes/op guardrail passes within the
+// factor, fails outside it, and skips (passing) when the benchmarks or
+// their -benchmem columns are absent.
+func TestCheckParity(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	rep := func(seq, par *float64) *Report {
+		return &Report{Cores: 1, Benchmarks: []Record{
+			{Name: "BenchmarkSuiteParallel/sequential", NsPerOp: 1, Workers: 1, BytesPerOp: seq},
+			{Name: "BenchmarkSuiteParallel/workers=1", NsPerOp: 1, Workers: 1, BytesPerOp: par},
+		}}
+	}
+
+	var out strings.Builder
+	if !checkParity(&out, rep(f(100), f(150)), 2) {
+		t.Errorf("1.5x ratio failed a 2x limit: %s", out.String())
+	}
+	out.Reset()
+	if checkParity(&out, rep(f(100), f(300)), 2) {
+		t.Errorf("3x ratio passed a 2x limit: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "EXCEEDS") {
+		t.Errorf("violation verdict missing: %s", out.String())
+	}
+	out.Reset()
+	if !checkParity(&out, rep(nil, nil), 2) {
+		t.Error("missing -benchmem columns must skip, not fail")
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Errorf("skip not reported: %s", out.String())
+	}
+	out.Reset()
+	if !checkParity(&out, &Report{Cores: 1}, 2) {
+		t.Error("missing benchmarks must skip, not fail")
+	}
+}

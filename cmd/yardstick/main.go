@@ -111,13 +111,12 @@ func main() {
 	runBase := net.Space.EngineStats()
 	var results []yardstick.TestResult
 	if *workers != 1 {
-		// Parallel run: replicate the network once per worker (JSON
-		// round-trip, so any -net or generated network qualifies), shard
-		// the suite, and merge the per-worker traces back into this
+		// Parallel run: replicate the network once per worker (arena
+		// clones of this space, carrying its match sets by node index),
+		// shard the suite, and merge the per-worker traces back into this
 		// space. Results and metrics match the sequential path exactly.
 		eng, err := yardstick.NewShardedEngine(runCtx, net, yardstick.ShardedConfig{
 			Workers: *workers,
-			Build:   yardstick.JSONReplicator(net),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "yardstick:", err)

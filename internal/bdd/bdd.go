@@ -102,6 +102,14 @@ type Manager struct {
 	uniqResizes  uint64
 	cacheResizes uint64
 	peakNodes    int
+
+	// Clone lineage (see clone.go): the manager this one was cloned
+	// from and the node count at clone time. Nodes below originN are
+	// index-identical in both managers forever (nodes are never removed
+	// or rewritten), which lets cross-manager transfers skip the shared
+	// prefix.
+	origin  *Manager
+	originN int
 }
 
 // Option configures a Manager at construction.

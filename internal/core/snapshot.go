@@ -78,17 +78,28 @@ func DecodeSnapshot(r io.Reader, net *netmodel.Network) (*Trace, error) {
 	return DecodeTraceJSON(net, bytes.NewReader(sj.Trace))
 }
 
-// SaveSnapshot atomically writes a snapshot file: the snapshot is
+// SaveSnapshot atomically writes a JSON snapshot file: the snapshot is
 // written to a temporary file in the same directory and renamed into
 // place, so a crash mid-write never corrupts the previous snapshot.
 func SaveSnapshot(path string, net *netmodel.Network, t *Trace) error {
+	return saveAtomic(path, func(w io.Writer) error { return EncodeSnapshot(w, net, t) })
+}
+
+// SaveSnapshotArena is SaveSnapshot over the binary arena codec
+// (EncodeSnapshotArena): same atomic write, sets persisted as a BDD
+// arena instead of cube lists. LoadSnapshot reads either format.
+func SaveSnapshotArena(path string, net *netmodel.Network, t *Trace) error {
+	return saveAtomic(path, func(w io.Writer) error { return EncodeSnapshotArena(w, net, t) })
+}
+
+func saveAtomic(path string, encode func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("core: save snapshot: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := EncodeSnapshot(tmp, net, t); err != nil {
+	if err := encode(tmp); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -101,14 +112,18 @@ func SaveSnapshot(path string, net *netmodel.Network, t *Trace) error {
 	return nil
 }
 
-// LoadSnapshot reads a snapshot file recorded against net. It returns
+// LoadSnapshot reads a snapshot file recorded against net, sniffing the
+// codec by magic: arena snapshots (SaveSnapshotArena) decode through
+// DecodeSnapshotArena, anything else through the JSON codec. It returns
 // fs.ErrNotExist (wrapped) when no snapshot exists and
 // ErrSnapshotMismatch when the snapshot belongs to a different network.
 func LoadSnapshot(path string, net *netmodel.Network) (*Trace, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return DecodeSnapshot(f, net)
+	if IsSnapshotArena(data) {
+		return DecodeSnapshotArena(data, net)
+	}
+	return DecodeSnapshot(bytes.NewReader(data), net)
 }

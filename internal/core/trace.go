@@ -109,21 +109,36 @@ func (t *Trace) Merge(other *Trace) {
 }
 
 // TransferTo returns a copy of the trace whose packet sets live in dst's
-// BDD space (hdr.Set.TransferTo per location); marked rules carry over
-// unchanged. It is how a worker-local trace recorded against a network
-// replica is merged back into the canonical space: rule and location IDs
-// are indices, identical across deterministic replicas, so only the
-// symbolic sets need translating.
+// BDD space; marked rules carry over unchanged. It is how a worker-local
+// trace recorded against a network replica is merged back into the
+// canonical space: rule and location IDs are indices, identical across
+// deterministic replicas, so only the symbolic sets need translating.
 //
-// The transfer reads the source space's manager and writes dst's, so the
-// caller must hold both single-threaded for the duration (merge worker
-// traces one at a time, after the workers have finished).
+// All of a trace's sets normally share one source space, so the copy
+// runs through a single hdr.Transfer session: one memo spans every
+// per-location set (the sets overlap heavily — they are unions of the
+// same test packets at successive hops), and when the source space is a
+// clone of dst the shared node prefix is skipped outright. Sets already
+// in dst pass through untouched; a trace mixing several source spaces
+// still transfers correctly (the session is re-opened per source).
+//
+// The transfer reads the source spaces' managers and writes dst's, so
+// the caller must hold them single-threaded for the duration (merge
+// worker traces one at a time, after the workers have finished).
 func (t *Trace) TransferTo(dst *hdr.Space) *Trace {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := NewTrace()
+	var tr *hdr.Transfer
 	for loc, s := range t.packets {
-		out.packets[loc] = s.TransferTo(dst)
+		if s.Space() == dst {
+			out.packets[loc] = s
+			continue
+		}
+		if tr == nil || tr.Src() != s.Space() {
+			tr = hdr.NewTransfer(s.Space(), dst)
+		}
+		out.packets[loc] = tr.Move(s)
 	}
 	for r := range t.rules {
 		out.rules[r] = true

@@ -3,10 +3,12 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -14,6 +16,7 @@ import (
 
 	"yardstick/internal/core"
 	"yardstick/internal/dataplane"
+	"yardstick/internal/netmodel"
 	"yardstick/internal/topogen"
 )
 
@@ -258,6 +261,107 @@ func TestSnapshotPersistence(t *testing.T) {
 	}
 	if st := srv3.trace.Stats(); st.Locations != 0 || st.MarkedRules != 0 {
 		t.Errorf("trace after discarded restore = %+v, want empty", st)
+	}
+}
+
+// TestRestartFromArenaCheckpoint is the arena-codec restart drill:
+// Checkpoint writes the binary arena snapshot, a fresh server over a
+// freshly *decoded* network (nothing shared in memory with the first
+// daemon) restores from it, and the /coverage table — the total row and
+// every per-role row — matches byte for byte. Engine counters are live
+// manager diagnostics, not coverage state, so they are outside the
+// comparison.
+func TestRestartFromArenaCheckpoint(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "trace.snap")
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The coverage table as served: raw JSON of the total and per-role
+	// rows, bytes untouched.
+	covTable := func(url string) (total, byRole json.RawMessage) {
+		t.Helper()
+		resp, err := http.Get(url + "/coverage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /coverage = %d: %s", resp.StatusCode, body)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep struct {
+			Total  json.RawMessage `json:"total"`
+			ByRole json.RawMessage `json:"byRole"`
+		}
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep.Total, rep.ByRole
+	}
+
+	srv1 := WithNetwork(rg.Net, WithSnapshot(snap, time.Hour), WithLogger(discardLogger()))
+	ts1 := httptest.NewServer(srv1.Handler())
+	local := core.NewTrace()
+	local.MarkPacket(dataplane.Injected(rg.ToRs[0]), rg.Net.Space.DstPrefix(rg.HostPrefix[rg.ToRs[1]]))
+	local.MarkPacket(dataplane.Injected(rg.ToRs[1]), rg.Net.Space.DstPrefix(rg.HostPrefix[rg.ToRs[0]]).Intersect(rg.Net.Space.Proto(6)))
+	for _, rid := range rg.Net.Device(rg.ToRs[0]).FIB {
+		local.MarkRule(rid)
+	}
+	var frag bytes.Buffer
+	if err := local.EncodeJSON(&frag); err != nil {
+		t.Fatal(err)
+	}
+	doJSON(t, "POST", ts1.URL+"/trace", frag.Bytes(), http.StatusOK, nil)
+	totalBefore, byRoleBefore := covTable(ts1.URL)
+
+	if err := srv1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.IsSnapshotArena(raw) {
+		t.Fatalf("checkpoint is not the arena codec (starts %q)", raw[:min(8, len(raw))])
+	}
+	ts1.Close()
+
+	// "Restart": round-trip the network through its wire form so the new
+	// daemon rebuilds everything — spaces, match sets, rule IDs — from
+	// scratch, exactly like a real process restart.
+	var netJSON bytes.Buffer
+	if err := rg.Net.EncodeJSON(&netJSON); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := netmodel.DecodeJSON(bytes.NewReader(netJSON.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := WithNetwork(fresh, WithSnapshot(snap, time.Hour), WithLogger(discardLogger()))
+	restored, err := srv2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored {
+		t.Fatal("arena checkpoint not restored on matching network")
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	totalAfter, byRoleAfter := covTable(ts2.URL)
+	if !bytes.Equal(totalBefore, totalAfter) {
+		t.Errorf("total row changed across restart:\n before %s\n after  %s", totalBefore, totalAfter)
+	}
+	if !bytes.Equal(byRoleBefore, byRoleAfter) {
+		t.Errorf("per-role rows changed across restart:\n before %s\n after  %s", byRoleBefore, byRoleAfter)
 	}
 }
 

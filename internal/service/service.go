@@ -643,9 +643,11 @@ func (s *Server) requestWorkers(r *http.Request) (int, error) {
 // error describes the abort.
 func (s *Server) runSharded(ctx context.Context, suite testkit.Suite, n int, into *core.Trace) ([]testkit.Result, error) {
 	if s.engine == nil {
+		// Build nil selects clone-based replicas: each worker space is an
+		// O(size) arena snapshot of the canonical network, carrying its
+		// match sets by node index.
 		eng, err := sharded.New(ctx, s.net, sharded.Config{
 			Workers: s.maxWorkers,
-			Build:   sharded.JSONReplicator(s.net),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("building worker pool: %w", err)
@@ -955,15 +957,18 @@ func (s *Server) getReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 // Checkpoint writes the current trace and job records to their snapshot
-// files (atomic rename; see core.SaveSnapshot and jobs.Save). It is a
-// no-op without WithSnapshot or before a network is loaded.
+// files (atomic rename; see core.SaveSnapshotArena and jobs.Save). The
+// trace goes out in the binary arena codec — sets persisted as a BDD
+// dump, no cube extraction — and Restore reads either codec, so daemons
+// upgrade from JSON checkpoints transparently. It is a no-op without
+// WithSnapshot or before a network is loaded.
 func (s *Server) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.snapPath == "" || s.net == nil {
 		return nil
 	}
-	if err := core.SaveSnapshot(s.snapPath, s.net, s.trace); err != nil {
+	if err := core.SaveSnapshotArena(s.snapPath, s.net, s.trace); err != nil {
 		return err
 	}
 	return s.checkpointJobsLocked()

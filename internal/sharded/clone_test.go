@@ -1,0 +1,171 @@
+package sharded
+
+import (
+	"context"
+	"testing"
+
+	"yardstick/internal/core"
+	"yardstick/internal/delta"
+	"yardstick/internal/netmodel"
+)
+
+// TestCloneReplicaEquivalence is the clone-path acceptance bar: against
+// the SAME canonical network, a clone-based pool and a JSONReplicator
+// pool must produce byte-identical coverage tables — Trace.Equal, which
+// compares per-location BDD node identity in the canonical space, the
+// strongest equality the engine offers — along with identical test
+// results and metrics, and Workers=1 must equal Workers=N.
+func TestCloneReplicaEquivalence(t *testing.T) {
+	ctx := context.Background()
+	suite := fullSuite(t)
+	canonical := regionalNet(t)
+
+	seqTrace := core.NewTrace()
+	seqResults := suite.Run(ctx, canonical, seqTrace)
+	want := measure(canonical, seqTrace)
+
+	oracle, err := Run(ctx, canonical, Config{Workers: 3, Build: JSONReplicator(canonical)}, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var traces []*core.Trace
+	for _, workers := range []int{1, 3} {
+		res, err := Run(ctx, canonical, Config{Workers: workers}, suite)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Results) != len(seqResults) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(res.Results), len(seqResults))
+		}
+		for i := range res.Results {
+			got, exp := res.Results[i], seqResults[i]
+			if got.Name != exp.Name || got.Status() != exp.Status() || got.Checks != exp.Checks {
+				t.Errorf("workers=%d: result %d = %s/%s (%d checks), want %s/%s (%d)",
+					workers, i, got.Name, got.Status(), got.Checks, exp.Name, exp.Status(), exp.Checks)
+			}
+		}
+		if got := measure(canonical, res.Trace); got != want {
+			t.Errorf("workers=%d: metrics %+v, want %+v", workers, got, want)
+		}
+		if !res.Trace.Equal(oracle.Trace) {
+			t.Errorf("workers=%d: clone-pool trace differs from JSONReplicator-pool trace", workers)
+		}
+		traces = append(traces, res.Trace)
+	}
+	if !traces[0].Equal(traces[1]) {
+		t.Error("clone pool: Workers=1 and Workers=3 traces differ")
+	}
+	// Both merged traces live in the canonical space, so Equal above is
+	// node-for-node: the coverage tables are byte-identical.
+	if !seqTrace.Equal(traces[0]) {
+		t.Error("clone-pool trace differs from the sequential trace")
+	}
+}
+
+// TestCloneReplicaIndependence: worker runs on cloned replicas must not
+// disturb the canonical network — its structure stays frozen and its
+// space only moves during the merge (which lands on existing nodes when
+// the workers' sets already exist canonically).
+func TestCloneReplicaIndependence(t *testing.T) {
+	ctx := context.Background()
+	canonical := regionalNet(t)
+	statsBefore := canonical.Stats()
+
+	eng, err := New(ctx, canonical, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical.Stats() != statsBefore {
+		t.Fatalf("building a clone pool mutated the canonical network: %+v -> %+v",
+			statsBefore, canonical.Stats())
+	}
+	// Mutating a replica's symbolic state must leave the canonical space
+	// untouched (no run in flight, so nothing merges).
+	nodesBefore := canonical.Space.EngineStats().Nodes
+	rep := eng.replicas[0]
+	set := rep.Rules[0].MatchSet()
+	for i := 0; i < 8; i++ {
+		set = set.Negate().Union(rep.Space.DstPort(uint16(1000 + i)))
+	}
+	if got := canonical.Space.EngineStats().Nodes; got != nodesBefore {
+		t.Fatalf("replica ops grew the canonical space %d -> %d nodes", nodesBefore, got)
+	}
+
+	if _, err := eng.Run(ctx, fullSuite(t)); err != nil {
+		t.Fatal(err)
+	}
+	if canonical.Stats() != statsBefore {
+		t.Fatalf("a clone-pool run mutated the canonical network: %+v -> %+v",
+			statsBefore, canonical.Stats())
+	}
+}
+
+// TestPatchRecloneParity is TestPatchParity for the clone path: a
+// clone-based pool realigned via Patch (re-clone of the patched
+// canonical) must match a pool rebuilt from scratch.
+func TestPatchRecloneParity(t *testing.T) {
+	ctx := context.Background()
+	canonical, err := regionalBuilder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(ctx, canonical, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mod := canonical.RuleSpecOf(1)
+	mod.Match.Dst = "10.99.0.0/16"
+	add := netmodel.RuleSpec{
+		Device: mod.Device, Table: "fib", Action: "drop",
+		Match:  netmodel.MatchSpec{Dst: "10.123.0.0/16"},
+		Origin: "static",
+	}
+	ops := []delta.Op{
+		{Op: delta.OpRemove, Rule: 0},
+		{Op: delta.OpModify, Rule: 1, Spec: &mod},
+		{Op: delta.OpAdd, Spec: &add},
+	}
+	if err := delta.ApplyOps(canonical, ops); err != nil {
+		t.Fatal(err)
+	}
+	// Clone pools ignore the apply function: the canonical network is
+	// already the post-delta truth, so Patch re-clones it.
+	if err := eng.Patch(func(n *netmodel.Network) error {
+		t.Error("clone-based Patch invoked the apply function")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := New(ctx, canonical, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := fullSuite(t)
+	patched, err := eng.Run(ctx, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := fresh.Run(ctx, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patched.Results) != len(rebuilt.Results) {
+		t.Fatalf("%d results vs %d", len(patched.Results), len(rebuilt.Results))
+	}
+	for i := range patched.Results {
+		p, r := patched.Results[i], rebuilt.Results[i]
+		if p.Name != r.Name || p.Status() != r.Status() || p.Checks != r.Checks {
+			t.Errorf("result %d = %s/%s (%d checks), rebuilt pool got %s/%s (%d)",
+				i, p.Name, p.Status(), p.Checks, r.Name, r.Status(), r.Checks)
+		}
+	}
+	if !patched.Trace.Equal(rebuilt.Trace) {
+		t.Error("re-cloned pool trace differs from rebuilt pool trace")
+	}
+	if got, want := measure(canonical, patched.Trace), measure(canonical, rebuilt.Trace); got != want {
+		t.Errorf("re-cloned-pool metrics %+v, rebuilt-pool metrics %+v", got, want)
+	}
+}

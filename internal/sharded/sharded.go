@@ -8,16 +8,26 @@
 // it is single-threaded by design (hash-consed unique table, memoized
 // apply loops) and must stay that way. This package therefore replicates
 // the *universe* instead of locking it: each worker owns a private
-// network replica, built by a deterministic builder function, whose
-// hdr.Space wraps a private manager. Workers run disjoint partitions of
-// the suite through testkit.Suite.Run (keeping the per-test runIsolated
-// panic boundary), record into worker-local traces, and the engine merges
-// those traces into the canonical space with the cross-space transfer
-// kernel (hdr.Set.TransferTo — a node-by-node DAG copy, no cube
-// round-trip).
+// network replica whose hdr.Space wraps a private manager. Workers run
+// disjoint partitions of the suite through testkit.Suite.Run (keeping
+// the per-test runIsolated panic boundary), record into worker-local
+// traces, and the engine merges those traces into the canonical space
+// with the cross-space transfer kernel (core.Trace.TransferTo — a
+// node-by-node DAG copy, no cube round-trip).
 //
-// Determinism: replicas are deterministic (same builder, or a netmodel
-// JSON round-trip, so device/iface/rule indices are identical), the
+// Replicas are arena clones by default: netmodel.Network.Clone snapshots
+// the canonical network's flat BDD arena in O(size), carrying every
+// frozen match set into the replica by node index instead of re-deriving
+// it from configuration. A clone's node indices below the snapshot point
+// are identical to the canonical space's forever (managers are
+// append-only), so the merge recognizes the shared prefix and costs
+// O(nodes the workers created), not O(universe). Config.Build overrides
+// the factory for callers that need re-derivation — JSONReplicator, the
+// replica factory of last resort, replays the network through a JSON
+// round-trip and doubles as the validation oracle for the clone path.
+//
+// Determinism: replicas are deterministic (clones are bit-identical,
+// and builders must replay device/iface/rule indices identically), the
 // partition is a fixed round-robin of the suite order, results are
 // scattered back to suite order, and the merged trace is a union of
 // per-location sets — order-independent by construction. Workers=1 and
@@ -67,7 +77,10 @@ type Builder func() (*netmodel.Network, error)
 // JSON round-trip: the network is encoded once, and every call decodes a
 // fresh replica (match sets recomputed deterministically). It is the
 // replica factory of last resort — any network can be replicated this
-// way, at the cost of one encode plus one decode per worker.
+// way, at the cost of one encode plus one decode per worker, with every
+// replica re-deriving its match sets from scratch. Prefer the default
+// clone-based replication (Config.Build nil); JSONReplicator remains the
+// independent oracle clone equivalence is validated against.
 func JSONReplicator(net *netmodel.Network) Builder {
 	var buf bytes.Buffer
 	err := net.EncodeJSON(&buf)
@@ -84,7 +97,10 @@ func JSONReplicator(net *netmodel.Network) Builder {
 type Config struct {
 	// Workers is the pool size; 0 or negative means runtime.GOMAXPROCS(0).
 	Workers int
-	// Build constructs one replica per worker (required; see Builder).
+	// Build constructs one replica per worker (see Builder). Nil selects
+	// the default: replicas are O(size) arena clones of the canonical
+	// network (netmodel.Network.Clone), carrying its frozen match sets by
+	// node index.
 	Build Builder
 	// Limits is the evaluation budget, installed per shard at the start
 	// of every Run: MaxOps is split evenly (ceiling division) across the
@@ -131,21 +147,31 @@ type Engine struct {
 	canonical *netmodel.Network
 	cfg       Config
 	replicas  []*netmodel.Network
+	// cloneBased is true for the default replica factory (arena clones of
+	// the canonical network). It changes Patch: clone pools realign by
+	// re-cloning the already-patched canonical instead of replaying ops.
+	cloneBased bool
 }
 
 // New builds an engine with cfg.Workers replicas of the canonical
-// network. Replicas are built concurrently (Builder must tolerate that)
-// and validated against the canonical network: same family and same
-// device/interface/rule counts, so trace indices mean the same thing in
-// every space.
+// network. Replicas are built concurrently (Builder must tolerate that;
+// the default clone factory does — cloning a quiescent network is a pure
+// read of it) and validated against the canonical network: same family
+// and same device/interface/rule counts, so trace indices mean the same
+// thing in every space.
 func New(ctx context.Context, canonical *netmodel.Network, cfg Config) (*Engine, error) {
 	if canonical == nil {
 		return nil, errors.New("sharded: nil canonical network")
 	}
-	if cfg.Build == nil {
-		return nil, errors.New("sharded: Config.Build is required")
-	}
 	canonical.ComputeMatchSets()
+	cloneBased := cfg.Build == nil
+	build := cfg.Build
+	if cloneBased {
+		// Default factory: snapshot the (frozen, quiescent) canonical
+		// network. The clone carries every match set at its canonical node
+		// index, so replicas cost a flat copy, not a re-derivation.
+		build = func() (*netmodel.Network, error) { return canonical.Clone(), nil }
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -166,7 +192,7 @@ func New(ctx context.Context, canonical *netmodel.Network, cfg Config) (*Engine,
 	ch := make(chan built, cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go func(i int) {
-			n, err := cfg.Build()
+			n, err := build()
 			ch <- built{i: i, net: n, err: err}
 		}(i)
 	}
@@ -198,25 +224,41 @@ func New(ctx context.Context, canonical *netmodel.Network, cfg Config) (*Engine,
 				i, r.Family(), r.Stats(), canonical.Family(), want)
 		}
 	}
-	return &Engine{canonical: canonical, cfg: cfg, replicas: replicas}, nil
+	return &Engine{canonical: canonical, cfg: cfg, replicas: replicas, cloneBased: cloneBased}, nil
 }
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return len(e.replicas) }
 
-// Patch applies a rule-level mutation to every replica in place, keeping
-// the pool aligned with a canonical network the caller has already
-// mutated (the engine never touches the canonical space here). The apply
-// function must be deterministic — the same delta against structurally
-// identical replicas — so replica indices keep meaning the same thing in
-// every space; each patched replica is re-validated against the
-// canonical network's family and counts, exactly like New.
+// Patch realigns the pool with a canonical network the caller has
+// already mutated.
+//
+// A clone-based pool (Config.Build nil) realigns by re-cloning the
+// patched canonical — an O(size) flat copy per replica; apply is not
+// invoked, since the canonical network already embodies the delta, and
+// the old replicas (with whatever garbage their runs accreted) are
+// discarded. This reads the canonical space, so the caller must not use
+// it concurrently.
+//
+// A builder-based pool applies the rule-level mutation to every replica
+// in place instead (the engine never touches the canonical space). The
+// apply function must be deterministic — the same delta against
+// structurally identical replicas — so replica indices keep meaning the
+// same thing in every space; each patched replica is re-validated
+// against the canonical network's family and counts, exactly like New.
 //
 // On any error the pool must be considered torn (some replicas patched,
 // some not): discard the engine and rebuild. Patch charges each
 // replica's own budget; a trip surfaces as the apply function's error.
 func (e *Engine) Patch(apply func(*netmodel.Network) error) error {
 	want := e.canonical.Stats()
+	if e.cloneBased {
+		e.canonical.ComputeMatchSets()
+		for i := range e.replicas {
+			e.replicas[i] = e.canonical.Clone()
+		}
+		return nil
+	}
 	for i, r := range e.replicas {
 		if err := apply(r); err != nil {
 			return fmt.Errorf("sharded: patching replica %d: %w", i, err)

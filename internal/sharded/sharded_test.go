@@ -210,8 +210,9 @@ func TestNewRejectsBadConfig(t *testing.T) {
 	if _, err := New(ctx, nil, Config{Build: JSONReplicator(canonical)}); err == nil {
 		t.Error("nil canonical network should be rejected")
 	}
-	if _, err := New(ctx, canonical, Config{}); err == nil {
-		t.Error("missing Build should be rejected")
+	// A nil Build is not an error: it selects clone-based replication.
+	if eng, err := New(ctx, canonical, Config{Workers: 2}); err != nil || eng.Workers() != 2 {
+		t.Errorf("builderless config should clone canonical, got %v", err)
 	}
 	// A non-deterministic builder (wrong topology) must be caught.
 	other := func() (*netmodel.Network, error) {

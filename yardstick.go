@@ -534,7 +534,8 @@ type (
 	// order, the merged trace in the canonical space, per-shard stats.
 	ShardedResult = sharded.Result
 	// ShardedBuilder constructs one network replica per worker; it must
-	// be deterministic.
+	// be deterministic. Leave ShardedConfig.Build nil for the default:
+	// O(size) arena clones of the canonical network.
 	ShardedBuilder = sharded.Builder
 	// ShardStats describes one worker's share of a run.
 	ShardStats = sharded.ShardStats
@@ -554,7 +555,8 @@ func RunSharded(ctx context.Context, net *Network, cfg ShardedConfig, suite Suit
 }
 
 // JSONReplicator returns a ShardedBuilder that replicates net via a
-// JSON round-trip — the replica factory that works for any network.
+// JSON round-trip — the fallback replica factory (and the oracle the
+// default clone-based replication is validated against).
 func JSONReplicator(net *Network) ShardedBuilder { return sharded.JSONReplicator(net) }
 
 // Reporting.
