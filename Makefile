@@ -67,6 +67,7 @@ clustersmoke:
 	$(GO) build -o /tmp/yardstickd ./cmd/yardstickd
 	$(GO) build -o /tmp/yardstick ./cmd/yardstick
 	$(GO) build -o /tmp/yardstick-coord ./cmd/yardstick-coord
+	$(GO) build -o /tmp/promlint ./cmd/promlint
 	/tmp/yardstickd -listen 127.0.0.1:18081 & W1=$$!; \
 	/tmp/yardstickd -listen 127.0.0.1:18082 > w2.log 2>&1 & W2=$$!; \
 	/tmp/yardstickd -listen 127.0.0.1:18083 & W3=$$!; \
@@ -80,7 +81,14 @@ clustersmoke:
 		-nodes http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083 \
 		-suite default,internal,contract -rounds 120 -concurrency 3 -poll 25ms \
 		-fail-threshold 2 -cooldown 1s -hedge-after 2s \
+		-metrics-addr 127.0.0.1:19090 -scrape-interval 250ms \
 		-report cluster-report.json > cluster.out & CPID=$$!; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://127.0.0.1:19090/metrics > coord-metrics.txt \
+			&& grep -q 'node="http://127.0.0.1:18082"' coord-metrics.txt && break; sleep 0.1; \
+	done; \
+	/tmp/promlint < coord-metrics.txt; \
+	grep -q 'yardstick_coord_dispatch_total' coord-metrics.txt || { echo "no native coord metrics"; exit 1; }; \
 	for i in $$(seq 1 200); do \
 		n=$$(grep -c 'method=POST path=/jobs ' w2.log || true); \
 		[ "$$n" -ge 20 ] && break; sleep 0.05; \
@@ -91,8 +99,9 @@ clustersmoke:
 	awk '/^coverage:/{f=1} /^wrote run report/{f=0} f' cluster.out | sed '/^$$/d' > cluster.cov; \
 	diff baseline.cov cluster.cov; \
 	grep -Eq '"trips": [1-9]' cluster-report.json || { echo "kill was not observed: no breaker trip"; exit 1; }; \
-	echo "cluster == single-node: exact (1 worker SIGKILLed mid-run)"; \
-	rm -f baseline.out baseline.cov cluster.out cluster.cov cluster-report.json w2.log
+	grep -q '"timeline"' cluster-report.json || { echo "report has no run timeline"; exit 1; }; \
+	echo "cluster == single-node: exact (1 worker SIGKILLed mid-run; fleet /metrics lint-clean)"; \
+	rm -f baseline.out baseline.cov cluster.out cluster.cov cluster-report.json coord-metrics.txt w2.log
 
 # Prove incremental coverage stays exact under churn: replay a seeded
 # 50-event BGP flap schedule against a live daemon via PATCH /network

@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -40,6 +42,7 @@ import (
 
 	"yardstick"
 	"yardstick/internal/coord"
+	"yardstick/internal/obs"
 )
 
 func main() {
@@ -101,13 +104,17 @@ func loadNetwork(netFile, topology string, k int) (*yardstick.Network, []yardsti
 }
 
 // reportFile is the -report artifact: the run's per-shard and per-node
-// accounting as JSON, for CI to archive and humans to diff.
+// accounting as JSON, for CI to archive and humans to diff. Timeline is
+// the cross-node span tree — coordinator dispatch spans with each
+// shard's worker-side profile grafted in, all tagged with RunID.
 type reportFile struct {
+	RunID    string              `json:"runId"`
 	Suites   []string            `json:"suites"`
 	Rounds   int                 `json:"rounds"`
 	Complete bool                `json:"complete"`
 	Shards   []coord.ShardStatus `json:"shards"`
 	Nodes    []coord.NodeReport  `json:"nodes"`
+	Timeline *obs.SpanProfile    `json:"timeline,omitempty"`
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, error) {
@@ -130,7 +137,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 		failThreshold = fs.Int("fail-threshold", 3, "consecutive failures that trip a node's circuit breaker")
 		cooldown      = fs.Duration("cooldown", 2*time.Second, "breaker open time before a half-open probe")
 		runTimeout    = fs.Duration("timeout", 0, "whole-run deadline (0 = none)")
-		reportPath    = fs.String("report", "", "write the per-shard/per-node JSON report here")
+		reportPath    = fs.String("report", "", "write the per-shard/per-node JSON report (with run timeline) here")
+		metricsAddr   = fs.String("metrics-addr", "", "serve the coordinator's federated /metrics, /stats, /healthz here for the duration of the run")
+		scrapeEvery   = fs.Duration("scrape-interval", 2*time.Second, "worker metric federation scrape interval (needs -metrics-addr)")
+		profileOut    = fs.Bool("profile", false, "print the cross-node run timeline (flame view) after the run")
 		verbose       = fs.Bool("v", false, "log dispatch, retry, and breaker events to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -178,6 +188,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 		return 1, err
 	}
 
+	// The metrics listener and federation loop live for the whole run:
+	// CI (or a human) scrapes the coordinator mid-run for the fleet view.
+	// Both are torn down before exit — the coordinator is a batch tool.
+	if *metricsAddr != "" {
+		ln, lerr := net.Listen("tcp", *metricsAddr)
+		if lerr != nil {
+			return 1, fmt.Errorf("metrics listener: %w", lerr)
+		}
+		srv := &http.Server{Handler: co.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fedCtx, fedStop := context.WithCancel(ctx)
+		defer fedStop()
+		go co.Federate(fedCtx, *scrapeEvery)
+		fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", ln.Addr())
+	}
+
 	if *runTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *runTimeout)
@@ -187,6 +214,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	if err != nil {
 		return 1, err
 	}
+
+	fmt.Fprintf(stdout, "run %s\n", res.RunID)
 
 	// Shard and node accounting first: on a degraded run this is the
 	// diagnosis.
@@ -231,9 +260,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, err
 	fmt.Fprintln(stdout, "\ncoverage:")
 	yardstick.RenderTable(stdout, rows)
 
+	if *profileOut {
+		fmt.Fprintln(stdout, "\ntimeline:")
+		obs.WriteFlameProfile(stdout, res.Timeline)
+	}
+
 	if *reportPath != "" {
-		rep := reportFile{Suites: suites, Rounds: *rounds, Complete: res.Complete,
-			Shards: res.Shards, Nodes: res.Nodes}
+		rep := reportFile{RunID: res.RunID, Suites: suites, Rounds: *rounds,
+			Complete: res.Complete, Shards: res.Shards, Nodes: res.Nodes,
+			Timeline: res.Timeline}
 		buf, merr := json.MarshalIndent(rep, "", " ")
 		if merr != nil {
 			return 1, merr

@@ -127,6 +127,25 @@ func parseRetryAfter(h string, now time.Time) time.Duration {
 // DefaultRetry is the retry policy used when WithRetry is not given.
 var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 3 * time.Second}
 
+// headerCtxKey carries extra request headers on a context.
+type headerCtxKey struct{}
+
+// ContextWithHeader returns a context under which every request this
+// package issues carries the given header — the run-context propagation
+// channel: a coordinator sets X-Run-Id and X-Shard-Id once per dispatch
+// and they ride along on the submit, every poll, and the artifact
+// fetches without widening any method signature. Calls accumulate; a
+// repeated key overrides the earlier value.
+func ContextWithHeader(ctx context.Context, key, value string) context.Context {
+	prev, _ := ctx.Value(headerCtxKey{}).(http.Header)
+	h := prev.Clone() // nil-safe: Clone of nil is nil
+	if h == nil {
+		h = http.Header{}
+	}
+	h.Set(key, value)
+	return context.WithValue(ctx, headerCtxKey{}, h)
+}
+
 // Client talks to one coverage service. The zero value is not usable;
 // create with New. A Client is safe for concurrent use.
 type Client struct {
@@ -186,6 +205,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if extra, ok := ctx.Value(headerCtxKey{}).(http.Header); ok {
+		for k, vs := range extra {
+			req.Header[k] = vs
+		}
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -347,6 +371,15 @@ func (c *Client) Run(ctx context.Context, suites ...string) ([]service.RunResult
 func (c *Client) Coverage(ctx context.Context) (service.CoverageReport, error) {
 	var out service.CoverageReport
 	err := c.do(ctx, http.MethodGet, "/coverage", nil, http.StatusOK, &out)
+	return out, err
+}
+
+// Stats fetches the server's operational self-report (GET /stats):
+// queue depths, shed totals, route latencies, and the full metric
+// snapshot — the payload a coordinator federates under a node label.
+func (c *Client) Stats(ctx context.Context) (service.StatsReport, error) {
+	var out service.StatsReport
+	err := c.do(ctx, http.MethodGet, "/stats", nil, http.StatusOK, &out)
 	return out, err
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"yardstick/internal/core"
 	"yardstick/internal/netmodel"
+	"yardstick/internal/obs"
 	"yardstick/internal/service"
 )
 
@@ -135,6 +136,26 @@ func (c *Client) JobTrace(ctx context.Context, id string, net *netmodel.Network)
 		return nil, err
 	}
 	return core.DecodeTraceJSON(net, bytes.NewReader(raw))
+}
+
+// JobProfileRaw downloads a done job's span profile as raw JSON
+// (GET /jobs/{id}/profile) — the worker-side half of a distributed
+// run's timeline. Same ladder as the trace artifact: 409 while the job
+// is still running, 410 once the profile has been evicted.
+func (c *Client) JobProfileRaw(ctx context.Context, id string) ([]byte, error) {
+	var raw json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/jobs/"+url.PathEscape(id)+"/profile", nil, http.StatusOK, &raw)
+	return raw, err
+}
+
+// JobProfile downloads and decodes a done job's span profile. Malformed
+// profile bytes surface as an error wrapping obs.ErrProfileFormat.
+func (c *Client) JobProfile(ctx context.Context, id string) (*obs.SpanProfile, error) {
+	raw, err := c.JobProfileRaw(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return obs.DecodeSpanProfile(raw)
 }
 
 // CancelJob cancels a queued or running job (DELETE /jobs/{id}). A job

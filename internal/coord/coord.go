@@ -60,6 +60,7 @@ import (
 	"yardstick/internal/core"
 	"yardstick/internal/jobs"
 	"yardstick/internal/netmodel"
+	"yardstick/internal/obs"
 	"yardstick/internal/service"
 )
 
@@ -122,6 +123,12 @@ type Config struct {
 	// Cooldown is how long a tripped breaker stays open before one
 	// half-open probe may test the node again (<= 0 means 2s).
 	Cooldown time.Duration
+
+	// FederationMaxAge is how long a worker's last scraped metric
+	// snapshot stays in the coordinator's fleet view after the worker
+	// stops answering (<= 0 means obs.DefaultFederationMaxAge). See
+	// observe.go.
+	FederationMaxAge time.Duration
 
 	// Logger receives dispatch/retry/trip events. nil discards.
 	Logger *slog.Logger
@@ -206,6 +213,13 @@ func (n *node) availableClosed() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.state == stClosed
+}
+
+// stateNow returns the breaker state for the gauge flush.
+func (n *node) stateNow() breakerState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
 }
 
 func (n *node) inflightNow() int {
@@ -337,6 +351,9 @@ type NodeReport struct {
 // distributed analogue of the Errored test verdict, which never vouches
 // for what it could not check.
 type Result struct {
+	// RunID is the run's minted identity, carried on every dispatch as
+	// the X-Run-Id header and tagged through every span in Timeline.
+	RunID    string
 	Shards   []ShardStatus
 	Nodes    []NodeReport
 	Complete bool
@@ -345,13 +362,21 @@ type Result struct {
 	// Tests holds one result set per suite (from the first shard of
 	// that suite to finish — repeated rounds re-run identical tests).
 	Tests map[string][]service.RunResult
+	// Timeline is the cross-node span tree: the coordinator's own
+	// partition/dispatch/merge spans with each shard's span — and,
+	// beneath it, the worker-side job profile fetched from
+	// GET /jobs/{id}/profile — grafted in. Render with
+	// obs.WriteFlameProfile; worker subtrees carry node and run tags.
+	Timeline *obs.SpanProfile
 }
 
 // Coordinator dispatches shards across the fleet. Create with New;
 // node health (breaker state, counters) persists across Run calls.
 type Coordinator struct {
-	cfg   Config
-	nodes []*node
+	cfg     Config
+	nodes   []*node
+	metrics *obs.Registry
+	fed     *obs.Federation
 }
 
 // New validates the config and prepares the fleet.
@@ -363,19 +388,46 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, errors.New("coord: no network replica")
 	}
 	cfg = cfg.withDefaults()
-	co := &Coordinator{cfg: cfg}
+	co := &Coordinator{
+		cfg:     cfg,
+		metrics: obs.NewRegistry(),
+		fed:     obs.NewFederation(cfg.FederationMaxAge),
+	}
+	registerCoordHelp(co.metrics)
 	for _, base := range cfg.Nodes {
 		co.nodes = append(co.nodes, &node{base: base, c: cfg.NewClient(base)})
 	}
 	return co, nil
 }
 
-// shardRun is a ShardStatus plus the collected fragment bytes.
+// NodeReports returns every node's current health accounting (the same
+// rows Result.Nodes carries at the end of a run) — what the
+// coordinator's own /stats serves mid-run.
+func (co *Coordinator) NodeReports() []NodeReport {
+	out := make([]NodeReport, 0, len(co.nodes))
+	for _, n := range co.nodes {
+		out = append(out, n.report())
+	}
+	return out
+}
+
+// shardRun is a ShardStatus plus the collected fragment bytes and the
+// shard's observability state: the coordinator-side span and the
+// worker-side profile fetched from the winning node.
 type shardRun struct {
 	ShardStatus
+	runID   string
 	raw     []byte
 	results []service.RunResult
+	span    *obs.Span
+	// workerProfile is the winning job's span profile (nil when the
+	// fetch failed or decoded malformed — best-effort by design).
+	workerProfile *obs.SpanProfile
 }
+
+// shardID is the shard's wire identity within its run (the X-Shard-Id
+// header value).
+func (sh *shardRun) shardID() string { return fmt.Sprintf("s%d", sh.ID) }
 
 // Run partitions the suites into shards, dispatches them across the
 // fleet, and merges the fragments. The error return covers only setup
@@ -385,18 +437,32 @@ func (co *Coordinator) Run(ctx context.Context, suites ...string) (*Result, erro
 	if len(suites) == 0 {
 		return nil, errors.New("coord: no suites")
 	}
+	// Every run gets a minted identity. The run ID rides on each
+	// dispatch as X-Run-Id (workers tag their span trees, logs, and
+	// pprof labels with it), and the root span anchors the coordinator's
+	// half of the cross-node timeline.
+	runID := newRunID()
+	root := obs.NewRoot("coord.run", co.metrics)
+	root.SetTag("run", runID)
+	root.Set("suites", int64(len(suites)))
+	defer root.End()
+	co.cfg.Logger.Info("coord: run starting", "run", runID, "suites", suites, "rounds", co.cfg.Rounds)
+
 	shards := make([]*shardRun, 0, len(suites)*co.cfg.Rounds)
 	for round := 0; round < co.cfg.Rounds; round++ {
 		for _, s := range suites {
-			shards = append(shards, &shardRun{ShardStatus: ShardStatus{
-				ID: len(shards), Suite: s, Round: round,
-			}})
+			shards = append(shards, &shardRun{
+				ShardStatus: ShardStatus{ID: len(shards), Suite: s, Round: round},
+				runID:       runID,
+			})
 		}
 	}
+	root.Set("shards", int64(len(shards)))
 
 	// Dispatch: a fixed worker pool pulls shards off a channel. Workers
 	// never touch the coordinator's BDD space — fragments stay as bytes
 	// until the single-threaded merge below.
+	dsp := root.Child("coord.dispatch")
 	feed := make(chan *shardRun)
 	var wg sync.WaitGroup
 	for i := 0; i < co.cfg.Concurrency; i++ {
@@ -413,11 +479,43 @@ func (co *Coordinator) Run(ctx context.Context, suites ...string) (*Result, erro
 	}
 	close(feed)
 	wg.Wait()
+	dsp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("coord: run cancelled: %w", err)
 	}
 
-	return co.mergeShards(shards), nil
+	msp := root.Child("coord.merge")
+	res := co.mergeShards(shards)
+	msp.End()
+	root.End()
+	res.RunID = runID
+	res.Timeline = assembleTimeline(root, shards)
+	return res, nil
+}
+
+// assembleTimeline stitches the run's cross-node span tree: the run
+// root's own profile (dispatch and merge stages), with each shard's
+// span — carrying the worker-side job profile beneath it — grafted
+// under the dispatch stage. Assembly happens at the profile level
+// because the worker half arrives as an imported SpanProfile, not a
+// live span.
+func assembleTimeline(root *obs.Span, shards []*shardRun) *obs.SpanProfile {
+	tl := root.Profile()
+	var dispatch *obs.SpanProfile
+	for _, c := range tl.Children {
+		if c.Name == "coord.dispatch" {
+			dispatch = c
+		}
+	}
+	if dispatch == nil { // cannot happen; guard keeps the graft total
+		dispatch = tl
+	}
+	for _, sh := range shards {
+		p := sh.span.Profile()
+		p.Attach(sh.workerProfile)
+		dispatch.Attach(p)
+	}
+	return tl
 }
 
 // mergeShards decodes every collected fragment against the replica
@@ -462,6 +560,34 @@ func (co *Coordinator) mergeShards(shards []*shardRun) *Result {
 
 // runShard drives one shard to completion or to attempt exhaustion.
 func (co *Coordinator) runShard(ctx context.Context, sh *shardRun) {
+	// The shard span is its own root, not a child of the run root: the
+	// timeline grafts it (plus the fetched worker profile) in at the
+	// profile level (assembleTimeline), and keeping it out of the live
+	// tree keeps concurrent shard spans from contending on one parent.
+	// Ended with End, not EndStage — per-shard latency goes to the
+	// suite-labelled histogram instead of exploding the shared stage
+	// histogram's name space.
+	sh.span = obs.NewRoot("coord.shard", co.metrics)
+	sh.span.SetTag("run", sh.runID)
+	sh.span.SetTag("shard", sh.shardID())
+	sh.span.SetTag("suite", sh.Suite)
+	start := time.Now()
+	defer func() {
+		sh.span.Set("attempts", int64(sh.Attempts))
+		if sh.Node != "" {
+			sh.span.SetTag("node", sh.Node)
+		}
+		sh.span.End()
+		if sh.Done {
+			co.metrics.Histogram(MetricShardDuration, obs.DefBuckets, "suite", sh.Suite).
+				ObserveSince(start)
+		}
+	}()
+	// Run context rides to the worker on headers, on every request of
+	// every attempt: submit, polls, artifact fetches.
+	ctx = client.ContextWithHeader(ctx, service.HeaderRunID, sh.runID)
+	ctx = client.ContextWithHeader(ctx, service.HeaderShardID, sh.shardID())
+
 	var lastErr error
 	var lastNode *node
 	for attempt := 1; attempt <= co.cfg.MaxAttempts; attempt++ {
@@ -470,6 +596,9 @@ func (co *Coordinator) runShard(ctx context.Context, sh *shardRun) {
 			break
 		}
 		sh.Attempts = attempt
+		if attempt > 1 {
+			co.metrics.Counter(MetricRedispatch).Inc()
+		}
 		// Prefer a node other than the one that just failed this shard;
 		// fall back to any healthy node (a one-node fleet retries in
 		// place).
@@ -580,21 +709,33 @@ func (co *Coordinator) dispatch(ctx context.Context, sh *shardRun, primary *node
 	var won atomic.Bool
 	launch := func(n *node) {
 		go func() {
+			asp := sh.span.Child("coord.attempt")
+			asp.SetTag("node", n.base)
 			out, err := co.attemptOn(actx, sh.Suite, n)
+			verdict := ""
 			switch {
 			case err == nil:
+				verdict = "success"
 				n.onSuccess()
 			case won.Load() || ctx.Err() != nil:
 				// Cancelled by the winner or by the caller — says
 				// nothing about the node.
+				verdict = "neutral"
 				n.onNeutral()
 			default:
 				if _, shed := client.IsShed(err); shed {
+					verdict = "shed"
 					n.onShed()
-				} else if n.onFailure(time.Now(), co.cfg.FailureThreshold) {
-					co.cfg.Logger.Warn("coord: breaker tripped", "node", n.base)
+				} else {
+					verdict = "failure"
+					if n.onFailure(time.Now(), co.cfg.FailureThreshold) {
+						co.cfg.Logger.Warn("coord: breaker tripped", "node", n.base)
+					}
 				}
 			}
+			co.metrics.Counter(MetricDispatch, "node", n.base, "outcome", verdict).Inc()
+			asp.SetTag("outcome", verdict)
+			asp.End()
 			n.release()
 			ch <- outcome{out, err, n}
 		}()
@@ -618,6 +759,7 @@ func (co *Coordinator) dispatch(ctx context.Context, sh *shardRun, primary *node
 				sh.Node = o.n.base
 				sh.raw = o.out.raw
 				sh.results = o.out.results
+				sh.workerProfile = o.out.profile
 				return nil
 			}
 			if firstErr == nil {
@@ -630,6 +772,7 @@ func (co *Coordinator) dispatch(ctx context.Context, sh *shardRun, primary *node
 			hedgeC = nil
 			if sec := co.pickHedge(primary); sec != nil {
 				sh.Hedged = true
+				co.metrics.Counter(MetricHedges).Inc()
 				co.cfg.Logger.Info("coord: hedging shard",
 					"shard", sh.ID, "suite", sh.Suite, "primary", primary.base, "hedge", sec.base)
 				outstanding++
@@ -643,6 +786,9 @@ func (co *Coordinator) dispatch(ctx context.Context, sh *shardRun, primary *node
 type shardOut struct {
 	raw     []byte
 	results []service.RunResult
+	// profile is the job's worker-side span profile (nil when
+	// unavailable — its fetch is best-effort).
+	profile *obs.SpanProfile
 }
 
 // attemptOn runs a shard once on one node: ensure the network is
@@ -680,6 +826,17 @@ func (co *Coordinator) attemptOn(ctx context.Context, suite string, n *node) (sh
 		if uerr := json.Unmarshal(j.Result, &out.results); uerr != nil {
 			return out, fmt.Errorf("decode job %s result: %w", j.ID, uerr)
 		}
+	}
+	// The worker-side span profile is observability, not coverage: its
+	// fetch is best-effort and can never fail the shard. Malformed bytes
+	// are counted and dropped — obs.DecodeSpanProfile guarantees no
+	// input panics the coordinator.
+	if praw, perr := n.c.JobProfileRaw(ctx, j.ID); perr != nil {
+		co.metrics.Counter(MetricProfileFetchFailures).Inc()
+		co.cfg.Logger.Info("coord: job profile unavailable", "node", n.base, "job", j.ID, "err", perr)
+	} else if out.profile, perr = obs.DecodeSpanProfile(praw); perr != nil {
+		co.metrics.Counter(MetricProfileDecodeFailures).Inc()
+		co.cfg.Logger.Warn("coord: job profile malformed", "node", n.base, "job", j.ID, "err", perr)
 	}
 	return out, nil
 }

@@ -1,0 +1,233 @@
+// Coordinator observability: native metrics, the fleet federation
+// loop, and the coordinator's own HTTP surface.
+//
+// The coordinator is the one process that can see a distributed run
+// whole, so it exposes two views at once from a single /metrics:
+//
+//   - Native series (yardstick_coord_*): dispatch outcomes per node,
+//     re-dispatches, hedges, breaker states, per-suite shard latency,
+//     federation health. These live in a normal obs.Registry.
+//
+//   - Federated series: each worker's full metric snapshot, scraped
+//     from its /stats (whose Metrics field carries exactly what the
+//     worker's own /metrics exposes, job gauges freshly flushed),
+//     re-labelled under node="<base-url>". These live in an
+//     obs.Federation — per-node snapshots replaced wholesale per
+//     scrape, aged out when a node stops answering — because federated
+//     counters are re-exported readings that may legally reset, which
+//     a Registry's monotonic counters cannot represent.
+//
+// The two views merge only at exposition time (FleetMetrics), where
+// type conflicts and duplicate series are dropped and counted rather
+// than double-reported. The native families all carry the
+// yardstick_coord_ prefix, so in practice nothing collides with the
+// workers' yardstick_* families.
+package coord
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"yardstick/internal/obs"
+)
+
+// Coordinator-native metric names.
+const (
+	// MetricDispatch counts dispatch attempts by node and outcome
+	// (success, failure, shed, neutral — neutral is a cancelled attempt
+	// that says nothing about the node).
+	MetricDispatch = "yardstick_coord_dispatch_total"
+	// MetricRedispatch counts shard attempts beyond each shard's first.
+	MetricRedispatch = "yardstick_coord_redispatch_total"
+	// MetricHedges counts hedged (duplicate, racing) dispatches.
+	MetricHedges = "yardstick_coord_hedge_total"
+	// MetricBreakerState gauges each node's breaker: 0 closed, 1
+	// half-open, 2 open.
+	MetricBreakerState = "yardstick_coord_breaker_state"
+	// MetricShardDuration is the completed-shard latency histogram, by
+	// suite: dispatch to collected fragment, queue and retries included.
+	MetricShardDuration = "yardstick_coord_shard_duration_seconds"
+	// MetricProfileFetchFailures counts worker span profiles that could
+	// not be fetched (best-effort; the shard still completes).
+	MetricProfileFetchFailures = "yardstick_coord_profile_fetch_failures_total"
+	// MetricProfileDecodeFailures counts fetched profiles rejected as
+	// malformed by the obs codec.
+	MetricProfileDecodeFailures = "yardstick_coord_profile_decode_failures_total"
+	// MetricScrapes counts federation scrapes by node and outcome.
+	MetricScrapes = "yardstick_coord_scrape_total"
+	// MetricFederatedSeries gauges how many federated series the last
+	// FleetMetrics exposition carried.
+	MetricFederatedSeries = "yardstick_coord_federated_series"
+	// MetricMergeDropped gauges series dropped from the last exposition
+	// for type conflicts or duplication — nonzero means two sources
+	// disagree and one was silenced rather than double-counted.
+	MetricMergeDropped = "yardstick_coord_merge_dropped_series"
+)
+
+func registerCoordHelp(r *obs.Registry) {
+	r.SetHelp(MetricDispatch, "Shard dispatch attempts, by node and outcome")
+	r.SetHelp(MetricRedispatch, "Shard attempts beyond the first")
+	r.SetHelp(MetricHedges, "Hedged (racing duplicate) dispatches")
+	r.SetHelp(MetricBreakerState, "Per-node breaker state: 0 closed, 1 half-open, 2 open")
+	r.SetHelp(MetricShardDuration, "Completed shard latency, by suite")
+	r.SetHelp(MetricProfileFetchFailures, "Worker span profiles that could not be fetched")
+	r.SetHelp(MetricProfileDecodeFailures, "Worker span profiles rejected as malformed")
+	r.SetHelp(MetricScrapes, "Federation scrapes, by node and outcome")
+	r.SetHelp(MetricFederatedSeries, "Federated series in the last fleet exposition")
+	r.SetHelp(MetricMergeDropped, "Series dropped from the last fleet exposition (type conflict or duplicate)")
+}
+
+// newRunID mints a 16-hex-char run ID (the same shape as request and
+// job IDs). Randomness failures degrade to a timestamp-derived ID.
+func newRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Metrics exposes the coordinator's native metric registry.
+func (co *Coordinator) Metrics() *obs.Registry { return co.metrics }
+
+// flushBreakerGauges refreshes the per-node breaker state gauges;
+// called at exposition time so a scrape always reflects current state.
+func (co *Coordinator) flushBreakerGauges() {
+	for _, n := range co.nodes {
+		v := 0.0
+		switch n.stateNow() {
+		case stHalfOpen:
+			v = 1
+		case stOpen:
+			v = 2
+		}
+		co.metrics.Gauge(MetricBreakerState, "node", n.base).Set(v)
+	}
+}
+
+// ScrapeNode pulls one worker's /stats and ingests its metric snapshot
+// into the federation under the node's base URL. A worker that does not
+// answer leaves its previous snapshot in place to age out — failure
+// here is recorded, never fatal.
+func (co *Coordinator) scrapeNode(ctx context.Context, n *node, now time.Time) error {
+	st, err := n.c.Stats(ctx)
+	if err != nil {
+		co.metrics.Counter(MetricScrapes, "node", n.base, "outcome", "failure").Inc()
+		return err
+	}
+	co.fed.Ingest(n.base, st.Metrics, now)
+	co.metrics.Counter(MetricScrapes, "node", n.base, "outcome", "success").Inc()
+	return nil
+}
+
+// ScrapeFleet runs one federation sweep over every node. Nodes are
+// scraped sequentially — fleet sizes here are small and the scrape
+// client already bounds each request — and failures are per-node:
+// a dead worker costs one error log, not the sweep.
+func (co *Coordinator) ScrapeFleet(ctx context.Context) {
+	now := time.Now()
+	for _, n := range co.nodes {
+		if ctx.Err() != nil {
+			return
+		}
+		if err := co.scrapeNode(ctx, n, now); err != nil {
+			co.cfg.Logger.Info("coord: scrape failed", "node", n.base, "err", err)
+		}
+	}
+}
+
+// Federate runs the scrape loop every interval until ctx is done — the
+// coordinator's pull-based metric federation. Pair it with a metrics
+// listener serving WriteFleetMetrics. interval <= 0 means 2s.
+func (co *Coordinator) Federate(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	co.ScrapeFleet(ctx)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			co.ScrapeFleet(ctx)
+		}
+	}
+}
+
+// FleetMetrics returns the merged fleet view: the coordinator's native
+// series plus every fresh federated node snapshot, sorted and
+// de-duplicated. The federation-health gauges describe the very
+// exposition being built, so they are computed in two passes: merge
+// once to count, set the gauges, snapshot again.
+func (co *Coordinator) FleetMetrics() []obs.Metric {
+	co.flushBreakerGauges()
+	now := time.Now()
+	fed := co.fed.Snapshot(now)
+	_, dropped := obs.MergeMetrics(co.metrics.Snapshot(), fed)
+	co.metrics.Gauge(MetricFederatedSeries).Set(float64(len(fed)))
+	co.metrics.Gauge(MetricMergeDropped).Set(float64(dropped))
+	merged, _ := obs.MergeMetrics(co.metrics.Snapshot(), fed)
+	return merged
+}
+
+// WriteFleetMetrics writes the merged fleet view in the Prometheus text
+// exposition format — what the coordinator's -metrics-addr /metrics
+// serves.
+func (co *Coordinator) WriteFleetMetrics(w io.Writer) error {
+	return obs.WritePrometheusMetrics(w, co.metrics.Help(), co.FleetMetrics())
+}
+
+// FederatedNodes returns the nodes with a fresh snapshot in the fleet
+// view — the staleness-filtered federation membership.
+func (co *Coordinator) FederatedNodes() []string {
+	return co.fed.Nodes(time.Now())
+}
+
+// CoordStats is the coordinator's GET /stats body: per-node breaker
+// accounting plus federation membership.
+type CoordStats struct {
+	Nodes []NodeReport `json:"nodes"`
+	// Federated lists the worker nodes whose metrics are currently
+	// (non-stale) part of the fleet view.
+	Federated []string     `json:"federated"`
+	Metrics   []obs.Metric `json:"metrics"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the coordinator's own observability surface — what
+// cmd/yardstick-coord mounts on -metrics-addr:
+//
+//	GET /metrics  merged native + federated exposition
+//	GET /stats    JSON: node reports, federation membership, metrics
+//	GET /healthz  liveness
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		co.WriteFleetMetrics(w)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, CoordStats{
+			Nodes:     co.NodeReports(),
+			Federated: co.FederatedNodes(),
+			Metrics:   co.FleetMetrics(),
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}

@@ -65,6 +65,14 @@ type Spec struct {
 	// Workers is the requested per-run parallelism (0 = the server cap,
 	// 1 = sequential), clamped server-side like POST /run's ?workers.
 	Workers int `json:"workers,omitempty"`
+	// RunID is the distributed run this job belongs to, minted by the
+	// coordinator and delivered in the X-Run-Id submit header ("" for a
+	// standalone job). The job's span tree, logs, and pprof labels carry
+	// it so fleet-wide profiles can be joined per run.
+	RunID string `json:"runId,omitempty"`
+	// Shard identifies which shard of the run this job executes (from
+	// the X-Shard-Id submit header; "" for standalone jobs).
+	Shard string `json:"shard,omitempty"`
 }
 
 // Job is the externally visible snapshot of one job — what GET

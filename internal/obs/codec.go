@@ -1,0 +1,186 @@
+// Span profile export/import: the wire form of a span tree.
+//
+// A live *Span is process-local — it holds mutexes, atomics, and a
+// registry pointer. SpanProfile is its frozen, serializable shadow: the
+// shape a worker ships to the coordinator (GET /jobs/{id}/profile) so a
+// distributed run's timeline can be stitched from spans recorded on
+// different machines. The decode side is written for hostile input:
+// profile bytes arrive over the network from nodes that may be
+// restarting, truncating responses, or running older builds, and a
+// malformed profile must degrade into a typed error — never a panic in
+// the coordinator's merge loop (FuzzSpanProfileDecode pins this).
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Decode guardrails. A legitimate profile is a stage tree — tens of
+// spans, nesting a handful deep. The caps are orders of magnitude above
+// that, low enough that a malicious or corrupt payload cannot stack- or
+// memory-exhaust the importer.
+const (
+	// MaxProfileSpans bounds the total span count of a decoded profile.
+	MaxProfileSpans = 100_000
+	// MaxProfileDepth bounds the nesting depth of a decoded profile.
+	MaxProfileDepth = 512
+)
+
+// ErrProfileFormat reports a span profile that failed structural
+// validation (not JSON, oversized, too deep, negative duration).
+var ErrProfileFormat = errors.New("obs: malformed span profile")
+
+// SpanProfile is the serializable form of one span and its subtree.
+// Start is wall-clock (UnixNano) so profiles recorded on different
+// machines order on a shared axis — subject to clock skew, which the
+// flame renderer tolerates (it prints durations, not offsets).
+type SpanProfile struct {
+	Name     string         `json:"name"`
+	Start    int64          `json:"start"` // UnixNano
+	DurNs    int64          `json:"durNs"`
+	Open     bool           `json:"open,omitempty"` // never ended: a leak marker
+	Tags     []SpanTag      `json:"tags,omitempty"`
+	Metrics  []SpanMetric   `json:"metrics,omitempty"`
+	Children []*SpanProfile `json:"children,omitempty"`
+}
+
+// Profile exports the span's subtree as a frozen SpanProfile. An open
+// span exports its running duration with Open set. Nil-safe.
+func (s *Span) Profile() *SpanProfile {
+	if s == nil {
+		return nil
+	}
+	p := &SpanProfile{
+		Name:    s.Name(),
+		Start:   s.Start().UnixNano(),
+		DurNs:   s.Duration().Nanoseconds(),
+		Open:    !s.Ended(),
+		Tags:    s.Tags(),
+		Metrics: s.Metrics(),
+	}
+	for _, c := range s.Children() {
+		p.Children = append(p.Children, c.Profile())
+	}
+	return p
+}
+
+// Attach grafts child under p (appended after existing children).
+// Nil-safe on both sides: attaching nothing, or to nothing, no-ops.
+func (p *SpanProfile) Attach(child *SpanProfile) {
+	if p == nil || child == nil {
+		return
+	}
+	p.Children = append(p.Children, child)
+}
+
+// Duration returns the profile's recorded duration.
+func (p *SpanProfile) Duration() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Duration(p.DurNs)
+}
+
+// Self returns the profile's own time: duration minus the children's
+// durations, clamped at zero (concurrent children can sum past the
+// parent's wall time).
+func (p *SpanProfile) Self() time.Duration {
+	if p == nil {
+		return 0
+	}
+	d := time.Duration(p.DurNs)
+	for _, c := range p.Children {
+		d -= c.Duration()
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Tag returns the value of a named tag ("" when unset or p is nil).
+func (p *SpanProfile) Tag(name string) string {
+	if p == nil {
+		return ""
+	}
+	for _, t := range p.Tags {
+		if t.Name == name {
+			return t.Value
+		}
+	}
+	return ""
+}
+
+// Walk visits the subtree depth-first in child order, passing each
+// node's depth (0 for p). Nil-safe.
+func (p *SpanProfile) Walk(fn func(depth int, sp *SpanProfile)) {
+	if p == nil {
+		return
+	}
+	var rec func(int, *SpanProfile)
+	rec = func(d int, sp *SpanProfile) {
+		fn(d, sp)
+		for _, c := range sp.Children {
+			if c != nil {
+				rec(d+1, c)
+			}
+		}
+	}
+	rec(0, p)
+}
+
+// SpanCount returns the number of spans in the subtree (0 for nil).
+func (p *SpanProfile) SpanCount() int {
+	n := 0
+	p.Walk(func(int, *SpanProfile) { n++ })
+	return n
+}
+
+// EncodeJSON writes the profile as JSON.
+func (p *SpanProfile) EncodeJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(p)
+}
+
+// DecodeSpanProfile parses and validates profile JSON. Every failure —
+// syntax, structure, size, depth — comes back as an error wrapping
+// ErrProfileFormat; no input can panic the decoder, which is what lets
+// a coordinator feed it bytes from half-dead workers inside its merge
+// loop.
+func DecodeSpanProfile(data []byte) (*SpanProfile, error) {
+	var p SpanProfile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProfileFormat, err)
+	}
+	spans := 0
+	if err := validateProfile(&p, 0, &spans); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// validateProfile enforces the decode guardrails over one subtree.
+func validateProfile(p *SpanProfile, depth int, spans *int) error {
+	if depth > MaxProfileDepth {
+		return fmt.Errorf("%w: nesting deeper than %d", ErrProfileFormat, MaxProfileDepth)
+	}
+	*spans++
+	if *spans > MaxProfileSpans {
+		return fmt.Errorf("%w: more than %d spans", ErrProfileFormat, MaxProfileSpans)
+	}
+	if p.DurNs < 0 {
+		return fmt.Errorf("%w: span %q has negative duration", ErrProfileFormat, p.Name)
+	}
+	for _, c := range p.Children {
+		if c == nil {
+			return fmt.Errorf("%w: null child under span %q", ErrProfileFormat, p.Name)
+		}
+		if err := validateProfile(c, depth+1, spans); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSpanProfileExport(t *testing.T) {
+	root := NewRoot("run", nil)
+	root.SetTag("run", "deadbeef")
+	a := root.Child("load")
+	a.Set("devices", 24)
+	a.End()
+	b := root.Child("eval")
+	open := b.Child("hung") // deliberately left open
+	_ = open
+	b.End()
+	root.End()
+
+	p := root.Profile()
+	if p.Name != "run" || p.Tag("run") != "deadbeef" {
+		t.Fatalf("root profile = %+v", p)
+	}
+	if p.Open {
+		t.Error("ended root exported as open")
+	}
+	if got := p.SpanCount(); got != 4 {
+		t.Errorf("SpanCount = %d, want 4", got)
+	}
+	if !p.Children[1].Children[0].Open {
+		t.Error("unended child not exported as open")
+	}
+	if len(p.Children[0].Metrics) != 1 || p.Children[0].Metrics[0].Value != 24 {
+		t.Errorf("metrics = %v", p.Children[0].Metrics)
+	}
+	if p.Duration() < p.Children[0].Duration() {
+		t.Error("profile root shorter than child")
+	}
+}
+
+func TestSpanProfileRoundTrip(t *testing.T) {
+	// Property: Profile → EncodeJSON → DecodeSpanProfile is the identity
+	// on randomly generated trees (modulo nothing — the codec is exact).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProfile(rng, 0)
+		var buf bytes.Buffer
+		if err := p.EncodeJSON(&buf); err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		got, err := DecodeSpanProfile(buf.Bytes())
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		want, _ := json.Marshal(p)
+		have, _ := json.Marshal(got)
+		if !bytes.Equal(want, have) {
+			t.Fatalf("trial %d: round trip changed profile:\n want %s\n have %s", trial, want, have)
+		}
+	}
+}
+
+// randomProfile builds an arbitrary valid span tree, exercising tags,
+// metrics, open spans, empty names, and ragged nesting.
+func randomProfile(rng *rand.Rand, depth int) *SpanProfile {
+	p := &SpanProfile{
+		Name:  []string{"run", "load", "eval", "", "merge", "x y\"z"}[rng.Intn(6)],
+		Start: rng.Int63n(1 << 50),
+		DurNs: rng.Int63n(1 << 40),
+		Open:  rng.Intn(4) == 0,
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		p.Tags = append(p.Tags, SpanTag{Name: "tag", Value: "v"})
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		p.Metrics = append(p.Metrics, SpanMetric{Name: "m", Value: rng.Int63n(1000)})
+	}
+	if depth < 4 {
+		for i := rng.Intn(3); i > 0; i-- {
+			p.Children = append(p.Children, randomProfile(rng, depth+1))
+		}
+	}
+	return p
+}
+
+func TestDecodeSpanProfileRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{"name": `,
+		"wrong type":     `[1,2,3]`,
+		"null child":     `{"name":"a","children":[null]}`,
+		"negative dur":   `{"name":"a","durNs":-5}`,
+		"too deep":       deepProfile(MaxProfileDepth + 1),
+		"string in dur":  `{"name":"a","durNs":"zero"}`,
+		"child not tree": `{"name":"a","children":[{"durNs":-1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := DecodeSpanProfile([]byte(in)); err == nil {
+			t.Errorf("%s: decode accepted %q", name, in)
+		}
+	}
+	// Valid input still decodes.
+	if _, err := DecodeSpanProfile([]byte(`{"name":"ok"}`)); err != nil {
+		t.Fatalf("minimal profile rejected: %v", err)
+	}
+}
+
+func deepProfile(depth int) string {
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString(`{"name":"d","children":[`)
+	}
+	b.WriteString(`{"name":"leaf"}`)
+	for i := 0; i < depth; i++ {
+		b.WriteString(`]}`)
+	}
+	return b.String()
+}
+
+// FuzzSpanProfileDecode proves the decoder never panics and never
+// returns a tree that violates its own caps — this is the input the
+// coordinator feeds straight from worker HTTP responses.
+func FuzzSpanProfileDecode(f *testing.F) {
+	f.Add([]byte(`{"name":"run","durNs":12,"children":[{"name":"eval","open":true}]}`))
+	f.Add([]byte(`{"name":"a","tags":[{"name":"run","value":"ff"}],"metrics":[{"name":"ops","value":3}]}`))
+	f.Add([]byte(`{"children":[null]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(deepProfile(MaxProfileDepth + 2)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeSpanProfile(data)
+		if err != nil {
+			return
+		}
+		// Every accepted tree must satisfy the validated invariants.
+		n := 0
+		maxDepth := 0
+		p.Walk(func(depth int, sp *SpanProfile) {
+			n++
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+			if sp.DurNs < 0 {
+				t.Fatalf("accepted negative duration %d", sp.DurNs)
+			}
+		})
+		if n > MaxProfileSpans {
+			t.Fatalf("accepted %d spans (cap %d)", n, MaxProfileSpans)
+		}
+		if maxDepth > MaxProfileDepth {
+			t.Fatalf("accepted depth %d (cap %d)", maxDepth, MaxProfileDepth)
+		}
+		// And must re-encode cleanly.
+		if err := p.EncodeJSON(bytes.NewBuffer(nil)); err != nil {
+			t.Fatalf("accepted profile fails to encode: %v", err)
+		}
+	})
+}
+
+func TestWriteFlameProfile(t *testing.T) {
+	root := NewRoot("run", nil)
+	c := root.Child("eval")
+	c.SetTag("suite", "default")
+	c.Set("tests", 7)
+	c.End()
+	root.End()
+
+	var buf bytes.Buffer
+	WriteFlameProfile(&buf, root.Profile())
+	out := buf.String()
+	for _, want := range []string{"span tree", "run", "eval", `suite="default"`, "tests=7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flame output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	WriteFlameProfile(&buf, nil)
+	if !strings.Contains(buf.String(), "(none)") {
+		t.Errorf("nil profile output = %q", buf.String())
+	}
+}

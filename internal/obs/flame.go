@@ -1,7 +1,10 @@
 // Flame-style text report of a span tree: one indented line per span
 // with total and self times plus the span's counter deltas, so a
 // BENCH_*.json trajectory (or a slow production run) can be explained
-// stage by stage.
+// stage by stage. The renderer works on SpanProfile — the serialized
+// span form — so it draws live local trees and imported cross-node
+// timelines (coordinator spans with worker profiles grafted in) with
+// the same code.
 package obs
 
 import (
@@ -23,21 +26,32 @@ import (
 // recording order. Open (un-ended) spans are marked, since a profile
 // with open spans is a leak.
 func WriteFlame(w io.Writer, s *Span) {
-	if s == nil {
+	WriteFlameProfile(w, s.Profile())
+}
+
+// WriteFlameProfile renders an exported (possibly cross-node) span
+// profile in the WriteFlame format. String tags print quoted after the
+// timings, integer metrics unquoted, so a stitched timeline shows which
+// node and run each subtree came from.
+func WriteFlameProfile(w io.Writer, p *SpanProfile) {
+	if p == nil {
 		fmt.Fprintln(w, "span tree: (none)")
 		return
 	}
-	fmt.Fprintf(w, "span tree (total %s):\n", fmtDur(s.Duration()))
-	s.Walk(func(depth int, sp *Span) {
-		name := strings.Repeat("  ", depth+1) + sp.Name()
+	fmt.Fprintf(w, "span tree (total %s):\n", fmtDur(p.Duration()))
+	p.Walk(func(depth int, sp *SpanProfile) {
+		name := strings.Repeat("  ", depth+1) + sp.Name
 		if len(name) < 34 {
 			name += strings.Repeat(" ", 34-len(name))
 		}
 		line := fmt.Sprintf("%s %9s  self %9s", name, fmtDur(sp.Duration()), fmtDur(sp.Self()))
-		for _, m := range sp.Metrics() {
+		for _, t := range sp.Tags {
+			line += fmt.Sprintf("  %s=%q", t.Name, t.Value)
+		}
+		for _, m := range sp.Metrics {
 			line += fmt.Sprintf("  %s=%d", m.Name, m.Value)
 		}
-		if !sp.Ended() {
+		if sp.Open {
 			line += "  [open]"
 		}
 		fmt.Fprintln(w, line)

@@ -24,18 +24,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	bw := bufio.NewWriter(w)
-	// Snapshot gives sorted, cumulative series; group back into families
-	// to emit one HELP/TYPE header per name.
-	r.mu.Lock()
-	help := make(map[string]string, len(r.help))
-	for name, h := range r.help {
-		help[name] = h
-	}
-	r.mu.Unlock()
+	return WritePrometheusMetrics(w, r.Help(), r.Snapshot())
+}
 
+// WritePrometheusMetrics writes an explicit metric list (sorted by name
+// then labels, as Snapshot, Federation.Snapshot, and MergeMetrics all
+// produce) in the Prometheus text format with the given HELP texts.
+// This is the exposition path for merged fleet views, where the series
+// come from several sources rather than one live registry.
+func WritePrometheusMetrics(w io.Writer, help map[string]string, ms []Metric) error {
+	bw := bufio.NewWriter(w)
 	last := ""
-	for _, m := range r.Snapshot() {
+	for _, m := range ms {
 		if m.Name != last {
 			h := help[m.Name]
 			if h == "" {

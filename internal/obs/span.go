@@ -22,8 +22,17 @@ import (
 
 // SpanMetric is one named counter delta recorded on a span.
 type SpanMetric struct {
-	Name  string
-	Value int64
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// SpanTag is one named string annotation on a span — identity that
+// numbers cannot carry (a run ID, a node URL, a suite name). Tags are
+// what link a worker's exported span profile back to the distributed
+// run that dispatched it.
+type SpanTag struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
 }
 
 // Span is one timed stage of a run. Create roots with NewRoot (or
@@ -39,6 +48,7 @@ type Span struct {
 	mu       sync.Mutex
 	children []*Span
 	metrics  []SpanMetric
+	tags     []SpanTag
 }
 
 // NewSpan starts a root span with no registry attached.
@@ -190,6 +200,49 @@ func (s *Span) Add(name string, v int64) {
 		}
 	}
 	s.metrics = append(s.metrics, SpanMetric{name, v})
+}
+
+// SetTag records (or replaces) a named string annotation on the span.
+func (s *Span) SetTag(name, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.tags {
+		if s.tags[i].Name == name {
+			s.tags[i].Value = value
+			return
+		}
+	}
+	s.tags = append(s.tags, SpanTag{name, value})
+}
+
+// Tag returns the value of a named tag ("" when unset or s is nil).
+func (s *Span) Tag(name string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tags {
+		if t.Name == name {
+			return t.Value
+		}
+	}
+	return ""
+}
+
+// Tags returns a copy of the span's tags in recording order.
+func (s *Span) Tags() []SpanTag {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SpanTag, len(s.tags))
+	copy(out, s.tags)
+	return out
 }
 
 // Metrics returns a copy of the span's metrics in recording order.

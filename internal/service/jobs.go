@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io/fs"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 
 	"yardstick/internal/bdd"
@@ -67,6 +68,26 @@ type JobList struct {
 // a distributed coordinator needs exactly this shard's contribution,
 // not whatever else the node has accumulated.
 func (s *Server) runJob(ctx context.Context, spec jobs.Spec) (json.RawMessage, error) {
+	// The goroutine runs under pprof labels for the job (and, when this
+	// is a shard of a distributed run, the run and shard IDs), so a
+	// -pprof-addr CPU profile attributes samples to specific runs.
+	labels := []string{"job", jobs.JobID(ctx)}
+	if spec.RunID != "" {
+		labels = append(labels, "run", spec.RunID)
+	}
+	if spec.Shard != "" {
+		labels = append(labels, "shard", spec.Shard)
+	}
+	var raw json.RawMessage
+	var err error
+	pprof.Do(ctx, pprof.Labels(labels...), func(ctx context.Context) {
+		raw, err = s.runJobLabeled(ctx, spec)
+	})
+	return raw, err
+}
+
+// runJobLabeled is runJob's body, running under the job's pprof labels.
+func (s *Server) runJobLabeled(ctx context.Context, spec jobs.Spec) (json.RawMessage, error) {
 	suite, err := testkit.BuiltinSuite(spec.Suites)
 	if err != nil {
 		return nil, err
@@ -77,8 +98,27 @@ func (s *Server) runJob(ctx context.Context, spec jobs.Spec) (json.RawMessage, e
 		return nil, errors.New("no network loaded")
 	}
 	workers := s.clampWorkers(spec.Workers)
+	jobID := jobs.JobID(ctx)
 	sp := obs.NewRoot("service.job", s.metrics)
-	defer sp.EndStage()
+	sp.SetTag("job", jobID)
+	if spec.RunID != "" {
+		sp.SetTag("run", spec.RunID)
+		s.logger.Info("running distributed shard",
+			"job", jobID, "run", spec.RunID, "shard", spec.Shard)
+	}
+	if spec.Shard != "" {
+		sp.SetTag("shard", spec.Shard)
+	}
+	// One deferred finish path: end the span, store its profile for
+	// GET /jobs/{id}/profile (even for aborted runs — a partial profile
+	// still explains where the time went), then hand it to the observer.
+	defer func() {
+		sp.EndStage()
+		s.storeJobProfileLocked(jobID, sp)
+		if s.spanObserver != nil {
+			s.spanObserver(sp)
+		}
+	}()
 	ctx = obs.ContextWithSpan(ctx, sp)
 	frag := core.NewTrace()
 	out, err := s.runSuiteLocked(ctx, suite, workers, frag)
@@ -92,7 +132,7 @@ func (s *Server) runJob(ctx context.Context, spec jobs.Spec) (json.RawMessage, e
 	if err != nil {
 		return nil, fmt.Errorf("run aborted: %w", err)
 	}
-	if err := s.storeJobTraceLocked(jobs.JobID(ctx), frag); err != nil {
+	if err := s.storeJobTraceLocked(jobID, frag); err != nil {
 		return nil, fmt.Errorf("encode job trace: %w", err)
 	}
 	raw, err := json.Marshal(out)
@@ -121,6 +161,57 @@ func (s *Server) storeJobTraceLocked(id string, frag *core.Trace) error {
 	}
 	s.jobTraces[id] = buf.Bytes()
 	return nil
+}
+
+// storeJobProfileLocked serializes a finished job's span profile for
+// GET /jobs/{id}/profile, pruning entries whose jobs the queue no
+// longer retains. Callers hold s.mu.
+func (s *Server) storeJobProfileLocked(id string, sp *obs.Span) {
+	if id == "" || sp == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := sp.Profile().EncodeJSON(&buf); err != nil {
+		s.logger.Error("encoding job span profile", "job", id, "err", err)
+		return
+	}
+	for old := range s.jobProfiles {
+		if _, ok := s.jobs.Get(old); !ok {
+			delete(s.jobProfiles, old)
+		}
+	}
+	s.jobProfiles[id] = buf.Bytes()
+}
+
+// getJobProfile serves a finished job's span profile as JSON — the
+// worker-side half of a distributed run's timeline. Same ladder as the
+// trace artifact: 404 unknown, 409 + Retry-After while the job still
+// runs, 410 once the profile has been evicted or lost to a restart.
+// Unlike the trace, failed and cancelled jobs do serve their (partial)
+// profile: a timeline that explains where an aborted shard's time went
+// is exactly what the abort investigation needs.
+func (s *Server) getJobProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if !j.State.Terminal() {
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterInflight))
+		httpError(w, http.StatusConflict, "job %s is %s; profile available once finished", id, j.State)
+		return
+	}
+	s.mu.Lock()
+	data, ok := s.jobProfiles[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusGone, "job %s profile no longer available (evicted or daemon restarted)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
 }
 
 // getJobTrace serves a done job's own coverage fragment as trace JSON.
@@ -158,6 +249,34 @@ func (s *Server) getJobTrace(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// Run-context propagation headers. The coordinator mints a run ID per
+// distributed run and a shard ID per dispatch and sends both on every
+// job submission; the worker threads them through the job record into
+// its span tags, log lines, and pprof labels.
+const (
+	HeaderRunID   = "X-Run-Id"
+	HeaderShardID = "X-Shard-Id"
+)
+
+// runContextValue validates one run-context header value: at most 64
+// bytes of [A-Za-z0-9._:/-]. Anything else is treated as absent — these
+// values become observability identifiers, not free-form data.
+func runContextValue(v string) string {
+	if v == "" || len(v) > 64 {
+		return ""
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == ':' || c == '/' || c == '-':
+		default:
+			return ""
+		}
+	}
+	return v
+}
+
 func (s *Server) postJob(w http.ResponseWriter, r *http.Request) {
 	// Validate up front so a bad suite or workers value fails the submit
 	// with a 400 now, not the job with a failure later.
@@ -173,6 +292,12 @@ func (s *Server) postJob(w http.ResponseWriter, r *http.Request) {
 	j, err := s.jobs.Submit(jobs.Spec{
 		Suites:  r.URL.Query().Get("suite"),
 		Workers: workers,
+		// Run context rides in on headers (the coordinator's
+		// client.ContextWithHeader channel, extending the X-Request-Id
+		// plumbing); the values reach span tags, log lines, and pprof
+		// labels, so hostile bytes are rejected rather than carried.
+		RunID: runContextValue(r.Header.Get(HeaderRunID)),
+		Shard: runContextValue(r.Header.Get(HeaderShardID)),
 	})
 	if errors.Is(err, jobs.ErrQueueFull) {
 		s.shedTotals.QueueFull.Add(1)

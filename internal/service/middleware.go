@@ -111,12 +111,20 @@ func LogRequests(logger *slog.Logger) Middleware {
 			sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 			start := time.Now()
 			defer func() {
-				logger.Info("request",
+				attrs := []any{
 					"id", id,
 					"method", r.Method,
 					"path", r.URL.Path,
 					"status", sr.status,
-					"dur", time.Since(start).Round(time.Microsecond))
+					"dur", time.Since(start).Round(time.Microsecond),
+				}
+				// Requests belonging to a distributed run (the coordinator
+				// sends X-Run-Id on every dispatch) log the run ID, so one
+				// grep joins a run's lines across the fleet.
+				if run := r.Header.Get("X-Run-Id"); run != "" {
+					attrs = append(attrs, "run", run)
+				}
+				logger.Info("request", attrs...)
 			}()
 			next.ServeHTTP(sr, r)
 		})

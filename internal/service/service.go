@@ -135,8 +135,17 @@ type Server struct {
 	// are pruned alongside the queue's retention (see storeJobTrace) and
 	// are memory-only: after a restart the endpoint answers 410 Gone and
 	// the coordinator re-dispatches the shard (merge is idempotent).
-	jobTraces   map[string][]byte
-	queueDepth  int
+	jobTraces map[string][]byte
+	// jobProfiles holds each finished job's span profile as encoded
+	// JSON, keyed by job ID — the GET /jobs/{id}/profile export the
+	// coordinator stitches into a cross-node run timeline. Same
+	// lifecycle as jobTraces: memory-only, pruned with job retention.
+	jobProfiles map[string][]byte
+	// spanObserver, when set (WithSpanObserver), receives every request
+	// root span after it ends — the test hook the span-leak suite uses
+	// to assert OpenCount == 0 on all paths, panics included.
+	spanObserver func(*obs.Span)
+	queueDepth   int
 	jobTTL      time.Duration
 	maxInflight int
 	inflight    atomic.Int64
@@ -220,11 +229,20 @@ func WithAdmission(maxInflight int) Option {
 	}
 }
 
+// WithSpanObserver registers fn to receive every request root span
+// after it has ended. Spans may still be mutated by the observer's
+// caller's goroutine only; treat them as read-only. Intended for tests
+// asserting span hygiene (no open spans left behind on any path).
+func WithSpanObserver(fn func(*obs.Span)) Option {
+	return func(s *Server) { s.spanObserver = fn }
+}
+
 // New returns a server with no network loaded.
 func New(opts ...Option) *Server {
 	s := &Server{
 		trace:        core.NewTrace(),
 		jobTraces:    map[string][]byte{},
+		jobProfiles:  map[string][]byte{},
 		logger:       slog.Default(),
 		metrics:      obs.NewRegistry(),
 		started:      time.Now(),
@@ -283,6 +301,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.listJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.getJob)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.getJobTrace)
+	mux.HandleFunc("GET /jobs/{id}/profile", s.getJobProfile)
 	mux.HandleFunc("DELETE /jobs/{id}", s.deleteJob)
 	mux.HandleFunc("GET /coverage", s.admit("/coverage", s.getCoverage))
 	mux.HandleFunc("GET /gaps", s.admit("/gaps", s.getGaps))
@@ -369,6 +388,7 @@ func (s *Server) putNetwork(w http.ResponseWriter, r *http.Request) {
 	s.trace = core.NewTrace()         // a new network invalidates the old trace
 	s.engine = nil                    // and the old replica pool
 	s.jobTraces = map[string][]byte{} // job fragments decode against the old network
+	s.jobProfiles = map[string][]byte{}
 	s.engineBase = bdd.Stats{}        // fresh manager, fresh counter baseline
 	writeJSON(w, http.StatusOK, statsBody(net, fp))
 }
@@ -492,6 +512,17 @@ type RunResult struct {
 	Error   string `json:"error,omitempty"`
 }
 
+// endSpan ends a request root span (EndStage feeds the stage latency
+// histogram) and hands it to the WithSpanObserver hook, which sees it
+// only after it is settled. The single finish path for request roots,
+// deferred so panic and cancellation exits still pass through it.
+func (s *Server) endSpan(sp *obs.Span) {
+	sp.EndStage()
+	if s.spanObserver != nil && sp != nil {
+		s.spanObserver(sp)
+	}
+}
+
 // evalContext derives the evaluation context for a compute-heavy
 // endpoint: the request context (client disconnection cancels the
 // work) bounded by the WithRunTimeout deadline.
@@ -536,7 +567,7 @@ func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
 	// sharded workers flush their per-run BDD deltas and budget trips
 	// through it, and its EndStage feeds the stage latency histogram.
 	sp := obs.NewRoot("service.run", s.metrics)
-	defer sp.EndStage()
+	defer s.endSpan(sp)
 	ctx = obs.ContextWithSpan(ctx, sp)
 	out, rerr := s.runSuiteLocked(ctx, suite, workers, s.trace)
 	if rerr != nil {
@@ -557,6 +588,15 @@ func (s *Server) postRun(w http.ResponseWriter, r *http.Request) {
 // trace — see runJob). into must live in the canonical space. Callers
 // hold s.mu and have attached any span to ctx.
 func (s *Server) runSuiteLocked(ctx context.Context, suite testkit.Suite, workers int, into *core.Trace) ([]RunResult, error) {
+	// The evaluation stage gets its own child span so even a sequential
+	// run (workers=1, the common dispatch shape) exports a worker-side
+	// stage beneath the request root — what a coordinator's cross-node
+	// timeline links to. The sharded engine's build/shard children nest
+	// beneath it through the re-wrapped context.
+	eval := obs.SpanFromContext(ctx).Child("service.evaluate")
+	eval.Set("workers", int64(workers))
+	defer eval.EndStage()
+	ctx = obs.ContextWithSpan(ctx, eval)
 	var results []testkit.Result
 	if workers > 1 {
 		var err error
@@ -790,7 +830,7 @@ func (s *Server) getCoverage(w http.ResponseWriter, r *http.Request) {
 			body.ByRole = append(body.ByRole, toMetricsRow(row))
 		}
 	})
-	sp.EndStage()
+	s.endSpan(sp)
 	compute := time.Since(start)
 	if gerr == nil {
 		// The engine polls its watched context every 1024 ops; small
@@ -854,8 +894,47 @@ type StatsReport struct {
 	Shed     ShedReport `json:"shed"`
 	// Delta reports churn-path totals: applied delta documents, full
 	// network resets, and the rule/mark movement deltas caused.
-	Delta   DeltaReport  `json:"delta"`
+	Delta DeltaReport `json:"delta"`
+	// Routes summarizes per-route request latency — count plus p50/p99
+	// quantile estimates from the same histogram /metrics exposes.
+	Routes  []RouteStat  `json:"routes,omitempty"`
 	Metrics []obs.Metric `json:"metrics"`
+}
+
+// RouteStat is one route's latency summary in GET /stats: request count
+// and interpolated quantiles (seconds) from the Instrument middleware's
+// per-route histogram.
+type RouteStat struct {
+	Route string  `json:"route"`
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50Seconds"`
+	P99   float64 `json:"p99Seconds"`
+}
+
+// routeStats summarizes the per-route latency histograms. Routes with
+// no observations yet are omitted.
+func (s *Server) routeStats() []RouteStat {
+	var out []RouteStat
+	s.metrics.VisitHistograms("yardstick_http_request_duration_seconds", func(labels string, h *obs.Histogram) {
+		if h.Count() == 0 {
+			return
+		}
+		route := ""
+		if pairs, err := obs.ParseLabelSig(labels); err == nil {
+			for _, p := range pairs {
+				if p[0] == "route" {
+					route = p[1]
+				}
+			}
+		}
+		out = append(out, RouteStat{
+			Route: route,
+			Count: h.Count(),
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+		})
+	})
+	return out
 }
 
 func (s *Server) getStats(w http.ResponseWriter, r *http.Request) {
@@ -870,6 +949,7 @@ func (s *Server) getStats(w http.ResponseWriter, r *http.Request) {
 		Draining:      s.draining.Load(),
 		Shed:          s.shedTotals.report(),
 		Delta:         s.delta.report(),
+		Routes:        s.routeStats(),
 	}
 	ts := s.trace.Stats()
 	body.TraceLocations = ts.Locations

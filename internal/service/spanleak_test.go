@@ -1,0 +1,257 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"yardstick/internal/bdd"
+	"yardstick/internal/core"
+	"yardstick/internal/faults"
+	"yardstick/internal/jobs"
+	"yardstick/internal/obs"
+	"yardstick/internal/testkit"
+	"yardstick/internal/topogen"
+)
+
+// spanTracker collects every finished request/job span via
+// WithSpanObserver, so tests can assert the no-leak invariant
+// (OpenCount == 0) after every path — success, abort, cancellation,
+// panic.
+type spanTracker struct {
+	mu    sync.Mutex
+	spans []*obs.Span
+}
+
+func (st *spanTracker) observe(sp *obs.Span) {
+	st.mu.Lock()
+	st.spans = append(st.spans, sp)
+	st.mu.Unlock()
+}
+
+func (st *spanTracker) assertNoLeaks(t *testing.T, wantAtLeast int) {
+	t.Helper()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.spans) < wantAtLeast {
+		t.Fatalf("observed %d finished spans, want at least %d", len(st.spans), wantAtLeast)
+	}
+	for _, sp := range st.spans {
+		if !sp.Ended() {
+			t.Errorf("span %q handed to the observer before End", sp.Name())
+		}
+		if n := sp.OpenCount(); n != 0 {
+			t.Errorf("span %q leaked %d open descendants", sp.Name(), n)
+		}
+	}
+}
+
+func TestSpansEndOnEveryPath(t *testing.T) {
+	var tr spanTracker
+	srv, ts := newJobServer(t, WithSpanObserver(tr.observe))
+
+	// Success paths: sequential run, sharded run, coverage read.
+	doJSON(t, http.MethodPost, ts.URL+"/run?suite=default", nil, http.StatusOK, nil)
+	doJSON(t, http.MethodPost, ts.URL+"/run?suite=default,internal&workers=2", nil, http.StatusOK, nil)
+	doJSON(t, http.MethodGet, ts.URL+"/coverage", nil, http.StatusOK, nil)
+
+	// Async path: a job span finishes through the queue.
+	var sub JobStatus
+	doJSON(t, http.MethodPost, ts.URL+"/jobs?suite=default", nil, http.StatusAccepted, &sub)
+	pollJob(t, ts.URL, sub.ID)
+
+	// Abort path: a tripped BDD budget (whether it surfaces as errored
+	// results or as an aborted run) must still end the request span and
+	// hand it to the observer with no open descendants.
+	srv.mu.Lock()
+	srv.net.Space.SetLimits(bdd.Limits{MaxOps: 1})
+	srv.mu.Unlock()
+	resp, err := http.Post(ts.URL+"/run?suite=connected", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	srv.mu.Lock()
+	srv.net.Space.SetLimits(bdd.Limits{})
+	srv.mu.Unlock()
+
+	tr.assertNoLeaks(t, 5)
+}
+
+func TestSpansEndOnCancellation(t *testing.T) {
+	var tr spanTracker
+	_, ts := newJobServer(t, WithSpanObserver(tr.observe), WithRunTimeout(time.Nanosecond))
+	doJSON(t, http.MethodPost, ts.URL+"/run?suite=default", nil, http.StatusServiceUnavailable, nil)
+	tr.assertNoLeaks(t, 1)
+}
+
+func TestSpansEndOnPanic(t *testing.T) {
+	// A panicking test is isolated by the suite runner but must not leave
+	// the evaluation span open. Driven through runSuiteLocked directly —
+	// panic tests are not reachable through the builtin-suite names.
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := WithNetwork(rg.Net, WithLogger(discardLogger()))
+	root := obs.NewRoot("test.run", nil)
+	ctx := obs.ContextWithSpan(context.Background(), root)
+
+	srv.mu.Lock()
+	out, err := srv.runSuiteLocked(ctx, testkit.Suite{faults.PanicTest{Message: "chaos: boom"}}, 1, core.NewTrace())
+	srv.mu.Unlock()
+	if err != nil {
+		t.Fatalf("isolated panic escaped as error: %v", err)
+	}
+	if len(out) != 1 || !out[0].Errored {
+		t.Fatalf("results = %+v, want one errored result", out)
+	}
+	root.End()
+	if n := root.OpenCount(); n != 0 {
+		t.Errorf("panicking run leaked %d open spans", n)
+	}
+}
+
+func TestJobProfileEndpoint(t *testing.T) {
+	srv, ts := newJobServer(t)
+
+	doJSON(t, http.MethodGet, ts.URL+"/jobs/nope/profile", nil, http.StatusNotFound, nil)
+
+	// Submit with run context, the way the coordinator dispatches.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/jobs?suite=default", nil)
+	req.Header.Set(HeaderRunID, "feedfacecafe0001")
+	req.Header.Set(HeaderShardID, "s3")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sub.Spec.RunID != "feedfacecafe0001" || sub.Spec.Shard != "s3" {
+		t.Fatalf("run context not on job record: %+v", sub.Spec)
+	}
+	if j := pollJob(t, ts.URL, sub.ID); j.State != jobs.StateDone {
+		t.Fatalf("job = %+v", j)
+	}
+
+	// The finished job serves a decodable profile carrying the run
+	// context tags and the worker-side evaluation stage.
+	resp, err = http.Get(ts.URL + "/jobs/" + sub.ID + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET profile = %d, want 200", resp.StatusCode)
+	}
+	p, err := obs.DecodeSpanProfile(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "service.job" || p.Open {
+		t.Fatalf("profile root = %+v", p)
+	}
+	if p.Tag("run") != "feedfacecafe0001" || p.Tag("shard") != "s3" {
+		t.Errorf("profile tags = %v", p.Tags)
+	}
+	foundEval := false
+	p.Walk(func(_ int, sp *obs.SpanProfile) {
+		if sp.Name == "service.evaluate" {
+			foundEval = true
+		}
+	})
+	if !foundEval {
+		t.Error("profile missing the service.evaluate stage span")
+	}
+
+	// Evicted artifact → 410.
+	srv.mu.Lock()
+	delete(srv.jobProfiles, sub.ID)
+	srv.mu.Unlock()
+	doJSON(t, http.MethodGet, ts.URL+"/jobs/"+sub.ID+"/profile", nil, http.StatusGone, nil)
+}
+
+func TestJobProfilePendingAndSanitized(t *testing.T) {
+	// No worker pool: a submitted job stays queued, so the profile
+	// endpoint's 409 arm is deterministic.
+	rg, err := topogen.BuildRegional(topogen.RegionalOpts{
+		DCs: 1, PodsPerDC: 1, ToRsPerPod: 2, AggsPerPod: 2,
+		SpinesPerDC: 2, Hubs: 2, WANHubs: 1, WANPrefixes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := WithNetwork(rg.Net, WithLogger(discardLogger()))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// A hostile run-context header is dropped, not carried into
+	// observability identifiers.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/jobs?suite=default", nil)
+	req.Header.Set(HeaderRunID, "evil header value")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sub.Spec.RunID != "" {
+		t.Errorf("hostile run id survived sanitization: %q", sub.Spec.RunID)
+	}
+
+	resp, err = http.Get(ts.URL + "/jobs/" + sub.ID + "/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("queued job profile = %d, want 409", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("409 without Retry-After")
+	}
+}
+
+func TestStatsRouteLatency(t *testing.T) {
+	_, ts := newJobServer(t)
+	doJSON(t, http.MethodPost, ts.URL+"/run?suite=default", nil, http.StatusOK, nil)
+	doJSON(t, http.MethodPost, ts.URL+"/run?suite=internal", nil, http.StatusOK, nil)
+	doJSON(t, http.MethodGet, ts.URL+"/coverage", nil, http.StatusOK, nil)
+
+	var st StatsReport
+	doJSON(t, http.MethodGet, ts.URL+"/stats", nil, http.StatusOK, &st)
+	byRoute := map[string]RouteStat{}
+	for _, r := range st.Routes {
+		byRoute[r.Route] = r
+	}
+	run, ok := byRoute["/run"]
+	if !ok {
+		t.Fatalf("no /run route stat in %+v", st.Routes)
+	}
+	if run.Count < 2 {
+		t.Errorf("/run count = %d, want >= 2", run.Count)
+	}
+	if run.P50 <= 0 || run.P99 < run.P50 {
+		t.Errorf("/run quantiles p50=%v p99=%v", run.P50, run.P99)
+	}
+	if _, ok := byRoute["/coverage"]; !ok {
+		t.Errorf("no /coverage route stat in %+v", st.Routes)
+	}
+}
